@@ -1,0 +1,184 @@
+// Benchmark targets: one per table and figure of the paper's
+// evaluation (§5). Each regenerates its experiment at a reduced scale
+// and reports headline numbers as benchmark metrics; run with -v to see
+// the full tables. The cclbench CLI runs the same experiments at any
+// scale.
+//
+//	go test -bench=BenchmarkFig10 -benchmem
+//	go test -bench=. -benchmem            # everything (several minutes)
+package cclbtree
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cclbtree/internal/bench"
+)
+
+// benchScale keeps `go test -bench=.` in the minutes range.
+func benchScale() bench.Scale {
+	return bench.Scale{
+		Warm:        20_000,
+		Ops:         20_000,
+		Threads:     []int{2, 8, 24},
+		MainThreads: 16,
+		ScanLen:     50,
+		Seed:        1,
+	}
+}
+
+// runExperiment executes a paper experiment once per benchmark
+// iteration and logs its tables.
+func runExperiment(b *testing.B, name string) []*bench.Table {
+	b.Helper()
+	e, ok := bench.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	var tables []*bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = e.Run(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if testing.Verbose() {
+		var sb strings.Builder
+		for _, t := range tables {
+			t.Fprint(&sb)
+		}
+		b.Log("\n" + sb.String())
+	}
+	return tables
+}
+
+// lastCell parses the last column of the row whose first cell matches
+// name (the headline series for metrics).
+func lastCell(tables []*bench.Table, row string) float64 {
+	for _, t := range tables {
+		for _, r := range t.Rows {
+			if len(r) > 1 && r[0] == row {
+				v, err := strconv.ParseFloat(r[len(r)-1], 64)
+				if err == nil {
+					return v
+				}
+			}
+		}
+	}
+	return 0
+}
+
+func BenchmarkFig2(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFig4(b *testing.B)   { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { runExperiment(b, "fig5") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { runExperiment(b, "fig12") }
+func BenchmarkFig14(b *testing.B)  { runExperiment(b, "fig14") }
+func BenchmarkFig15a(b *testing.B) { runExperiment(b, "fig15a") }
+func BenchmarkFig15b(b *testing.B) { runExperiment(b, "fig15b") }
+func BenchmarkFig15c(b *testing.B) { runExperiment(b, "fig15c") }
+func BenchmarkFig15d(b *testing.B) { runExperiment(b, "fig15d") }
+func BenchmarkFig16(b *testing.B)  { runExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { runExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { runExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { runExperiment(b, "fig19") }
+
+func BenchmarkFig3(b *testing.B) {
+	tables := runExperiment(b, "fig3")
+	// Headline: CCL-BTree's XBI-amplification (third column).
+	for _, t := range tables {
+		for _, r := range t.Rows {
+			if r[0] == "CCL-BTree" {
+				if v, err := strconv.ParseFloat(r[2], 64); err == nil {
+					b.ReportMetric(v, "XBI-amp")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	tables := runExperiment(b, "fig10")
+	b.ReportMetric(lastCell(tables[:1], "CCL-BTree"), "insert-Mops")
+}
+
+func BenchmarkFig13(b *testing.B) {
+	tables := runExperiment(b, "fig13")
+	b.ReportMetric(lastCell(tables[1:], "+WLog"), "total-XBI")
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+func BenchmarkTable3(b *testing.B) {
+	tables := runExperiment(b, "table3")
+	b.ReportMetric(lastCell(tables, "Scan"), "CCL-scan-Mops")
+}
+
+func BenchmarkAblationCache(b *testing.B) { runExperiment(b, "ablation-cache") }
+func BenchmarkAblationGC(b *testing.B)    { runExperiment(b, "ablation-gc") }
+
+func BenchmarkExtensionHash(b *testing.B) { runExperiment(b, "extension-hash") }
+
+// BenchmarkCorePut measures the raw public-API insert path (simulated
+// PM work included), a conventional micro-benchmark for regressions.
+func BenchmarkCorePut(b *testing.B) {
+	db, err := New(Config{ChunkBytes: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)*0x9e3779b97f4a7c15&(1<<62-1) | 1
+		if err := s.Put(k, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreGet measures the lookup path.
+func BenchmarkCoreGet(b *testing.B) {
+	db, err := New(Config{ChunkBytes: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		k := uint64(i)*0x9e3779b97f4a7c15&(1<<62-1) | 1
+		if err := s.Put(k, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%n)*0x9e3779b97f4a7c15&(1<<62-1) | 1
+		s.Get(k)
+	}
+}
+
+// BenchmarkCoreScan measures the range-query path.
+func BenchmarkCoreScan(b *testing.B) {
+	db, err := New(Config{ChunkBytes: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+	const n = 100_000
+	for i := 1; i <= n; i++ {
+		if err := s.Put(uint64(i), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	out := make([]KV, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Scan(uint64(i%n+1), out)
+	}
+}

@@ -1,0 +1,207 @@
+// Package cclbtree is a Go implementation of CCL-BTree, the
+// crash-consistent locality-aware B+-tree for persistent memory from
+// EuroSys '24 ("CCL-BTree: A Crash-Consistent Locality-Aware B+-Tree
+// for Reducing XPBuffer-Induced Write Amplification in Persistent
+// Memory", Li et al.).
+//
+// Because Go exposes neither cacheline-flush instructions nor Optane
+// hardware, the tree runs on a software persistent-memory device model
+// (see internal/pmem) that reproduces the two-level write-amplification
+// behaviour of real PM: a CPU-cache/flush layer (64 B cachelines, ADR
+// semantics) over an XPBuffer/media layer (256 B XPLines). The model
+// provides ipmctl-style hardware counters, power-failure injection, and
+// a virtual-time cost model, so the paper's experiments — and your own
+// workloads — can be measured for CLI-/XBI-amplification and simulated
+// throughput.
+//
+// Quick start:
+//
+//	db, _ := cclbtree.New(cclbtree.Config{})
+//	s := db.Session(0)                  // one Session per goroutine
+//	_ = s.Put(42, 1000)
+//	v, ok := s.Get(42)                  // 1000, true
+//	db.Pool().Crash()                   // power failure
+//	db2, _ := cclbtree.Open(db.Pool(), cclbtree.Config{})
+//	v, ok = db2.Session(0).Get(42)      // still 1000, true
+package cclbtree
+
+import (
+	"fmt"
+
+	"cclbtree/internal/core"
+	"cclbtree/internal/pmem"
+)
+
+// GCPolicy selects the log-reclamation strategy.
+type GCPolicy = core.GCPolicy
+
+// GC policies (§3.4 of the paper; GCNaive and GCOff exist for the
+// ablation experiments).
+const (
+	GCLocalityAware = core.GCLocalityAware
+	GCNaive         = core.GCNaive
+	GCOff           = core.GCOff
+)
+
+// Config configures a tree and, optionally, the PM platform under it.
+// The zero value reproduces the paper's defaults (Nbatch 2, THlog 20%,
+// locality-aware GC, 4 MB log chunks, two-socket ADR platform).
+type Config struct {
+	// Nbatch is the buffer-node capacity; 0 means the default (2),
+	// -1 disables buffering (the paper's "Base" ablation).
+	Nbatch int
+	// THlog is the GC trigger ratio (log bytes / leaf bytes); 0 means
+	// the default 0.20.
+	THlog float64
+	// GC selects the reclamation policy.
+	GC GCPolicy
+	// NaiveLogging logs trigger writes too (the "+BNode" ablation);
+	// default is write-conservative logging.
+	NaiveLogging bool
+	// VarKV switches the tree to variable-size []byte keys and values
+	// (PutVar/GetVar/...). Fixed 8 B operations are rejected.
+	VarKV bool
+	// ChunkBytes overrides the WAL chunk size (default 4 MB).
+	ChunkBytes int
+	// Platform overrides the PM device model configuration; zero
+	// fields take defaults (two sockets, 4 DIMMs each, 256 MB/socket).
+	Platform pmem.Config
+}
+
+// Tree is a CCL-BTree instance. Operations are issued through
+// per-goroutine Sessions.
+type Tree struct {
+	inner *core.Tree
+	pool  *pmem.Pool
+}
+
+func (c Config) coreOptions() core.Options {
+	return core.Options{
+		Nbatch:       c.Nbatch,
+		THlog:        c.THlog,
+		GC:           c.GC,
+		NaiveLogging: c.NaiveLogging,
+		VarKV:        c.VarKV,
+		ChunkBytes:   c.ChunkBytes,
+	}
+}
+
+// New creates a fresh tree on a new PM pool built from cfg.Platform.
+func New(cfg Config) (*Tree, error) {
+	pool := pmem.NewPool(cfg.Platform)
+	return NewOnPool(pool, cfg)
+}
+
+// NewOnPool creates a fresh tree on an existing pool (e.g. one shared
+// with a benchmark harness).
+func NewOnPool(pool *pmem.Pool, cfg Config) (*Tree, error) {
+	tr, err := core.New(pool, cfg.coreOptions())
+	if err != nil {
+		return nil, fmt.Errorf("cclbtree: %w", err)
+	}
+	return &Tree{inner: tr, pool: pool}, nil
+}
+
+// Open recovers a tree previously created on pool, after a crash
+// (Pool.Crash) or a restart (Pool.LoadPersistent). It walks the
+// persistent leaf list, replays the write-ahead logs, and resets leaf
+// timestamps, per §3.3 of the paper.
+func Open(pool *pmem.Pool, cfg Config) (*Tree, error) {
+	t, _, err := OpenWithStats(pool, cfg, 1)
+	return t, err
+}
+
+// RecoveryStats describes a recovery run.
+type RecoveryStats = core.RecoveryStats
+
+// OpenWithStats is Open with parallel recovery and statistics (Fig 17).
+func OpenWithStats(pool *pmem.Pool, cfg Config, threads int) (*Tree, *RecoveryStats, error) {
+	tr, st, err := core.Open(pool, cfg.coreOptions(), threads)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cclbtree: %w", err)
+	}
+	return &Tree{inner: tr, pool: pool}, st, nil
+}
+
+// Pool returns the underlying PM pool (stats, crash injection,
+// persistence to disk).
+func (t *Tree) Pool() *pmem.Pool { return t.pool }
+
+// Core exposes the internal tree for the benchmark harness.
+func (t *Tree) Core() *core.Tree { return t.inner }
+
+// Counters returns the tree's behavioral statistics.
+func (t *Tree) Counters() core.Counters { return t.inner.Counters() }
+
+// MemoryUsage returns modeled DRAM bytes and PM bytes in use.
+func (t *Tree) MemoryUsage() (dramBytes, pmBytes int64) { return t.inner.MemoryUsage() }
+
+// ForceGC runs a log-reclamation round synchronously.
+func (t *Tree) ForceGC() { t.inner.ForceGC() }
+
+// Close stops the tree's background garbage collection. Call it before
+// Pool.Crash (a real power failure halts every thread at once) or when
+// abandoning the tree; the tree must not be used afterwards.
+func (t *Tree) Close() { t.inner.Freeze() }
+
+// Session is a per-goroutine handle. Create one per worker goroutine
+// with Tree.Session; it owns the thread's write-ahead log and NUMA
+// binding and must not be shared.
+type Session struct {
+	w *core.Worker
+}
+
+// Session creates an operation handle bound to a NUMA socket.
+func (t *Tree) Session(socket int) *Session {
+	return &Session{w: t.inner.NewWorker(socket)}
+}
+
+// Thread exposes the session's PM thread (virtual clock and tag).
+func (s *Session) Thread() *pmem.Thread { return s.w.Thread() }
+
+// Put inserts or updates a fixed 8 B pair. Key must be nonzero and
+// value nonzero (zero is the paper's tombstone sentinel).
+func (s *Session) Put(key, value uint64) error { return s.w.Upsert(key, value) }
+
+// Get returns the value for key.
+func (s *Session) Get(key uint64) (uint64, bool) { return s.w.Lookup(key) }
+
+// Delete removes key (tombstone insertion; space is reclaimed when the
+// tombstone reaches the leaf).
+func (s *Session) Delete(key uint64) error { return s.w.Delete(key) }
+
+// KV is a fixed-size scan result.
+type KV = core.KV
+
+// Scan fills out with up to len(out) live entries with key ≥ start in
+// ascending order and returns the count.
+func (s *Session) Scan(start uint64, out []KV) int {
+	return s.w.Scan(start, len(out), out)
+}
+
+// PutVar inserts or updates a variable-size pair (requires VarKV).
+func (s *Session) PutVar(key, value []byte) error { return s.w.UpsertVar(key, value) }
+
+// GetVar returns the value for a variable-size key.
+func (s *Session) GetVar(key []byte) ([]byte, bool) { return s.w.LookupVar(key) }
+
+// DeleteVar removes a variable-size key.
+func (s *Session) DeleteVar(key []byte) error { return s.w.DeleteVar(key) }
+
+// KVBytes is a variable-size scan result.
+type KVBytes = core.KVBytes
+
+// ScanVar returns up to max live entries with key ≥ start in ascending
+// byte order.
+func (s *Session) ScanVar(start []byte, max int) []KVBytes { return s.w.ScanVar(start, max) }
+
+// PutLargeValue stores an 8 B key with an out-of-band value blob
+// through an indirection pointer (§4.4), for values larger than 8 B.
+func (s *Session) PutLargeValue(key uint64, value []byte) error {
+	return s.w.UpsertLargeValue(key, value)
+}
+
+// GetLargeValue fetches a value stored with PutLargeValue (or Put).
+func (s *Session) GetLargeValue(key uint64) ([]byte, bool) {
+	return s.w.LookupLargeValue(key)
+}

@@ -1,0 +1,89 @@
+// Command cclbench regenerates the tables and figures of the CCL-BTree
+// paper's evaluation (EuroSys '24, §5) on the software PM model.
+//
+// Usage:
+//
+//	cclbench -list                 # show available experiments
+//	cclbench -exp fig3             # run one experiment
+//	cclbench -exp all              # run everything
+//	cclbench -exp fig10 -warm 500000 -ops 500000 -threads 1,24,48,96
+//
+// Sizes default to ≈1/500 of the paper's (which used 50 M warm keys and
+// 50 M operations on real Optane hardware); throughput numbers are
+// simulated-time and meant for shape comparison, not absolute match.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cclbtree/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "experiment to run (or 'all')")
+		warm    = flag.Int("warm", 0, "warm keys (0 = default)")
+		ops     = flag.Int("ops", 0, "measured operations (0 = default)")
+		threads = flag.String("threads", "", "comma-separated thread sweep")
+		mainThr = flag.Int("mainthreads", 0, "thread count for single-point experiments")
+		scanLen = flag.Int("scanlen", 0, "default range query length")
+		seed    = flag.Int64("seed", 0, "workload seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-16s %s\n", e.Name, e.Desc)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <name> or -exp all")
+		}
+		return
+	}
+
+	scale := bench.Scale{Warm: *warm, Ops: *ops, MainThreads: *mainThr, ScanLen: *scanLen, Seed: *seed}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -threads value %q\n", part)
+				os.Exit(2)
+			}
+			scale.Threads = append(scale.Threads, n)
+		}
+	}
+
+	var selected []bench.Experiment
+	if *exp == "all" {
+		selected = bench.All()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			e, ok := bench.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tabs, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tabs {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("[%s finished in %.1fs wall]\n\n", e.Name, time.Since(start).Seconds())
+	}
+}

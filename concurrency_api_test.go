@@ -1,0 +1,142 @@
+package cclbtree
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cclbtree/internal/pmem"
+)
+
+// TestPublicConcurrentSessions exercises the documented usage pattern:
+// one Session per goroutine, mixed operations, then a consistency
+// check and a crash/recovery of the same pool.
+func TestPublicConcurrentSessions(t *testing.T) {
+	db, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	const readers = 2
+	const per = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := db.Session(g % db.Pool().Sockets())
+			base := uint64(g*per + 1)
+			for i := uint64(0); i < per; i++ {
+				if err := s.Put(base+i, base+i+7); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%5 == 0 {
+					if err := s.Delete(base + i); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := db.Session(g % db.Pool().Sockets())
+			out := make([]KV, 32)
+			for i := 0; i < 4000; i++ {
+				k := uint64(i%(writers*per) + 1)
+				if v, ok := s.Get(k); ok && v != k+7 {
+					t.Errorf("torn read: key %d = %d", k, v)
+					return
+				}
+				if i%50 == 0 {
+					n := s.Scan(k, out)
+					for j := 1; j < n; j++ {
+						if out[j].Key <= out[j-1].Key {
+							t.Error("scan disorder under concurrency")
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	verify := func(s *Session, label string) {
+		for g := 0; g < writers; g++ {
+			base := uint64(g*per + 1)
+			for i := uint64(0); i < per; i++ {
+				v, ok := s.Get(base + i)
+				deleted := i%5 == 0
+				if deleted && ok {
+					t.Fatalf("%s: deleted key %d present", label, base+i)
+				}
+				if !deleted && (!ok || v != base+i+7) {
+					t.Fatalf("%s: key %d = %d,%v", label, base+i, v, ok)
+				}
+			}
+		}
+	}
+	verify(db.Session(0), "pre-crash")
+
+	db.Close()
+	db.Pool().Crash()
+	db2, err := Open(db.Pool(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	verify(db2.Session(0), "post-crash")
+}
+
+// TestPublicErrorMessages pins the API contract errors.
+func TestPublicErrorMessages(t *testing.T) {
+	db, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session(0)
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{s.Put(0, 1), "key"},
+		{s.Put(1, 0), "tombstone"},
+		{s.Put(1, 1<<63), "MaxValue"},
+		{s.PutVar([]byte("k"), []byte("v")), "VarKV"},
+	}
+	for i, c := range cases {
+		if c.err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+		if !containsFold(c.err.Error(), c.want) {
+			t.Fatalf("case %d: error %q lacks %q", i, c.err, c.want)
+		}
+	}
+}
+
+func containsFold(s, sub string) bool {
+	return len(sub) == 0 || len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// TestOpenMismatchedPool pins Open's behavior on a pool without a tree.
+func TestOpenMismatchedPool(t *testing.T) {
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 1 << 20})
+	if _, err := Open(pool, Config{}); err == nil {
+		t.Fatal("Open on a treeless pool succeeded")
+	} else if fmt.Sprint(err) == "" {
+		t.Fatal("empty error")
+	}
+}

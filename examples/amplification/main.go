@@ -1,0 +1,77 @@
+// amplification: measure the CLI- and XBI-amplification of YOUR access
+// pattern on CCL-BTree versus a flush-per-insert baseline — the
+// paper's §2 motivation experiment as a tool.
+//
+//	go run ./examples/amplification -pattern random
+//	go run ./examples/amplification -pattern sequential
+//	go run ./examples/amplification -pattern zipf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cclbtree"
+	"cclbtree/internal/workload"
+)
+
+func main() {
+	pattern := flag.String("pattern", "random", "random | sequential | zipf")
+	n := flag.Int("n", 200_000, "operations")
+	flag.Parse()
+
+	type variant struct {
+		name string
+		cfg  cclbtree.Config
+	}
+	variants := []variant{
+		{"no buffering (Base)", cclbtree.Config{Nbatch: -1, GC: cclbtree.GCOff}},
+		{"CCL-BTree (Nbatch=2)", cclbtree.Config{ChunkBytes: 256 << 10}},
+		{"CCL-BTree (Nbatch=4)", cclbtree.Config{Nbatch: 4, ChunkBytes: 256 << 10}},
+	}
+
+	fmt.Printf("%-22s %10s %10s %12s\n", "variant", "CLI-amp", "XBI-amp", "media MB")
+	for _, v := range variants {
+		db, err := cclbtree.New(v.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := db.Session(0)
+		rng := rand.New(rand.NewSource(7))
+		zipf := workload.NewZipf(uint64(*n), 0.9)
+		key := func(i int) uint64 {
+			switch *pattern {
+			case "sequential":
+				return uint64(i + 1)
+			case "zipf":
+				return zipf.Next(rng)
+			default:
+				return rng.Uint64()&(1<<40-1) | 1
+			}
+		}
+		// Warm half, measure half.
+		for i := 0; i < *n/2; i++ {
+			if err := s.Put(key(i), 7); err != nil {
+				log.Fatal(err)
+			}
+		}
+		db.Pool().ResetStats()
+		for i := *n / 2; i < *n; i++ {
+			if err := s.Put(key(i), 9); err != nil {
+				log.Fatal(err)
+			}
+		}
+		db.Pool().DrainXPBuffers()
+		st := db.Pool().Stats()
+		user := float64(*n / 2 * 16)
+		fmt.Printf("%-22s %10.2f %10.2f %12.2f\n",
+			v.name,
+			float64(st.XPBufWriteBytes)/user,
+			float64(st.MediaWriteBytes)/user,
+			float64(st.MediaWriteBytes)/1e6)
+		db.Close()
+	}
+	fmt.Println("\nXBI-amp = media bytes per user byte; lower is better (paper §2.1).")
+}

@@ -1,0 +1,112 @@
+// kvstore: an embedded key-value store with variable-size keys and
+// values, concurrent writers, and durable state carried across process
+// restarts through a persistent-memory image file.
+//
+// Run once to create ./kvstore.pm, again to reopen it:
+//
+//	go run ./examples/kvstore          # creates and populates
+//	go run ./examples/kvstore          # recovers and verifies
+//	go run ./examples/kvstore -reset   # start over
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+
+	"cclbtree"
+	"cclbtree/internal/pmem"
+)
+
+const imageFile = "kvstore.pm"
+
+func platform() pmem.Config {
+	return pmem.Config{
+		Sockets:        2,
+		DIMMsPerSocket: 2,
+		DeviceBytes:    32 << 20, // keep the image file small
+	}
+}
+
+func main() {
+	reset := flag.Bool("reset", false, "delete the store and start over")
+	flag.Parse()
+	if *reset {
+		_ = os.Remove(imageFile)
+	}
+
+	pool := pmem.NewPool(platform())
+	cfg := cclbtree.Config{VarKV: true, ChunkBytes: 64 << 10}
+
+	var db *cclbtree.Tree
+	if f, err := os.Open(imageFile); err == nil {
+		// Restart path: load the persistent image and recover.
+		for s := 0; s < pool.Sockets(); s++ {
+			if err := pool.LoadPersistent(s, f); err != nil {
+				log.Fatalf("load image: %v", err)
+			}
+		}
+		f.Close()
+		db, err = cclbtree.Open(pool, cfg)
+		if err != nil {
+			log.Fatalf("recover: %v", err)
+		}
+		fmt.Println("recovered existing store")
+	} else {
+		var err error
+		db, err = cclbtree.NewOnPool(pool, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("created new store")
+	}
+
+	// Concurrent writers, one session per goroutine.
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.Session(w % pool.Sockets())
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("user:%04d:%04d", w, i)
+				v := fmt.Sprintf(`{"writer":%d,"seq":%d}`, w, i)
+				if err := s.PutVar([]byte(k), []byte(v)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Verify with a point read and an ordered prefix scan.
+	s := db.Session(0)
+	if v, ok := s.GetVar([]byte("user:0002:0999")); ok {
+		fmt.Printf("point read: %s\n", v)
+	}
+	res := s.ScanVar([]byte("user:0001:"), 3)
+	for _, kv := range res {
+		fmt.Printf("scan: %s -> %s\n", kv.Key, kv.Value)
+	}
+
+	// Persist the crash-consistent image to disk, standing in for a
+	// DAX-mapped pool file surviving the process.
+	db.Close()
+	f, err := os.Create(imageFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for sck := 0; sck < pool.Sockets(); sck++ {
+		if err := pool.SavePersistent(sck, f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved image to %s — run again to recover it\n", imageFile)
+}

@@ -1,0 +1,3 @@
+module cclbtree
+
+go 1.22

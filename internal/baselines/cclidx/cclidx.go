@@ -1,0 +1,74 @@
+// Package cclidx adapts CCL-BTree to the common index.Index interface
+// so the benchmark harness drives it like every comparison target.
+package cclidx
+
+import (
+	"cclbtree/internal/core"
+	"cclbtree/internal/index"
+	"cclbtree/internal/pmem"
+)
+
+// Tree wraps core.Tree as an index.Index.
+type Tree struct {
+	inner *core.Tree
+	name  string
+}
+
+// Factory returns an index.Factory with the given tree options. The
+// name distinguishes ablation variants ("CCL-BTree", "Base", "+BNode").
+func Factory(name string, opts core.Options) index.Factory {
+	return func(pool *pmem.Pool) (index.Index, error) {
+		tr, err := core.New(pool, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Tree{inner: tr, name: name}, nil
+	}
+}
+
+// Default is the paper-default CCL-BTree factory.
+func Default() index.Factory { return Factory("CCL-BTree", core.Options{}) }
+
+// Core exposes the wrapped tree (recovery and GC experiments).
+func (t *Tree) Core() *core.Tree { return t.inner }
+
+// Name implements index.Index.
+func (t *Tree) Name() string { return t.name }
+
+// NewHandle implements index.Index.
+func (t *Tree) NewHandle(socket int) index.Handle {
+	return handle{w: t.inner.NewWorker(socket)}
+}
+
+// MemoryUsage implements index.Index.
+func (t *Tree) MemoryUsage() (int64, int64) { return t.inner.MemoryUsage() }
+
+// Close implements index.Index.
+func (t *Tree) Close() { t.inner.Freeze() }
+
+type handle struct {
+	w *core.Worker
+}
+
+func (h handle) Upsert(key, value uint64) error {
+	if core.IsBlobWord(value) {
+		// Harness-built indirection pointers (Fig 15c / Fig 18).
+		return h.w.UpsertIndirect(key, value)
+	}
+	return h.w.Upsert(key, value)
+}
+func (h handle) Delete(key uint64) error { return h.w.Delete(key) }
+func (h handle) Lookup(key uint64) (uint64, bool) {
+	return h.w.Lookup(key)
+}
+
+func (h handle) Scan(start uint64, max int, out []index.KV) int {
+	tmp := make([]core.KV, max)
+	n := h.w.Scan(start, max, tmp)
+	for i := 0; i < n; i++ {
+		out[i] = index.KV{Key: tmp[i].Key, Value: tmp[i].Value}
+	}
+	return n
+}
+
+func (h handle) Thread() *pmem.Thread { return h.w.Thread() }

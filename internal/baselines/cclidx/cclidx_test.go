@@ -1,0 +1,20 @@
+package cclidx
+
+import (
+	"testing"
+
+	"cclbtree/internal/core"
+	"cclbtree/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, Default(), indextest.Options{})
+}
+
+func TestConformanceBaseAblation(t *testing.T) {
+	indextest.Run(t, Factory("Base", core.Options{Nbatch: -1}), indextest.Options{})
+}
+
+func TestConformanceNaiveLogging(t *testing.T) {
+	indextest.Run(t, Factory("+BNode", core.Options{NaiveLogging: true}), indextest.Options{})
+}

@@ -1,0 +1,63 @@
+package dptree
+
+import (
+	"testing"
+
+	"cclbtree/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, Factory(), indextest.Options{})
+}
+
+func TestMergesHappenAndStallTails(t *testing.T) {
+	pool := indextest.Pool()
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several concurrent writers outpace the background merger in
+	// virtual time, so buffer swaps start finding the previous merge
+	// unfinished: those trigger operations stall (the paper's
+	// beyond-p99.9 insert latencies).
+	const workers = 8
+	const per = 8000
+	maxLat := make([]int64, workers)
+	avgLat := make([]int64, workers)
+	done := make(chan int, workers)
+	for g := 0; g < workers; g++ {
+		go func(g int) {
+			h := tr.NewHandle(g % 2)
+			base := uint64(g*per + 1)
+			var total int64
+			for i := uint64(0); i < per; i++ {
+				before := h.Thread().Now()
+				_ = h.Upsert(base+i, 1)
+				d := h.Thread().Now() - before
+				total += d
+				if d > maxLat[g] {
+					maxLat[g] = d
+				}
+			}
+			avgLat[g] = total / per
+			done <- g
+		}(g)
+	}
+	for range maxLat {
+		<-done
+	}
+	if tr.Merges() == 0 {
+		t.Fatal("no merges despite exceeding the buffer threshold")
+	}
+	var worst, avg int64
+	for g := range maxLat {
+		if maxLat[g] > worst {
+			worst = maxLat[g]
+		}
+		avg += avgLat[g]
+	}
+	avg /= workers
+	if worst < 20*avg {
+		t.Fatalf("merge stall not visible in tail: max %dns vs avg %dns", worst, avg)
+	}
+}

@@ -1,0 +1,40 @@
+package flatstore
+
+import (
+	"testing"
+
+	"cclbtree/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, Factory(), indextest.Options{})
+}
+
+func TestSequentialLayoutNearUnityAmplification(t *testing.T) {
+	pool := indextest.Pool()
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.NewHandle(0)
+	rng := uint64(11)
+	for i := 0; i < 20000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		_ = h.Upsert(rng%(1<<30)|1, 1)
+	}
+	pool.ResetStats()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		_ = h.Upsert(rng%(1<<30)|1, 1)
+	}
+	pool.DrainXPBuffers()
+	amp := float64(pool.Stats().MediaWriteBytes) / float64(n*16)
+	if amp > 2.5 {
+		t.Fatalf("FlatStore XBI = %.2f; log-structured writes should be ≈1.5 (24 B entries)", amp)
+	}
+}

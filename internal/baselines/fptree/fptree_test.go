@@ -1,0 +1,31 @@
+package fptree
+
+import (
+	"testing"
+
+	"cclbtree/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, Factory(), indextest.Options{})
+}
+
+func TestTwoFlushesPerInsert(t *testing.T) {
+	pool := indextest.Pool()
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.NewHandle(0)
+	// Warm one leaf partially so inserts don't split.
+	for i := uint64(1); i <= 4; i++ {
+		_ = h.Upsert(i*1000, i)
+	}
+	pool.ResetStats()
+	_ = h.Upsert(5000, 5)
+	s := pool.Stats()
+	// Slot flush + header flush = 2 cachelines to the XPBuffer.
+	if got := s.XPBufWriteBytes; got != 2*64 {
+		t.Fatalf("insert flushed %d bytes to XPBuffer, want 128", got)
+	}
+}

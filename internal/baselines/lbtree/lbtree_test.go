@@ -1,0 +1,51 @@
+package lbtree
+
+import (
+	"sync"
+	"testing"
+
+	"cclbtree/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, Factory(), indextest.Options{})
+}
+
+func TestSingleFlushInHeaderLine(t *testing.T) {
+	pool := indextest.Pool()
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.NewHandle(0)
+	pool.ResetStats()
+	_ = h.Upsert(100, 1) // lands in slot 0: header cacheline
+	s := pool.Stats()
+	if got := s.XPBufWriteBytes; got != 64 {
+		t.Fatalf("header-line insert flushed %d bytes, want 64", got)
+	}
+}
+
+func TestHTMAbortsUnderContention(t *testing.T) {
+	pool := indextest.Pool()
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All workers hammer one key: every transaction conflicts.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := tr.NewHandle(g % 2)
+			for i := 0; i < 2000; i++ {
+				_ = h.Upsert(42, uint64(i+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Aborts() == 0 {
+		t.Fatal("no HTM aborts recorded under full contention")
+	}
+}

@@ -1,0 +1,79 @@
+package lsm
+
+import (
+	"testing"
+
+	"cclbtree/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, Factory(), indextest.Options{Light: true})
+}
+
+func TestCompactionWriteAmplification(t *testing.T) {
+	pool := indextest.Pool()
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.NewHandle(0)
+	rng := uint64(2463534242)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng%(1<<22) + 1
+	}
+	for i := 0; i < 30000; i++ {
+		_ = h.Upsert(next(), 7)
+	}
+	pool.ResetStats()
+	const n = 30000
+	for i := 0; i < n; i++ {
+		_ = h.Upsert(next(), 9)
+	}
+	pool.AddUserBytes(n * 16)
+	pool.DrainXPBuffers()
+	if amp := pool.Stats().XBIAmplification(); amp < 3 {
+		t.Fatalf("LSM XBI = %.1f; compaction should amplify heavily", amp)
+	}
+}
+
+func TestTombstonesDropAtBottomLevel(t *testing.T) {
+	pool := indextest.Pool()
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.NewHandle(0)
+	const n = 30000
+	for i := uint64(1); i <= n; i++ {
+		_ = h.Upsert(i, i)
+	}
+	for i := uint64(1); i <= n; i++ {
+		_ = h.Delete(i)
+	}
+	// Keep inserting fresh keys to force compactions through the
+	// bottom level.
+	for i := uint64(n + 1); i <= 2*n; i++ {
+		_ = h.Upsert(i, i)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if _, ok := h.Lookup(i); ok {
+			t.Fatalf("deleted key %d visible", i)
+		}
+	}
+	// Bottom-level compaction must have physically dropped the
+	// tombstones that reached it: the last level holds at most the live
+	// keys (n fresh inserts), not live + n tombstones.
+	tr.mu.RLock()
+	bottom := tr.levels[len(tr.levels)-1]
+	entries := 0
+	for _, r := range bottom {
+		entries += r.count
+	}
+	tr.mu.RUnlock()
+	if entries > int(n)+int(n)/4 {
+		t.Fatalf("bottom level holds %d entries; tombstones not dropped (live %d)", entries, n)
+	}
+}

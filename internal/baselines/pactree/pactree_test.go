@@ -1,0 +1,45 @@
+package pactree
+
+import (
+	"testing"
+
+	"cclbtree/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, Factory(), indextest.Options{})
+}
+
+func TestLeavesStaySorted(t *testing.T) {
+	pool := indextest.Pool()
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.NewHandle(0).(*handle)
+	rng := uint64(31)
+	for i := 0; i < 20000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		_ = h.Upsert(rng%(1<<30)|1, 1)
+	}
+	// Walk the whole chain; every leaf must be internally sorted and
+	// ordered against its successor.
+	var img leafImg
+	img.read(h.t, tr.leafFor(h.t, 1))
+	var prev uint64
+	for {
+		for i := 0; i < img.count(); i++ {
+			if img.key(i) <= prev {
+				t.Fatalf("leaf disorder: %d after %d", img.key(i), prev)
+			}
+			prev = img.key(i)
+		}
+		next := img.next()
+		if next.IsNil() {
+			break
+		}
+		img.read(h.t, next)
+	}
+}

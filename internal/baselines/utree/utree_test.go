@@ -1,0 +1,46 @@
+package utree
+
+import (
+	"testing"
+
+	"cclbtree/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, Factory(), indextest.Options{})
+}
+
+func TestTwoRandomXPLinesPerInsert(t *testing.T) {
+	// uTree's defining cost (Fig 3): a fresh node write plus a
+	// predecessor pointer update, in two unrelated XPLines.
+	pool := indextest.Pool()
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.NewHandle(0)
+	rng := uint64(777)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng%(1<<30) | 1
+	}
+	for i := 0; i < 20000; i++ {
+		_ = h.Upsert(next(), 1)
+	}
+	pool.ResetStats()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		_ = h.Upsert(next(), 1)
+	}
+	pool.DrainXPBuffers()
+	s := pool.Stats()
+	// Every insert dirties a random predecessor XPLine (the new node
+	// itself is pool-allocated and partially combines): ≈1 XPLine of
+	// media write per 16 B op — the worst-in-class XBI of Fig 3.
+	bytesPerOp := float64(s.MediaWriteBytes) / n
+	if bytesPerOp < 180 {
+		t.Fatalf("uTree media write/op = %.0f B, expected ≈256 (random XPLine per insert)", bytesPerOp)
+	}
+}

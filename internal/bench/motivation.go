@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+
+	"cclbtree/internal/baselines/flatstore"
+	"cclbtree/internal/workload"
+)
+
+// amplificationTable measures CLI/XBI amplification and execution time
+// for every index under one access pattern (Figs 3 and 4).
+func amplificationTable(s Scale, title string, access func(thread int) workload.Access, mix workload.Mix) ([]*Table, error) {
+	t := &Table{
+		Title:  title,
+		Header: []string{"index", "CLI-amp", "XBI-amp", "time(ms)"},
+		Note:   fmt.Sprintf("%d warm keys, %d measured upserts, %d threads", s.Warm, s.Ops, s.MainThreads),
+	}
+	factories := append(Indexes(), flatstore.Factory())
+	for _, f := range factories {
+		r, err := runOne(f, Spec{
+			Threads: s.MainThreads,
+			Warm:    s.Warm,
+			Ops:     s.Ops,
+			Mix:     mix,
+			Access:  access,
+			Seed:    s.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			f2(r.Res.CLIAmp()),
+			f2(r.Res.XBIAmp()),
+			f2(float64(r.Res.ElapsedNS) / 1e6),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// Fig3 is the uniform-distribution amplification comparison of §2.3.
+func Fig3(s Scale) ([]*Table, error) {
+	s = s.withDefaults()
+	return amplificationTable(s,
+		"Fig 3: write amplification and execution time, uniform distribution",
+		nil, // uniform access
+		workload.Mix{Insert: 0.5, Update: 0.5})
+}
+
+// Fig4 is the Zipfian (0.9) variant.
+func Fig4(s Scale) ([]*Table, error) {
+	s = s.withDefaults()
+	z := workload.NewZipf(uint64(s.Warm), 0.9)
+	return amplificationTable(s,
+		"Fig 4: write amplification and execution time, Zipfian 0.9",
+		func(int) workload.Access { return z },
+		workload.Mix{Update: 1})
+}
+
+// Fig5 sweeps the range-query size (50–400) at the main thread count,
+// including FlatStore, whose chronological layout collapses here.
+func Fig5(s Scale) ([]*Table, error) {
+	s = s.withDefaults()
+	sizes := []int{50, 100, 200, 400}
+	t := &Table{
+		Title:  "Fig 5: range query throughput (Mop/s) vs scan size",
+		Header: []string{"index", "50", "100", "200", "400"},
+		Note:   fmt.Sprintf("%d keys, %d threads", s.Warm, s.MainThreads),
+	}
+	factories := append(Indexes(), flatstore.Factory())
+	for _, f := range factories {
+		row := []string{""}
+		for _, sz := range sizes {
+			r, err := runOne(f, Spec{
+				Threads: s.MainThreads,
+				Warm:    s.Warm,
+				Ops:     s.Ops / 10,
+				Mix:     workload.Mix{Scan: 1, ScanLen: sz},
+				Seed:    s.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row[0] = r.Name
+			row = append(row, f2(r.Res.Mops()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}, nil
+}

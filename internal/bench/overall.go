@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+
+	"cclbtree/internal/index"
+	"cclbtree/internal/workload"
+)
+
+// sweepTable runs one mix across the thread sweep for a lineup,
+// producing an index × threads throughput table.
+func sweepTable(s Scale, title string, factories []index.Factory, mix workload.Mix, access func(int) workload.Access) (*Table, error) {
+	t := &Table{Title: title, Header: []string{"index"}}
+	for _, th := range s.Threads {
+		t.Header = append(t.Header, fmt.Sprintf("%dthr", th))
+	}
+	t.Note = fmt.Sprintf("Mop/s; %d warm keys, %d ops per point", s.Warm, s.Ops)
+	for _, f := range factories {
+		row := []string{""}
+		for _, th := range s.Threads {
+			r, err := runOne(f, Spec{
+				Threads: th,
+				Warm:    s.Warm,
+				Ops:     s.Ops,
+				Mix:     mix,
+				Access:  access,
+				Seed:    s.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row[0] = r.Name
+			row = append(row, f2(r.Res.Mops()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig10 is the §5.2 micro-benchmark: insert, update, delete, search,
+// and scan throughput versus thread count for every persistent index.
+// PACTree is omitted from the delete panel, as in the paper ("we cannot
+// run this function correctly" — here, to mirror the figure).
+func Fig10(s Scale) ([]*Table, error) {
+	s = s.withDefaults()
+	var out []*Table
+	type panel struct {
+		name   string
+		mix    workload.Mix
+		lineup []index.Factory
+	}
+	noPactree := make([]index.Factory, 0, len(Indexes()))
+	for i, f := range Indexes() {
+		if i != 5 { // pactree position in Indexes()
+			noPactree = append(noPactree, f)
+		}
+	}
+	panels := []panel{
+		{"(a) Insert", workload.Mix{Insert: 1}, Indexes()},
+		{"(b) Update", workload.Mix{Update: 1}, Indexes()},
+		{"(c) Delete", workload.Mix{Delete: 1}, noPactree},
+		{"(d) Search", workload.Mix{Read: 1}, Indexes()},
+		{"(e) Scan", workload.Mix{Scan: 1, ScanLen: s.ScanLen}, Indexes()},
+	}
+	for _, p := range panels {
+		mix := p.mix
+		tab, err := sweepTable(s, "Fig 10"+p.name+" throughput vs threads", p.lineup, mix, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tab)
+	}
+	return out, nil
+}
+
+// Fig11 is the YCSB comparison: the five §5.2 mixes versus threads.
+func Fig11(s Scale) ([]*Table, error) {
+	s = s.withDefaults()
+	var out []*Table
+	mixes := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"(a) Insert-Only", workload.MixInsertOnly},
+		{"(b) Insert-Intensive", workload.MixInsertIntensive},
+		{"(c) Read-Intensive", workload.MixReadIntensive},
+		{"(d) Read-Only", workload.MixReadOnly},
+		{"(e) Scan-Insert", workload.MixScanInsert},
+	}
+	for _, m := range mixes {
+		mix := m.mix
+		if mix.ScanLen == 0 {
+			mix.ScanLen = s.ScanLen
+		}
+		tab, err := sweepTable(s, "Fig 11"+m.name+" (YCSB) throughput vs threads", Indexes(), mix, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tab)
+	}
+	return out, nil
+}
+
+// Fig12 reports the latency distribution of inserts and searches at the
+// main thread count. DPTree's global-buffer merges surface here as the
+// enormous insert tail the paper calls out (§5.2).
+func Fig12(s Scale) ([]*Table, error) {
+	s = s.withDefaults()
+	pcts := []float64{0, 20, 40, 60, 80, 90, 99, 99.9, 100}
+	hdr := []string{"index"}
+	for _, p := range pcts {
+		switch p {
+		case 0:
+			hdr = append(hdr, "min")
+		case 100:
+			hdr = append(hdr, "max")
+		default:
+			hdr = append(hdr, fmt.Sprintf("p%g", p))
+		}
+	}
+	var out []*Table
+	for _, panel := range []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"(a) Insert", workload.Mix{Insert: 1}},
+		{"(b) Search", workload.Mix{Read: 1}},
+	} {
+		t := &Table{
+			Title:  "Fig 12" + panel.name + " latency percentiles (µs)",
+			Header: hdr,
+			Note:   fmt.Sprintf("%d threads; the paper notes DPTree's beyond-p99.9 inserts reach 300–400 ms (its buffer merge), visible here in the max column", s.MainThreads),
+		}
+		for _, f := range Indexes() {
+			r, err := runOne(f, Spec{
+				Threads: s.MainThreads,
+				Warm:    s.Warm,
+				Ops:     s.Ops,
+				Mix:     panel.mix,
+				Latency: true,
+				Seed:    s.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := []string{r.Name}
+			for _, p := range pcts {
+				row = append(row, f2(float64(r.Res.Pct(p))/1e3))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

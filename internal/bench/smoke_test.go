@@ -1,0 +1,27 @@
+package bench
+
+import "testing"
+
+func smokeScale() Scale {
+	return Scale{Warm: 5000, Ops: 5000, Threads: []int{2, 8}, MainThreads: 8, ScanLen: 20, Seed: 1}
+}
+
+func TestSmokeAllExperiments(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			tabs, err := e.Run(smokeScale())
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if len(tabs) == 0 {
+				t.Fatalf("%s produced no tables", e.Name)
+			}
+			for _, tb := range tabs {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s: empty table %q", e.Name, tb.Title)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"cclbtree/internal/pmem"
+)
+
+// innerTree is the DRAM directory from routing keys (leaf low keys) to
+// buffer nodes — the paper's inner-node layer (§4.1 follows FAST&FAIR's
+// inner nodes; here a comparator-based B+-tree so the same structure
+// routes fixed 8 B keys and variable-size indirection keys).
+//
+// Concurrency follows the paper's protocol shape: searches are shared,
+// structural modifications (separator insert on split, removal on
+// merge) are exclusive, and any conflict detected below this layer
+// retries from here.
+type innerTree struct {
+	mu   sync.RWMutex
+	cmp  func(t *pmem.Thread, a, b uint64) int
+	root *innerNode
+	size int
+}
+
+const innerFanout = 32
+
+type innerNode struct {
+	keys []uint64
+	kids []*innerNode
+	vals []*bufferNode
+	next *innerNode
+	prev *innerNode
+}
+
+func (n *innerNode) leaf() bool { return n.kids == nil }
+
+func newInnerTree(cmp func(t *pmem.Thread, a, b uint64) int) *innerTree {
+	return &innerTree{cmp: cmp}
+}
+
+// search returns the index of the first key ≥ k under the comparator.
+func (tr *innerTree) search(t *pmem.Thread, keys []uint64, k uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return tr.cmp(t, keys[i], k) >= 0 })
+}
+
+// findLE returns the buffer node with the greatest routing key ≤ key.
+// Charges DRAM traversal cost to t.
+func (tr *innerTree) findLE(t *pmem.Thread, key uint64) *bufferNode {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	n := tr.root
+	if n == nil {
+		return nil
+	}
+	depth := int64(1)
+	for !n.leaf() {
+		i := tr.search(t, n.keys, key)
+		if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
+			i++
+		}
+		n = n.kids[i]
+		depth++
+	}
+	t.Advance(depth * 8 * t.CostDRAM())
+	i := tr.search(t, n.keys, key)
+	if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
+		return n.vals[i]
+	}
+	if i > 0 {
+		return n.vals[i-1]
+	}
+	// Separator keys in ancestors can go stale after merges remove
+	// routing entries, so the descent may land one leaf too far right;
+	// the predecessor then lives in an earlier (possibly emptied) leaf.
+	for p := n.prev; p != nil; p = p.prev {
+		if len(p.keys) > 0 {
+			return p.vals[len(p.keys)-1]
+		}
+	}
+	// Key sorts below every routing key; the caller uses the head.
+	return nil
+}
+
+// put inserts a routing entry (split publication).
+func (tr *innerTree) put(t *pmem.Thread, key uint64, v *bufferNode) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.root == nil {
+		tr.root = &innerNode{keys: []uint64{key}, vals: []*bufferNode{v}}
+		tr.size = 1
+		return
+	}
+	nk, nn := tr.insert(t, tr.root, key, v)
+	if nn != nil {
+		tr.root = &innerNode{keys: []uint64{nk}, kids: []*innerNode{tr.root, nn}}
+	}
+}
+
+func (tr *innerTree) insert(t *pmem.Thread, n *innerNode, key uint64, v *bufferNode) (uint64, *innerNode) {
+	if n.leaf() {
+		i := tr.search(t, n.keys, key)
+		if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
+			n.vals[i] = v
+			return 0, nil
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = v
+		tr.size++
+		if len(n.keys) <= innerFanout {
+			return 0, nil
+		}
+		mid := len(n.keys) / 2
+		right := &innerNode{
+			keys: append([]uint64(nil), n.keys[mid:]...),
+			vals: append([]*bufferNode(nil), n.vals[mid:]...),
+			next: n.next,
+			prev: n,
+		}
+		if right.next != nil {
+			right.next.prev = right
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = right
+		return right.keys[0], right
+	}
+	i := tr.search(t, n.keys, key)
+	if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
+		i++
+	}
+	sk, sn := tr.insert(t, n.kids[i], key, v)
+	if sn == nil {
+		return 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sk
+	n.kids = append(n.kids, nil)
+	copy(n.kids[i+2:], n.kids[i+1:])
+	n.kids[i+1] = sn
+	if len(n.kids) <= innerFanout {
+		return 0, nil
+	}
+	mid := len(n.keys) / 2
+	up := n.keys[mid]
+	right := &innerNode{
+		keys: append([]uint64(nil), n.keys[mid+1:]...),
+		kids: append([]*innerNode(nil), n.kids[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.kids = n.kids[:mid+1]
+	return up, right
+}
+
+// remove deletes a routing entry (merge publication).
+func (tr *innerTree) remove(t *pmem.Thread, key uint64) bool {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := tr.root
+	if n == nil {
+		return false
+	}
+	for !n.leaf() {
+		i := tr.search(t, n.keys, key)
+		if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
+			i++
+		}
+		n = n.kids[i]
+	}
+	i := tr.search(t, n.keys, key)
+	if i >= len(n.keys) || tr.cmp(t, n.keys[i], key) != 0 {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	tr.size--
+	return true
+}
+
+// entries reports the routing-entry count (for memory accounting).
+func (tr *innerTree) entries() int {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	return tr.size
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cclbtree/internal/pmem"
+)
+
+func fixedCmp(_ *pmem.Thread, a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func innerThread() *pmem.Thread {
+	return pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 1 << 20}).NewThread(0)
+}
+
+func TestInnerTreePutFindLE(t *testing.T) {
+	tr := newInnerTree(fixedCmp)
+	th := innerThread()
+	nodes := map[uint64]*bufferNode{}
+	for _, k := range []uint64{0, 100, 200, 300} {
+		n := newBufferNode(pmem.MakeAddr(0, 4096+k), k, 2)
+		nodes[k] = n
+		tr.put(th, k, n)
+	}
+	cases := map[uint64]uint64{0: 0, 50: 0, 100: 100, 150: 100, 299: 200, 300: 300, 1 << 40: 300}
+	for q, want := range cases {
+		got := tr.findLE(th, q)
+		if got != nodes[want] {
+			t.Fatalf("findLE(%d) routed to %v, want lowKey %d", q, got, want)
+		}
+	}
+	if tr.entries() != 4 {
+		t.Fatalf("entries = %d", tr.entries())
+	}
+}
+
+func TestInnerTreeRemove(t *testing.T) {
+	tr := newInnerTree(fixedCmp)
+	th := innerThread()
+	for k := uint64(0); k < 500; k += 10 {
+		tr.put(th, k, newBufferNode(pmem.MakeAddr(0, 4096+k*256), k, 2))
+	}
+	if !tr.remove(th, 250) {
+		t.Fatal("remove failed")
+	}
+	if tr.remove(th, 250) {
+		t.Fatal("double remove succeeded")
+	}
+	// Keys routed at 250..259 now fall to 240.
+	got := tr.findLE(th, 255)
+	if got == nil || got.lowKey != 240 {
+		t.Fatalf("findLE(255) after remove: %+v", got)
+	}
+}
+
+func TestInnerTreeStaleSeparatorRouting(t *testing.T) {
+	// The regression behind the first recovery bug: removing an entry
+	// whose key is also an ancestor separator must still route keys
+	// below the removed entry to the true predecessor, even across
+	// inner-leaf boundaries.
+	tr := newInnerTree(fixedCmp)
+	th := innerThread()
+	const n = 2000
+	for k := uint64(1); k <= n; k++ {
+		tr.put(th, k*10, newBufferNode(pmem.MakeAddr(0, 4096+k*256), k*10, 2))
+	}
+	rng := rand.New(rand.NewSource(4))
+	removed := map[uint64]bool{}
+	for i := 0; i < n/2; i++ {
+		k := (uint64(rng.Intn(n-1)) + 2) * 10 // keep the smallest entry
+		if !removed[k] {
+			tr.remove(th, k)
+			removed[k] = true
+		}
+	}
+	var live []uint64
+	for k := uint64(1); k <= n; k++ {
+		if !removed[k*10] {
+			live = append(live, k*10)
+		}
+	}
+	for trial := 0; trial < 3000; trial++ {
+		q := uint64(rng.Intn(n*10)) + 10
+		i := sort.Search(len(live), func(i int) bool { return live[i] > q })
+		want := live[i-1]
+		got := tr.findLE(th, q)
+		if got == nil || got.lowKey != want {
+			t.Fatalf("findLE(%d) = %v, want lowKey %d", q, got, want)
+		}
+	}
+}
+
+func TestChunkDirRegisterUnregister(t *testing.T) {
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 4 << 20})
+	base := pmem.MakeAddr(0, 8192)
+	d := newChunkDir(pool.NewThread(0), base, 16)
+	d.clearAll()
+	c1 := pmem.MakeAddr(0, 1<<20)
+	c2 := pmem.MakeAddr(0, 2<<20)
+	d.register(c1)
+	d.register(c2)
+	got := readChunkDir(pool.NewThread(0), base, 16)
+	if len(got) != 2 {
+		t.Fatalf("dir holds %d chunks", len(got))
+	}
+	d.unregister(c1)
+	got = readChunkDir(pool.NewThread(0), base, 16)
+	if len(got) != 1 || got[0] != c2 {
+		t.Fatalf("after unregister: %v", got)
+	}
+	// Unregistering twice is harmless.
+	d.unregister(c1)
+	// Slots are recycled.
+	for i := 0; i < 15; i++ {
+		d.register(pmem.MakeAddr(0, uint64(3+i)<<20))
+	}
+	if got := readChunkDir(pool.NewThread(0), base, 16); len(got) != 16 {
+		t.Fatalf("slot recycling broken: %d", len(got))
+	}
+}
+
+func TestChunkDirSurvivesCrash(t *testing.T) {
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 4 << 20})
+	base := pmem.MakeAddr(0, 8192)
+	d := newChunkDir(pool.NewThread(0), base, 8)
+	d.clearAll()
+	c := pmem.MakeAddr(0, 1<<20)
+	d.register(c)
+	pool.Crash()
+	got := readChunkDir(pool.NewThread(0), base, 8)
+	if len(got) != 1 || got[0] != c {
+		t.Fatalf("registration lost in crash: %v", got)
+	}
+}
+
+func TestBlobRoundtrip(t *testing.T) {
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 8 << 20})
+	th := pool.NewThread(0)
+	tr, err := New(pool, Options{VarKV: true, ChunkBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tr.NewWorker(0)
+	for _, s := range []string{"", "a", "12345678", "a longer payload spanning words"} {
+		word, err := w.blobs.write(w.t, []byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsBlobWord(word) {
+			t.Fatal("blob word untagged")
+		}
+		got := readBlob(th, word)
+		if string(got) != s {
+			t.Fatalf("blob %q roundtripped as %q", s, got)
+		}
+	}
+}
+
+func TestCompareVarOrdering(t *testing.T) {
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 8 << 20})
+	tr, err := New(pool, Options{VarKV: true, ChunkBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tr.NewWorker(0)
+	mk := func(s string) uint64 {
+		word, err := w.blobs.write(w.t, []byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return word
+	}
+	a, b, ab := mk("abc"), mk("abd"), mk("ab")
+	th := w.t
+	if tr.compareVar(th, a, b) >= 0 {
+		t.Fatal("abc < abd violated")
+	}
+	if tr.compareVar(th, ab, a) >= 0 {
+		t.Fatal("prefix ordering violated")
+	}
+	if tr.compareVar(th, a, mk("abc")) != 0 {
+		t.Fatal("equal content in distinct blobs must compare equal")
+	}
+	if tr.compareVar(th, 0, a) >= 0 || tr.compareVar(th, a, 0) <= 0 {
+		t.Fatal("0 sentinel must sort lowest")
+	}
+	if tr.compareVar(th, 0, 0) != 0 {
+		t.Fatal("sentinel self-compare")
+	}
+}
+
+func TestDecodeValueWord(t *testing.T) {
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 8 << 20})
+	th := pool.NewThread(0)
+	// Inline word decodes little-endian.
+	got := decodeValueWord(th, 0x0102030405060708)
+	if got[0] != 0x08 || got[7] != 0x01 {
+		t.Fatalf("inline decode: %v", got)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"cclbtree/internal/pmem"
+	"cclbtree/internal/wal"
+)
+
+// InspectReport summarizes the persistent state of a CCL-BTree pool —
+// what a fsck-style tool can derive from the PM image alone.
+type InspectReport struct {
+	VarKV          bool
+	ChunkBytes     int
+	Leaves         int
+	LiveEntries    int
+	FenceEntries   int
+	EmptyLeaves    int
+	ChainBrokenAt  int // -1 when ordered correctly
+	FillHistogram  [LeafSlots + 1]int
+	RegisteredLogs int
+	LogEntries     int
+	PMLeafBytes    int64
+}
+
+// Inspect reads a pool's persistent image (no recovery, no mutation)
+// and reports structural statistics plus an inter-leaf order check.
+func Inspect(pool *pmem.Pool) (*InspectReport, error) {
+	t := pool.NewThread(0)
+	sb := pmem.MakeAddr(0, sbOffset)
+	var sbw [sbWords]uint64
+	t.ReadRange(sb, sbw[:])
+	if sbw[0] != sbMagic {
+		return nil, fmt.Errorf("core: no tree in pool (magic %#x)", sbw[0])
+	}
+	rep := &InspectReport{
+		VarKV:         sbw[5]&1 != 0,
+		ChunkBytes:    int(sbw[4]),
+		ChainBrokenAt: -1,
+	}
+	chunks := readChunkDir(t, pmem.Addr(sbw[2]), int(sbw[3]))
+	rep.RegisteredLogs = len(chunks)
+	for _, c := range chunks {
+		rep.LogEntries += len(wal.ReadEntriesInChunks(t, []pmem.Addr{c}, rep.ChunkBytes))
+	}
+
+	cur := pmem.Addr(sbw[1])
+	var prevMax uint64
+	havePrev := false
+	idx := 0
+	for !cur.IsNil() {
+		var img leafImage
+		readLeaf(t, cur, &img)
+		live, fences := 0, 0
+		var minK, maxK uint64
+		first := true
+		for i := 0; i < LeafSlots; i++ {
+			if !img.slotValid(i) {
+				continue
+			}
+			if img.val(i) == Tombstone {
+				fences++
+			} else {
+				live++
+			}
+			k := img.key(i)
+			if rep.VarKV {
+				continue // byte keys: order check skipped here
+			}
+			if first || k < minK {
+				minK = k
+			}
+			if k > maxK {
+				maxK = k
+			}
+			first = false
+		}
+		rep.Leaves++
+		rep.LiveEntries += live
+		rep.FenceEntries += fences
+		rep.FillHistogram[live+fences]++
+		if live+fences == 0 {
+			rep.EmptyLeaves++
+		}
+		if !rep.VarKV && !first {
+			if havePrev && minK <= prevMax && rep.ChainBrokenAt < 0 {
+				rep.ChainBrokenAt = idx
+			}
+			prevMax = maxK
+			havePrev = true
+		}
+		cur = img.next()
+		idx++
+	}
+	rep.PMLeafBytes = int64(rep.Leaves) * LeafBytes
+	return rep, nil
+}
+
+// Fprint renders the report.
+func (r *InspectReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "tree mode        : ")
+	if r.VarKV {
+		fmt.Fprintln(w, "variable-size KV (indirection keys)")
+	} else {
+		fmt.Fprintln(w, "fixed 8 B KV")
+	}
+	fmt.Fprintf(w, "leaves           : %d (%d bytes PM, %d empty)\n", r.Leaves, r.PMLeafBytes, r.EmptyLeaves)
+	fmt.Fprintf(w, "live entries     : %d\n", r.LiveEntries)
+	fmt.Fprintf(w, "fence tombstones : %d\n", r.FenceEntries)
+	if r.ChainBrokenAt >= 0 {
+		fmt.Fprintf(w, "ORDER VIOLATION  : leaf #%d overlaps its predecessor\n", r.ChainBrokenAt)
+	} else {
+		fmt.Fprintln(w, "leaf-chain order : OK")
+	}
+	fmt.Fprintf(w, "WAL chunks       : %d registered (%d bytes each), %d raw entries\n",
+		r.RegisteredLogs, r.ChunkBytes, r.LogEntries)
+	fmt.Fprintf(w, "leaf fill        :")
+	for occ, n := range r.FillHistogram {
+		if n > 0 {
+			fmt.Fprintf(w, " %d:%d", occ, n)
+		}
+	}
+	fmt.Fprintln(w)
+}

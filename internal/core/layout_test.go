@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cclbtree/internal/pmem"
+)
+
+func TestLeafMetaPacking(t *testing.T) {
+	next := pmem.MakeAddr(1, 0xabc00)
+	for _, bm := range []uint16{0, 1, 0x3fff, 0x2a2a} {
+		m := packLeafMeta(bm, next)
+		gb, gn := unpackLeafMeta(m)
+		if gb != bm || gn != next {
+			t.Fatalf("roundtrip bm=%x: got %x,%v", bm, gb, gn)
+		}
+	}
+	// Nil next must unpack to nil.
+	if _, n := unpackLeafMeta(packLeafMeta(7, pmem.NilAddr)); !n.IsNil() {
+		t.Fatal("nil next lost")
+	}
+	// Bitmap bits beyond 14 must not leak into the pointer field.
+	m := packLeafMeta(0xffff, pmem.NilAddr)
+	if bm, n := unpackLeafMeta(m); bm != bitmapMask || !n.IsNil() {
+		t.Fatalf("overflow bits leaked: %x %v", bm, n)
+	}
+}
+
+func TestLeafMetaPackingQuick(t *testing.T) {
+	f := func(bm uint16, off uint32) bool {
+		next := pmem.MakeAddr(int(off%4), uint64(off)&^(0xff)|0x100)
+		gb, gn := unpackLeafMeta(packLeafMeta(bm, next))
+		return gb == bm&bitmapMask && gn == next
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafImageAccessors(t *testing.T) {
+	var img leafImage
+	img.setKV(5, 123, 456)
+	img.setFP(5, 0x7e)
+	img.setTS(999)
+	img.setMeta(packLeafMeta(1<<5, pmem.NilAddr))
+	if img.key(5) != 123 || img.val(5) != 456 {
+		t.Fatal("kv accessors")
+	}
+	if img.fp(5) != 0x7e {
+		t.Fatal("fp accessor")
+	}
+	if img.ts() != 999 {
+		t.Fatal("ts accessor")
+	}
+	if !img.slotValid(5) || img.slotValid(4) {
+		t.Fatal("validity")
+	}
+	if img.validCount() != 1 {
+		t.Fatal("validCount")
+	}
+	if img.freeSlot() != 0 {
+		t.Fatal("freeSlot")
+	}
+	// Setting one fingerprint must not disturb neighbours.
+	img.setFP(4, 0x11)
+	img.setFP(6, 0x22)
+	if img.fp(5) != 0x7e || img.fp(4) != 0x11 || img.fp(6) != 0x22 {
+		t.Fatal("fp neighbours disturbed")
+	}
+}
+
+func TestLeafImageFPAllSlots(t *testing.T) {
+	var img leafImage
+	want := make([]byte, LeafSlots)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < LeafSlots; i++ {
+		want[i] = byte(rng.Intn(256))
+		img.setFP(i, want[i])
+	}
+	for i := 0; i < LeafSlots; i++ {
+		if img.fp(i) != want[i] {
+			t.Fatalf("fp[%d] = %x want %x", i, img.fp(i), want[i])
+		}
+	}
+}
+
+func TestHdrPacking(t *testing.T) {
+	for pos := 0; pos <= maxNbatch; pos++ {
+		for _, eb := range []uint16{0, 0xffff, 0xa5a5} {
+			for _, dead := range []bool{false, true} {
+				gp, ge, gd := unpackHdr(packHdr(pos, eb, dead))
+				if gp != pos || ge != eb || gd != dead {
+					t.Fatalf("hdr roundtrip pos=%d eb=%x dead=%v: %d %x %v", pos, eb, dead, gp, ge, gd)
+				}
+			}
+		}
+	}
+}
+
+func TestBufferNodeLock(t *testing.T) {
+	n := newBufferNode(pmem.MakeAddr(0, 4096), 10, 2)
+	v, ok := n.tryLock()
+	if !ok {
+		t.Fatal("fresh lock failed")
+	}
+	if _, ok := n.tryLock(); ok {
+		t.Fatal("double lock succeeded")
+	}
+	if _, ok := n.beginRead(); ok {
+		t.Fatal("read began under write lock")
+	}
+	n.unlock(v)
+	rv, ok := n.beginRead()
+	if !ok {
+		t.Fatal("read after unlock failed")
+	}
+	if !n.validateRead(rv) {
+		t.Fatal("unchanged version failed validation")
+	}
+	v2, _ := n.tryLock()
+	n.unlock(v2)
+	if n.validateRead(rv) {
+		t.Fatal("stale version passed validation")
+	}
+}
+
+func TestBufferNodeSlots(t *testing.T) {
+	n := newBufferNode(pmem.MakeAddr(0, 4096), 10, 4)
+	if n.nbatch() != 4 {
+		t.Fatal("nbatch")
+	}
+	n.setSlot(2, 77, 88)
+	if n.slotKey(2) != 77 || n.slotVal(2) != 88 {
+		t.Fatal("slot accessors")
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	// Fingerprints must be deterministic: the leaf stores them once
+	// and lookups recompute.
+	for k := uint64(1); k < 2000; k++ {
+		if fpHash(mix64(k)) != fpHash(mix64(k)) {
+			t.Fatal("unstable fingerprint")
+		}
+	}
+	// And reasonably distributed.
+	seen := map[byte]bool{}
+	for k := uint64(1); k < 4096; k++ {
+		seen[fpHash(mix64(k))] = true
+	}
+	if len(seen) < 200 {
+		t.Fatalf("only %d distinct fingerprints", len(seen))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o, err := Options{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Nbatch != 2 || o.THlog != 0.20 || o.ChunkBytes != 4<<20 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if o.GC != GCLocalityAware {
+		t.Fatal("default GC policy")
+	}
+	// Explicit Base request.
+	o, _ = Options{Nbatch: -1}.withDefaults()
+	if o.Nbatch != 0 {
+		t.Fatalf("Nbatch -1 should mean 0, got %d", o.Nbatch)
+	}
+	// Bound check.
+	if _, err := (Options{Nbatch: maxNbatch + 1}).withDefaults(); err == nil {
+		t.Fatal("oversized Nbatch accepted")
+	}
+}
+
+func TestGCPolicyString(t *testing.T) {
+	for _, p := range []GCPolicy{GCLocalityAware, GCNaive, GCOff} {
+		if p.String() == "unknown" {
+			t.Fatalf("policy %d unnamed", p)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+
+	"cclbtree/internal/pmem"
+)
+
+// leafSearch performs the §4.3 point lookup inside one PM leaf: read
+// the 32 B header (one cacheline), filter candidate slots by validity
+// bitmap and fingerprint, then read only matching slots.
+func (w *Worker) leafSearch(leaf pmem.Addr, key uint64) (uint64, bool) {
+	tr := w.tree
+	prev := w.t.SetTag(pmem.TagLeaf)
+	defer w.t.SetTag(prev)
+
+	var hdr [leafHeaderLen]uint64
+	w.t.ReadRange(leaf, hdr[:])
+	bitmap, _ := unpackLeafMeta(hdr[leafMetaWord])
+	target := tr.keyFingerprint(w.t, key)
+	for i := 0; i < LeafSlots; i++ {
+		if bitmap&(1<<uint(i)) == 0 {
+			continue
+		}
+		if byte(hdr[leafFPWord+i/8]>>(8*uint(i%8))) != target {
+			continue
+		}
+		k := w.t.Load(leaf.Add(int64(8 * (leafSlotBase + 2*i))))
+		if tr.compare(w.t, k, key) != 0 {
+			continue
+		}
+		v := w.t.Load(leaf.Add(int64(8 * (leafSlotBase + 2*i + 1))))
+		return v, true
+	}
+	return 0, false
+}
+
+// findLeafSlot locates key among the slots set in bitmap, using the
+// fingerprint array of img to avoid comparisons.
+func (w *Worker) findLeafSlot(img *leafImage, bitmap uint16, key uint64) int {
+	target := w.tree.keyFingerprint(w.t, key)
+	for i := 0; i < LeafSlots; i++ {
+		if bitmap&(1<<uint(i)) == 0 || img.fp(i) != target {
+			continue
+		}
+		if w.tree.compare(w.t, img.key(i), key) == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// leafBatchInsert applies batch (in order — later entries supersede
+// earlier ones) to n's leaf with the §4.2 three-step protocol:
+//
+//  1. write new/updated KVs into slots, unsorted;
+//  2. persist the modified data cachelines, one sfence;
+//  3. update fingerprints, timestamp and bitmap(+next) and persist the
+//     32 B metadata region with a single flush.
+//
+// New keys only occupy slots that were free under the pre-batch bitmap,
+// so nothing becomes visible before step 3's atomic meta publish.
+// Returns the leaf's valid-slot count afterwards. Splits when the batch
+// does not fit (unless the caller pins next, in which case capacity was
+// pre-checked).
+func (w *Worker) leafBatchInsert(n *bufferNode, batch []KV) (int, error) {
+	return w.leafBatchInsertNext(n, batch, pmem.NilAddr, false)
+}
+
+func (w *Worker) leafBatchInsertNext(n *bufferNode, batch []KV, newNext pmem.Addr, overrideNext bool) (int, error) {
+	tr := w.tree
+	var img leafImage
+	prevTag := w.t.SetTag(pmem.TagLeaf)
+	defer w.t.SetTag(prevTag)
+	readLeaf(w.t, n.leaf, &img)
+
+	orig := img.bitmap()
+	cur := orig
+	var assigned uint16 // slots given to new keys in this batch
+	dirtyLo, dirtyHi := leafWords, -1
+	markDirty := func(word int) {
+		if word < dirtyLo {
+			dirtyLo = word
+		}
+		if word > dirtyHi {
+			dirtyHi = word
+		}
+	}
+
+	for _, kv := range batch {
+		slot := w.findLeafSlot(&img, cur, kv.Key)
+		if slot >= 0 {
+			// In-place 8 B value update: failure-atomic, and the WAL
+			// entry (or the batch's meta publish) makes the new value
+			// win at recovery either way. Tombstones write value 0 but
+			// KEEP the slot valid: the dead key stays physically
+			// present as a fence, so the leaf's minimum key — which
+			// recovery uses to rebuild routing — can never drift above
+			// the leaf's true low key. Fences are compacted away by
+			// splits and merges, whose timestamp bump makes dropping
+			// them safe against any older WAL entry.
+			img.setKV(slot, img.key(slot), kv.Value)
+			markDirty(leafSlotBase + 2*slot + 1)
+			continue
+		}
+		if kv.Value == Tombstone {
+			continue // deleting an absent key
+		}
+		// New key: needs a slot free under the ORIGINAL bitmap.
+		freeMask := ^uint32(orig) & ^uint32(assigned) & bitmapMask
+		if freeMask == 0 {
+			if overrideNext {
+				return 0, fmt.Errorf("core: merge batch overflowed leaf (capacity pre-check bug)")
+			}
+			return w.splitLeaf(n, &img, batch)
+		}
+		slot = bits.TrailingZeros32(freeMask)
+		img.setKV(slot, kv.Key, kv.Value)
+		img.setFP(slot, tr.keyFingerprint(w.t, kv.Key))
+		assigned |= 1 << uint(slot)
+		cur |= 1 << uint(slot)
+		markDirty(leafSlotBase + 2*slot)
+		markDirty(leafSlotBase + 2*slot + 1)
+	}
+
+	// Step 1+2: data region.
+	if dirtyHi >= 0 {
+		for wd := dirtyLo; wd <= dirtyHi; wd++ {
+			w.t.Store(n.leaf.Add(int64(8*wd)), img.words[wd])
+		}
+		w.t.Flush(n.leaf.Add(int64(8*dirtyLo)), 8*(dirtyHi-dirtyLo+1))
+		w.t.Fence()
+	}
+	// Step 3: metadata region (fingerprints + timestamp + bitmap/next),
+	// single cacheline, atomic publish through the meta word.
+	next := img.next()
+	if overrideNext {
+		next = newNext
+	}
+	img.setTS(tr.clock.Now(w.socket))
+	img.setMeta(packLeafMeta(cur, next))
+	for wd := 0; wd < leafHeaderLen; wd++ {
+		w.t.Store(n.leaf.Add(int64(8*wd)), img.words[wd])
+	}
+	w.t.Persist(n.leaf, leafHeaderLen*pmem.WordSize)
+	// Report live (non-fence) occupancy for the merge heuristic.
+	live := 0
+	for i := 0; i < LeafSlots; i++ {
+		if cur&(1<<uint(i)) != 0 && img.val(i) != Tombstone {
+			live++
+		}
+	}
+	return live, nil
+}
+
+// splitLeaf is the §4.2 logless split. img is the current image of n's
+// leaf and batch the in-flight insertions. The new right sibling is
+// written and persisted in full before the single atomic meta write
+// that both shrinks the old leaf's bitmap and links the new leaf.
+func (w *Worker) splitLeaf(n *bufferNode, img *leafImage, batch []KV) (int, error) {
+	tr := w.tree
+
+	live := make([]KV, 0, LeafSlots)
+	type slotRef struct {
+		kv   KV
+		slot int
+	}
+	refs := make([]slotRef, 0, LeafSlots)
+	for i := 0; i < LeafSlots; i++ {
+		if img.slotValid(i) {
+			refs = append(refs, slotRef{KV{img.key(i), img.val(i)}, i})
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		return tr.compare(w.t, refs[i].kv.Key, refs[j].kv.Key) < 0
+	})
+	for _, r := range refs {
+		live = append(live, r.kv)
+	}
+	if len(live) < 2 {
+		return 0, fmt.Errorf("core: split of leaf with %d live keys (batch %d exceeds capacity)", len(live), len(batch))
+	}
+	mid := len(live) / 2
+	splitKey := live[mid].Key
+
+	var batchLeft, batchRight []KV
+	for _, kv := range batch {
+		if tr.compare(w.t, kv.Key, splitKey) >= 0 {
+			batchRight = append(batchRight, kv)
+		} else {
+			batchLeft = append(batchLeft, kv)
+		}
+	}
+
+	// Build the right leaf in DRAM: moved half first, then the batch's
+	// right side applied in order (upsert/tombstone-fence semantics).
+	var rimg leafImage
+	var rbm uint16
+	place := func(kv KV, anchor bool) error {
+		for i := 0; i < LeafSlots; i++ {
+			if rbm&(1<<uint(i)) != 0 && tr.compare(w.t, rimg.key(i), kv.Key) == 0 {
+				rimg.setKV(i, rimg.key(i), kv.Value)
+				return nil
+			}
+		}
+		if kv.Value == Tombstone && !anchor {
+			// Fence compaction: the split's fresh timestamps gate any
+			// older WAL entry for this key, so dropping the fence is
+			// safe. Only the new leaf's minimum (its routing anchor)
+			// must stay physically present.
+			return nil
+		}
+		free := ^uint32(rbm) & bitmapMask
+		if free == 0 {
+			return fmt.Errorf("core: right split leaf overflow")
+		}
+		i := bits.TrailingZeros32(free)
+		rimg.setKV(i, kv.Key, kv.Value)
+		rimg.setFP(i, tr.keyFingerprint(w.t, kv.Key))
+		rbm |= 1 << uint(i)
+		return nil
+	}
+	for i, kv := range live[mid:] {
+		if err := place(kv, i == 0); err != nil {
+			return 0, err
+		}
+	}
+	for _, kv := range batchRight {
+		if err := place(kv, false); err != nil {
+			return 0, err
+		}
+	}
+	rimg.setTS(tr.clock.Now(w.socket))
+	rimg.setMeta(packLeafMeta(rbm, img.next()))
+
+	newLeaf, err := tr.newLeaf(w.t, w.socket)
+	if err != nil {
+		return 0, err
+	}
+	// Persist the entire new leaf, then publish it with one atomic
+	// meta write on the old leaf (bitmap shrinks + next repointed in
+	// the same word). A crash in between leaves the new leaf
+	// unreachable and the old one untouched.
+	tr.writeWholeLeaf(w.t, newLeaf, &rimg)
+
+	// The left leaf keeps its slots below splitKey, compacting fences
+	// except its own anchor (the leaf minimum, refs[0]).
+	leftBm := uint16(0)
+	for i, r := range refs[:mid] {
+		if r.kv.Value == Tombstone && i != 0 {
+			continue
+		}
+		leftBm |= 1 << uint(r.slot)
+	}
+	// Publish with the old leaf's PREVIOUS timestamp: the follow-up
+	// batchLeft insertion — which carries this node's still-buffered
+	// KVs — sets a fresh one only once its data is persistent. Bumping
+	// the timestamp here would gate those KVs' WAL entries as stale if
+	// power failed before the follow-up batch landed (found by the
+	// flush-boundary fault sweep). The retained timestamp still gates
+	// everything the leaf's last completed flush covered, so dropping
+	// fences above stays safe.
+	prevTag := w.t.SetTag(pmem.TagLeaf)
+	img.setMeta(packLeafMeta(leftBm, newLeaf))
+	w.t.Store(n.leaf.Add(8*leafMetaWord), img.meta())
+	w.t.Persist(n.leaf.Add(8*leafMetaWord), pmem.WordSize)
+	w.t.SetTag(prevTag)
+
+	// DRAM structures: new buffer node, chain links, inner routing.
+	nb := newBufferNode(newLeaf, splitKey, tr.opts.Nbatch)
+	nb.prev.Store(n)
+	nx := n.next.Load()
+	nb.next.Store(nx)
+	if nx != nil {
+		nx.prev.Store(nb)
+	}
+	n.next.Store(nb)
+	tr.inner.put(w.t, splitKey, nb)
+	tr.ctr.splits.Add(1)
+
+	// Cached slots that migrated right are out of n's range now; purge
+	// them so reads and scans cannot resurrect stale copies. (All
+	// buffered entries are part of this batch, so no unflushed state
+	// is lost — the caller resets pos.)
+	for i := 0; i < n.nbatch(); i++ {
+		if k := n.slotKey(i); k != 0 && tr.compare(w.t, k, splitKey) >= 0 {
+			n.setSlot(i, 0, 0)
+		}
+	}
+
+	if len(batchLeft) > 0 {
+		return w.leafBatchInsert(n, batchLeft)
+	}
+	return bits.OnesCount16(leftBm), nil
+}
+
+// tryMerge implements the §4.2 merge: if n's leaf fell below 50%
+// occupancy and its left sibling has room, move everything left and
+// atomically detach n (new bitmap bits + next pointer publish in the
+// left leaf's single meta word).
+func (w *Worker) tryMerge(n *bufferNode) {
+	tr := w.tree
+	for attempt := 0; attempt < 4; attempt++ {
+		left := n.prev.Load()
+		if left == nil {
+			return
+		}
+		lv, ok := left.tryLock()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if left.dead() || left.next.Load() != n {
+			left.unlock(lv)
+			continue
+		}
+		nv, ok := n.tryLock()
+		if !ok {
+			left.unlock(lv)
+			runtime.Gosched()
+			continue
+		}
+		if n.dead() {
+			n.unlock(nv)
+			left.unlock(lv)
+			return
+		}
+		merged := w.mergeLocked(left, n)
+		n.unlock(nv)
+		left.unlock(lv)
+		if merged {
+			tr.ctr.merges.Add(1)
+		}
+		return
+	}
+}
+
+// mergeLocked does the move with both locks held.
+func (w *Worker) mergeLocked(left, n *bufferNode) bool {
+	tr := w.tree
+	var limg, nimg leafImage
+	prevTag := w.t.SetTag(pmem.TagLeaf)
+	readLeaf(w.t, left.leaf, &limg)
+	readLeaf(w.t, n.leaf, &nimg)
+	w.t.SetTag(prevTag)
+
+	lpos, leb, _ := unpackHdr(left.hdr.Load())
+	npos, _, _ := unpackHdr(n.hdr.Load())
+
+	// Re-check underutilization under the lock, counting only live
+	// (non-fence) entries.
+	nLive := 0
+	for i := 0; i < LeafSlots; i++ {
+		if nimg.slotValid(i) && nimg.val(i) != Tombstone {
+			nLive++
+		}
+	}
+	if nLive+npos >= LeafSlots/2 {
+		return false
+	}
+
+	// The batch: left's own unflushed KVs must flush too, because the
+	// merge bumps the left leaf's timestamp past their WAL entries;
+	// then n's leaf content (fences dropped — the timestamp bump gates
+	// any older WAL entry for them), then n's unflushed KVs (newest
+	// last).
+	batch := make([]KV, 0, lpos+LeafSlots+npos)
+	for i := 0; i < lpos; i++ {
+		batch = append(batch, KV{left.slotKey(i), left.slotVal(i)})
+	}
+	for i := 0; i < LeafSlots; i++ {
+		if nimg.slotValid(i) && nimg.val(i) != Tombstone {
+			batch = append(batch, KV{nimg.key(i), nimg.val(i)})
+		}
+	}
+	for i := 0; i < npos; i++ {
+		batch = append(batch, KV{n.slotKey(i), n.slotVal(i)})
+	}
+
+	// Conservative capacity check: every batch entry may need a fresh
+	// slot ("left sibling has enough space", §4.2).
+	if limg.validCount()+len(batch) > LeafSlots {
+		return false
+	}
+
+	if _, err := w.leafBatchInsertNext(left, batch, nimg.next(), true); err != nil {
+		return false
+	}
+	left.hdr.Store(packHdr(0, leb, false))
+
+	// Detach n from the DRAM chain and directory, free its leaf.
+	n.hdr.Store(packHdr(0, 0, true))
+	nx := n.next.Load()
+	left.next.Store(nx)
+	if nx != nil {
+		nx.prev.Store(left)
+	}
+	tr.inner.remove(w.t, n.lowKey)
+	tr.alloc.Free(n.leaf, LeafBytes)
+	tr.leafCount.Add(-1)
+	return true
+}

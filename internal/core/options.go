@@ -1,0 +1,113 @@
+// Package core implements CCL-BTree (EuroSys '24): a crash-consistent,
+// locality-aware B+-tree for persistent memory built from three
+// techniques — leaf-node-centric buffering (§3.2), write-conservative
+// logging (§3.3), and locality-aware garbage collection (§3.4) — on top
+// of this repository's PM device model.
+//
+// Layout (Fig 6): inner nodes and per-leaf buffer nodes live in DRAM;
+// 256 B leaf nodes (one XPLine each) and the per-thread write-ahead logs
+// live in PM. Keys are unsorted inside a buffer node or leaf but ordered
+// between adjacent leaves, preserving range-query performance.
+package core
+
+import "fmt"
+
+// GCPolicy selects the log reclamation strategy (§3.4 / Fig 14).
+type GCPolicy int
+
+const (
+	// GCLocalityAware is the paper's design: flip the global epoch,
+	// copy still-unflushed entries from buffer nodes to I-logs in an
+	// append-only manner, then recycle the B-log chunks. Foreground
+	// threads keep running throughout.
+	GCLocalityAware GCPolicy = iota
+	// GCNaive stops the world and flushes every buffered KV to its
+	// leaf (random PM writes), the strawman the paper measures a 37.5%
+	// throughput dip against.
+	GCNaive
+	// GCOff never reclaims (the "w/o GC" baseline of Fig 14).
+	GCOff
+)
+
+func (p GCPolicy) String() string {
+	switch p {
+	case GCLocalityAware:
+		return "locality-aware"
+	case GCNaive:
+		return "naive"
+	case GCOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// Options configures a Tree. The zero value is usable: every field
+// defaults to the paper's setting.
+type Options struct {
+	// Nbatch is the number of KV slots per buffer node (default 2,
+	// §5.4 Table 1). Nbatch = 0 disables buffering entirely: every
+	// insert goes straight to the leaf in one flush, which is the
+	// "Base" configuration of the Fig 13 ablation (it also disables
+	// logging — with no volatile buffer there is nothing to protect).
+	Nbatch int
+	// THlog is the GC trigger threshold: reclaim when log bytes exceed
+	// THlog × leaf bytes (default 0.20, §5.4 Table 2).
+	THlog float64
+	// GC selects the reclamation policy (default locality-aware).
+	GC GCPolicy
+	// NaiveLogging logs every insertion including trigger writes — the
+	// "+BNode" ablation configuration. The default (false) is
+	// write-conservative logging ("+WLog"): trigger writes skip the
+	// log because they are immediately flushed with the batch.
+	NaiveLogging bool
+	// ChunkBytes is the WAL chunk size (default 4 MB).
+	ChunkBytes int
+	// VarKV switches keys and values to variable-size byte strings
+	// stored out-of-band and referenced through 8 B indirection
+	// pointers (§4.4 Optimization #3). Key comparisons then chase the
+	// pointers, exactly the overhead Fig 15b measures.
+	VarKV bool
+	// OrdoBoundary is the cross-socket timestamp uncertainty window in
+	// ticks (default 16).
+	OrdoBoundary uint64
+	// DirSlots is the capacity of the persistent log-chunk directory
+	// used by recovery (default 4096 chunks = 16 GB of logs at 4 MB).
+	DirSlots int
+}
+
+const (
+	defaultNbatch   = 2
+	defaultTHlog    = 0.20
+	defaultDirSlots = 4096
+	defaultOrdo     = 16
+)
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Nbatch == 0 {
+		o.Nbatch = defaultNbatch
+	}
+	if o.Nbatch < 0 {
+		o.Nbatch = 0 // explicit "Base" request
+	}
+	if o.Nbatch > maxNbatch {
+		return o, fmt.Errorf("core: Nbatch %d exceeds maximum %d", o.Nbatch, maxNbatch)
+	}
+	if o.THlog <= 0 {
+		o.THlog = defaultTHlog
+	}
+	if o.ChunkBytes == 0 {
+		o.ChunkBytes = 4 << 20
+	}
+	if o.OrdoBoundary == 0 {
+		o.OrdoBoundary = defaultOrdo
+	}
+	if o.DirSlots == 0 {
+		o.DirSlots = defaultDirSlots
+	}
+	return o, nil
+}
+
+// maxNbatch bounds the buffer node's slot count so the packed header
+// (position counter + per-slot epoch bits) fits comfortably; the paper
+// evaluates 1–5.
+const maxNbatch = 16

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickTreeEquivalence is the central property test: any random
+// operation sequence applied to the tree and to a map must yield the
+// same point and range results, across buffer configurations.
+func TestQuickTreeEquivalence(t *testing.T) {
+	f := func(seed int64, nbatchSel uint8) bool {
+		nbatch := int(nbatchSel%5) + 1
+		_, w := newTestTreeQ(t, Options{Nbatch: nbatch, ChunkBytes: 8 << 10})
+		rng := rand.New(rand.NewSource(seed))
+		ref := map[uint64]uint64{}
+		const space = 400
+		for op := 0; op < 3000; op++ {
+			k := uint64(rng.Intn(space) + 1)
+			switch rng.Intn(6) {
+			case 0:
+				_ = w.Delete(k)
+				delete(ref, k)
+			case 1:
+				v, ok := w.Lookup(k)
+				wv, wok := ref[k]
+				if ok != wok || (ok && v != wv) {
+					return false
+				}
+			default:
+				v := rng.Uint64()&MaxValue | 1
+				_ = w.Upsert(k, v)
+				ref[k] = v
+			}
+		}
+		out := make([]KV, space+5)
+		n := w.Scan(1, space+5, out)
+		if n != len(ref) {
+			return false
+		}
+		var prev uint64
+		for i := 0; i < n; i++ {
+			if out[i].Key <= prev || ref[out[i].Key] != out[i].Value {
+				return false
+			}
+			prev = out[i].Key
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCrashRecoveryEquivalence extends the property across a power
+// failure: the recovered tree must exactly match the model of the
+// completed operations.
+func TestQuickCrashRecoveryEquivalence(t *testing.T) {
+	f := func(seed int64, threadsSel uint8) bool {
+		tr, w := newTestTreeQ(t, Options{ChunkBytes: 8 << 10})
+		rng := rand.New(rand.NewSource(seed))
+		ref := map[uint64]uint64{}
+		const space = 300
+		nOps := 200 + rng.Intn(2500)
+		for op := 0; op < nOps; op++ {
+			k := uint64(rng.Intn(space) + 1)
+			if rng.Intn(5) == 0 {
+				_ = w.Delete(k)
+				delete(ref, k)
+			} else {
+				v := rng.Uint64()&MaxValue | 1
+				_ = w.Upsert(k, v)
+				ref[k] = v
+			}
+		}
+		tr.Freeze()
+		tr.Pool().Crash()
+		tr2, _, err := Open(tr.Pool(), Options{}, int(threadsSel%3)+1)
+		if err != nil {
+			return false
+		}
+		w2 := tr2.NewWorker(0)
+		for k := uint64(1); k <= space; k++ {
+			v, ok := w2.Lookup(k)
+			wv, wok := ref[k]
+			if ok != wok || (ok && v != wv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScanWindowInvariants checks that arbitrary scan windows are
+// sorted, in-range, duplicate-free, and complete.
+func TestQuickScanWindowInvariants(t *testing.T) {
+	_, w := newTestTreeQ(t, Options{})
+	present := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(10000) + 1)
+		_ = w.Upsert(k, k)
+		present[k] = true
+	}
+	f := func(start uint16, width uint8) bool {
+		max := int(width%64) + 1
+		out := make([]KV, max)
+		n := w.Scan(uint64(start)+1, max, out)
+		var prev uint64
+		for i := 0; i < n; i++ {
+			k := out[i].Key
+			if k < uint64(start)+1 || (i > 0 && k <= prev) || !present[k] {
+				return false
+			}
+			prev = k
+		}
+		// Completeness: if fewer than max results, there must be no
+		// present key above the last result.
+		if n < max {
+			last := uint64(start)
+			if n > 0 {
+				last = out[n-1].Key
+			}
+			for k := range present {
+				if k > last {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestTreeQ builds a tree without *testing.T plumbing (quick.Check
+// closures run concurrently with the suite).
+func newTestTreeQ(t *testing.T, opts Options) (*Tree, *Worker) {
+	t.Helper()
+	tr, err := New(newTestPool(nil), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, tr.NewWorker(0)
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cclbtree/internal/ordo"
+	"cclbtree/internal/pmalloc"
+	"cclbtree/internal/pmem"
+	"cclbtree/internal/wal"
+)
+
+// RecoveryStats describes one recovery run (Fig 17).
+type RecoveryStats struct {
+	Leaves               int64
+	ChunksScanned        int
+	EntriesSeen          int
+	EntriesReplayed      int
+	EntriesStale         int
+	EmptyLeavesReclaimed int
+	// VirtualNS is the modeled recovery time: the sequential leaf-list
+	// walk plus the slowest parallel replay worker.
+	VirtualNS int64
+}
+
+// Open recovers a CCL-BTree from a pool that holds a previously created
+// tree — after Pool.Crash, or after LoadPersistent in a new process.
+// It implements the §3.3 failure recovery: rebuild the DRAM inner and
+// buffer layers by walking the persistent leaf list, replay WAL entries
+// newer than their leaf's timestamp, and reset leaf timestamps.
+// threads sets the parallelism of the replay and reset phases.
+func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	t0 := pool.NewThread(0)
+
+	// Superblock.
+	sb := pmem.MakeAddr(0, sbOffset)
+	var sbw [sbWords]uint64
+	t0.ReadRange(sb, sbw[:])
+	if sbw[0] != sbMagic {
+		return nil, nil, fmt.Errorf("core: no tree found in pool (bad superblock magic %#x)", sbw[0])
+	}
+	headLeaf := pmem.Addr(sbw[1])
+	dirAddr := pmem.Addr(sbw[2])
+	dirSlots := int(sbw[3])
+	chunkBytes := int(sbw[4])
+	varKV := sbw[5]&1 != 0
+
+	opts.ChunkBytes = chunkBytes
+	opts.VarKV = varKV
+	opts.DirSlots = dirSlots
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	tr := &Tree{
+		pool:   pool,
+		alloc:  pmalloc.New(pool),
+		clock:  ordo.New(pool.Sockets(), opts.OrdoBoundary),
+		opts:   opts,
+		gcDone: make(chan struct{}),
+	}
+	close(tr.gcDone)
+	tr.inner = newInnerTree(tr.compare)
+	tr.walman = wal.NewManager(tr.alloc, opts.ChunkBytes)
+
+	st := &RecoveryStats{}
+	maxEnd := make([]uint64, pool.Sockets())
+	track := func(a pmem.Addr, size int64) {
+		if end := a.Offset() + uint64(size); end > maxEnd[a.Socket()] {
+			maxEnd[a.Socket()] = end
+		}
+	}
+	trackWord := func(w uint64) {
+		if IsBlobWord(w) {
+			a := blobAddr(w)
+			n := int64(t0.Load(a))
+			track(a, 8*(1+(n+7)/8))
+		}
+	}
+	track(dirAddr, int64(dirSlots*pmem.WordSize))
+
+	// Phase 1 (sequential): walk the persistent leaf list, rebuilding
+	// buffer nodes, the DRAM chain, and the inner directory. Empty
+	// non-head leaves are unlinked and reclaimed on the way.
+	chunks := readChunkDir(t0, dirAddr, dirSlots)
+	for _, c := range chunks {
+		track(c, int64(chunkBytes))
+	}
+	st.ChunksScanned = len(chunks)
+
+	prevTag := t0.SetTag(pmem.TagLeaf)
+	var nodes []*bufferNode
+	var emptyLeaves []pmem.Addr
+	var prevNode *bufferNode
+	prevLeaf := pmem.NilAddr
+	cur := headLeaf
+	for !cur.IsNil() {
+		var img leafImage
+		readLeaf(t0, cur, &img)
+		track(cur, LeafBytes)
+		next := img.next()
+		if img.bitmap() == 0 && cur != headLeaf {
+			// Unlink: predecessor's meta gets our successor, one
+			// atomic word. The leaf is reclaimed afterwards.
+			var pimg leafImage
+			readLeaf(t0, prevLeaf, &pimg)
+			pimg.setMeta(packLeafMeta(pimg.bitmap(), next))
+			t0.Store(prevLeaf.Add(8*leafMetaWord), pimg.meta())
+			t0.Persist(prevLeaf, pmem.WordSize)
+			emptyLeaves = append(emptyLeaves, cur)
+			st.EmptyLeavesReclaimed++
+			cur = next
+			continue
+		}
+		lowKey := uint64(0)
+		if cur != headLeaf {
+			first := true
+			for i := 0; i < LeafSlots; i++ {
+				if !img.slotValid(i) {
+					continue
+				}
+				trackWord(img.key(i))
+				trackWord(img.val(i))
+				if first || tr.compare(t0, img.key(i), lowKey) < 0 {
+					lowKey = img.key(i)
+					first = false
+				}
+			}
+		} else {
+			for i := 0; i < LeafSlots; i++ {
+				if img.slotValid(i) {
+					trackWord(img.key(i))
+					trackWord(img.val(i))
+				}
+			}
+		}
+		n := newBufferNode(cur, lowKey, opts.Nbatch)
+		if prevNode != nil {
+			prevNode.next.Store(n)
+			n.prev.Store(prevNode)
+		} else {
+			tr.head = n
+		}
+		tr.inner.put(t0, lowKey, n)
+		nodes = append(nodes, n)
+		tr.leafCount.Add(1)
+		prevNode = n
+		prevLeaf = cur
+		cur = next
+	}
+	t0.SetTag(prevTag)
+	st.Leaves = int64(len(nodes))
+
+	// Phase 2: scan all live chunks (parallel over chunks), dedup
+	// entries to the newest version per logical key, and decide replay
+	// vs stale by comparing with the pre-crash leaf timestamps
+	// (parallel over entries). No writes happen here, so the timestamp
+	// comparisons are stable even though later replay may split leaves.
+	scanThreads := make([]*pmem.Thread, threads)
+	for i := range scanThreads {
+		scanThreads[i] = pool.NewThread(i % pool.Sockets())
+	}
+	entryLists := make([][]wal.Entry, threads)
+	var wgScan sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wgScan.Add(1)
+		go func(i int) {
+			defer wgScan.Done()
+			for j := i; j < len(chunks); j += threads {
+				entryLists[i] = append(entryLists[i],
+					wal.ReadEntriesInChunks(scanThreads[i], []pmem.Addr{chunks[j]}, chunkBytes)...)
+			}
+		}(i)
+	}
+	wgScan.Wait()
+
+	type pending struct {
+		kv KV
+		ts uint64
+	}
+	newest := map[uint64][]pending{} // logical-key hash -> candidates
+	keyHash := func(kw uint64) uint64 {
+		if !opts.VarKV {
+			return kw
+		}
+		return hashKeyBytes(readBlob(t0, kw))
+	}
+	sameKey := func(a, b uint64) bool { return tr.compare(t0, a, b) == 0 }
+	for _, lst := range entryLists {
+		for _, e := range lst {
+			st.EntriesSeen++
+			trackWord(e.Key)
+			trackWord(e.Value)
+			h := keyHash(e.Key)
+			bucket := newest[h]
+			found := false
+			for i := range bucket {
+				if sameKey(bucket[i].kv.Key, e.Key) {
+					if e.Timestamp > bucket[i].ts {
+						bucket[i] = pending{KV{e.Key, e.Value}, e.Timestamp}
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				bucket = append(bucket, pending{KV{e.Key, e.Value}, e.Timestamp})
+			}
+			newest[h] = bucket
+		}
+	}
+	candidates := make([]pending, 0, len(newest))
+	for _, bucket := range newest {
+		candidates = append(candidates, bucket...)
+	}
+	// Route each candidate and compare with its leaf's pre-crash
+	// timestamp, in parallel (read-only).
+	replayLists := make([][]KV, threads)
+	staleCounts := make([]int, threads)
+	for i := 0; i < threads; i++ {
+		wgScan.Add(1)
+		go func(i int) {
+			defer wgScan.Done()
+			t := scanThreads[i]
+			for j := i; j < len(candidates); j += threads {
+				p := candidates[j]
+				n := tr.findBuffer(t, p.kv.Key)
+				leafTS := t.Load(n.leaf.Add(8 * leafTSWord))
+				if p.ts > leafTS {
+					replayLists[i] = append(replayLists[i], p.kv)
+				} else {
+					staleCounts[i]++
+				}
+			}
+		}(i)
+	}
+	wgScan.Wait()
+	var replay []KV
+	for i := range replayLists {
+		replay = append(replay, replayLists[i]...)
+		st.EntriesStale += staleCounts[i]
+	}
+	st.EntriesReplayed = len(replay)
+
+	// The bump pointers must clear every reachable object before any
+	// replay write allocates (splits).
+	for s := range maxEnd {
+		tr.alloc.SetBump(s, maxEnd[s])
+	}
+	for _, a := range emptyLeaves {
+		tr.alloc.Free(a, LeafBytes)
+	}
+
+	// Phase 3 (parallel): apply surviving entries directly to leaves
+	// through the normal batch-insert machinery (locking per node, so
+	// splits during replay stay correct).
+	workers := make([]*Worker, threads)
+	for i := range workers {
+		workers[i] = tr.NewWorker(i % pool.Sockets())
+	}
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			for j := i; j < len(replay); j += threads {
+				w.replayApply(replay[j])
+			}
+			// Reset timestamps (§3.3 step 3) on this worker's share.
+			for j := i; j < len(nodes); j += threads {
+				n := nodes[j]
+				for {
+					v, ok := n.tryLock()
+					if !ok {
+						runtime.Gosched()
+						continue
+					}
+					if !n.dead() {
+						pt := w.t.SetTag(pmem.TagLeaf)
+						w.t.Store(n.leaf.Add(8*leafTSWord), 0)
+						w.t.Persist(n.leaf.Add(8*leafTSWord), pmem.WordSize)
+						w.t.SetTag(pt)
+					}
+					n.unlock(v)
+					break
+				}
+			}
+		}(i, w)
+	}
+	wg.Wait()
+
+	// Logs are now redundant: every surviving entry is durable in a
+	// leaf. Rebuild the directory empty and recycle the chunk space.
+	tr.dir = newChunkDir(pool.NewThread(0), dirAddr, dirSlots)
+	tr.dir.clearAll()
+	tr.walman.OnAcquire = tr.dir.register
+	tr.walman.OnRelease = tr.dir.unregister
+	tr.walman.AdoptChunks(chunks)
+
+	var maxWorker int64
+	for _, w := range workers {
+		if w.t.Now() > maxWorker {
+			maxWorker = w.t.Now()
+		}
+	}
+	var maxScan int64
+	for _, t := range scanThreads {
+		if t.Now() > maxScan {
+			maxScan = t.Now()
+		}
+	}
+	st.VirtualNS = t0.Now() + maxScan + maxWorker
+	return tr, st, nil
+}
+
+// replayApply routes one recovered KV to its leaf and applies it with
+// the normal crash-consistent batch insert.
+func (w *Worker) replayApply(kv KV) {
+	tr := w.tree
+	for {
+		n := tr.findBuffer(w.t, kv.Key)
+		v, ok := n.tryLock()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if !w.rangeOK(n, kv.Key) {
+			n.unlock(v)
+			continue
+		}
+		_, err := w.leafBatchInsert(n, []KV{kv})
+		n.unlock(v)
+		if err != nil {
+			panic(fmt.Sprintf("core: recovery replay failed: %v", err))
+		}
+		return
+	}
+}

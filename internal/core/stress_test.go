@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRecoveryStressWithGC crashes trees mid-stream — including while
+// background GC rounds are in flight (Freeze aborts them at a node
+// boundary, a legal mid-GC crash state) — and verifies the recovered
+// tree matches the model exactly.
+func TestRecoveryStressWithGC(t *testing.T) {
+	for round := 0; round < 40; round++ {
+		pool := newTestPool(nil)
+		tr, err := New(pool, Options{ChunkBytes: 8192})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := tr.NewWorker(0)
+		rng := rand.New(rand.NewSource(int64(round)))
+		ref := map[uint64]uint64{}
+		for op := 0; op < 3000; op++ {
+			k := uint64(rng.Intn(800) + 1)
+			if rng.Intn(5) == 0 {
+				_ = w.Delete(k)
+				delete(ref, k)
+			} else {
+				v := uint64(rng.Intn(1 << 30))
+				if v == 0 {
+					v = 1
+				}
+				_ = w.Upsert(k, v)
+				ref[k] = v
+			}
+		}
+		tr.Freeze()
+		pool.Crash()
+		tr2, _, err := Open(pool, Options{}, 1+round%4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2 := tr2.NewWorker(0)
+		for k := uint64(1); k <= 800; k++ {
+			v, ok := w2.Lookup(k)
+			wv, wok := ref[k]
+			if ok != wok || (ok && v != wv) {
+				t.Fatalf("round %d key %d: got %d,%v want %d,%v", round, k, v, ok, wv, wok)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cclbtree/internal/ordo"
+	"cclbtree/internal/pmalloc"
+	"cclbtree/internal/pmem"
+	"cclbtree/internal/wal"
+)
+
+// superblock layout, at a fixed PM location so recovery can bootstrap
+// without any volatile state:
+//
+//	word 0  magic
+//	word 1  head leaf address
+//	word 2  chunk directory address
+//	word 3  chunk directory slot count
+//	word 4  WAL chunk bytes
+//	word 5  flags (bit 0: VarKV)
+const (
+	sbOffset = 256
+	sbMagic  = 0xcc1b7ee0_2024_0001
+	sbWords  = 6
+)
+
+// Tree is a CCL-BTree over a PM pool. Operations go through per-
+// goroutine Workers (NewWorker), mirroring the paper's per-thread WAL
+// design.
+type Tree struct {
+	pool   *pmem.Pool
+	alloc  *pmalloc.Allocator
+	walman *wal.Manager
+	clock  *ordo.Clock
+	opts   Options
+
+	inner *innerTree
+	head  *bufferNode
+
+	// epoch is the global GC epoch (0/1), read under buffer-node locks
+	// (§3.4).
+	epoch atomic.Uint32
+
+	workersMu sync.Mutex
+	workers   []*Worker
+
+	closed    atomic.Bool
+	gcRunning atomic.Bool
+	gcMu      sync.Mutex
+	gcDone    chan struct{} // closed when the current GC round finishes
+	gcW       *Worker
+	gcOnce    sync.Once
+	// stw is the naive-GC stop-the-world lock; ops take the read side
+	// only when the policy is GCNaive. stallVT propagates the GC
+	// thread's virtual clock to foreground threads it blocked, so the
+	// stop-the-world pause shows up in simulated time (Fig 14).
+	stw      sync.RWMutex
+	stallVT  atomic.Int64
+	stallGen atomic.Uint64
+
+	leafCount atomic.Int64
+	// logBytes tracks live appended WAL bytes (entries in unreclaimed
+	// generations); this — not chunk footprint — feeds the THlog
+	// trigger ratio, matching the paper's "log file size".
+	logBytes atomic.Int64
+	peakLog  atomic.Int64
+	ctr      counters
+
+	dir *chunkDir
+}
+
+// counters aggregates the tree's behavioral statistics.
+type counters struct {
+	upserts        atomic.Uint64
+	deletes        atomic.Uint64
+	lookups        atomic.Uint64
+	scans          atomic.Uint64
+	bufferHits     atomic.Uint64
+	triggerWrites  atomic.Uint64
+	loggedWrites   atomic.Uint64
+	skippedLogs    atomic.Uint64
+	splits         atomic.Uint64
+	merges         atomic.Uint64
+	gcRuns         atomic.Uint64
+	gcCopied       atomic.Uint64
+	gcSkippedFresh atomic.Uint64
+	retries        atomic.Uint64
+}
+
+// Counters is a snapshot of the tree's behavioral statistics.
+type Counters struct {
+	Upserts, Deletes, Lookups, Scans   uint64
+	BufferHits                         uint64 // lookups answered from buffer nodes
+	TriggerWrites                      uint64 // inserts that flushed a batch (unlogged under write-conservative logging)
+	LoggedWrites                       uint64 // WAL appends
+	SkippedLogs                        uint64 // log operations avoided by write-conservative logging
+	Splits, Merges                     uint64
+	GCRuns, GCCopiedEntries, GCSkipped uint64
+	Retries                            uint64 // optimistic/concurrency retries
+}
+
+// Counters returns a snapshot of behavioral statistics.
+func (tr *Tree) Counters() Counters {
+	return Counters{
+		Upserts:         tr.ctr.upserts.Load(),
+		Deletes:         tr.ctr.deletes.Load(),
+		Lookups:         tr.ctr.lookups.Load(),
+		Scans:           tr.ctr.scans.Load(),
+		BufferHits:      tr.ctr.bufferHits.Load(),
+		TriggerWrites:   tr.ctr.triggerWrites.Load(),
+		LoggedWrites:    tr.ctr.loggedWrites.Load(),
+		SkippedLogs:     tr.ctr.skippedLogs.Load(),
+		Splits:          tr.ctr.splits.Load(),
+		Merges:          tr.ctr.merges.Load(),
+		GCRuns:          tr.ctr.gcRuns.Load(),
+		GCCopiedEntries: tr.ctr.gcCopied.Load(),
+		GCSkipped:       tr.ctr.gcSkippedFresh.Load(),
+		Retries:         tr.ctr.retries.Load(),
+	}
+}
+
+// New creates an empty CCL-BTree on the pool.
+func New(pool *pmem.Pool, opts Options) (*Tree, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	tr := &Tree{
+		pool:   pool,
+		alloc:  pmalloc.New(pool),
+		clock:  ordo.New(pool.Sockets(), opts.OrdoBoundary),
+		opts:   opts,
+		gcDone: make(chan struct{}),
+	}
+	close(tr.gcDone)
+	tr.inner = newInnerTree(tr.compare)
+	tr.walman = wal.NewManager(tr.alloc, opts.ChunkBytes)
+
+	t := pool.NewThread(0)
+	prev := t.SetTag(pmem.TagMeta)
+	defer t.SetTag(prev)
+
+	// Persistent chunk directory.
+	dirAddr, err := tr.alloc.Alloc(0, opts.DirSlots*pmem.WordSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocate chunk directory: %w", err)
+	}
+	tr.dir = newChunkDir(pool.NewThread(0), dirAddr, opts.DirSlots)
+	tr.dir.clearAll()
+	tr.walman.OnAcquire = tr.dir.register
+	tr.walman.OnRelease = tr.dir.unregister
+
+	// Head leaf: an empty 256 B leaf anchoring the linked list.
+	headLeaf, err := tr.newLeaf(t, 0)
+	if err != nil {
+		return nil, err
+	}
+	var img leafImage
+	tr.writeWholeLeaf(t, headLeaf, &img)
+	tr.head = newBufferNode(headLeaf, 0, opts.Nbatch)
+	tr.inner.put(t, 0, tr.head)
+
+	// Superblock.
+	sb := pmem.MakeAddr(0, sbOffset)
+	var flags uint64
+	if opts.VarKV {
+		flags |= 1
+	}
+	for i, w := range []uint64{sbMagic, uint64(headLeaf), uint64(dirAddr), uint64(opts.DirSlots), uint64(opts.ChunkBytes), flags} {
+		t.Store(sb.Add(int64(8*i)), w)
+	}
+	t.Persist(sb, sbWords*pmem.WordSize)
+	return tr, nil
+}
+
+// Pool returns the PM pool the tree lives on.
+func (tr *Tree) Pool() *pmem.Pool { return tr.pool }
+
+// Allocator exposes the PM allocator for consumption accounting.
+func (tr *Tree) Allocator() *pmalloc.Allocator { return tr.alloc }
+
+// Options returns the (defaulted) options the tree runs with.
+func (tr *Tree) Options() Options { return tr.opts }
+
+// LeafCount returns the number of PM leaf nodes.
+func (tr *Tree) LeafCount() int64 { return tr.leafCount.Load() }
+
+// newLeaf allocates a zeroed 256 B leaf on socket.
+func (tr *Tree) newLeaf(t *pmem.Thread, socket int) (pmem.Addr, error) {
+	a, err := tr.alloc.Alloc(socket, LeafBytes)
+	if err != nil {
+		return pmem.NilAddr, fmt.Errorf("core: allocate leaf: %w", err)
+	}
+	tr.leafCount.Add(1)
+	return a, nil
+}
+
+// writeWholeLeaf writes and persists a complete leaf image (used for
+// fresh leaves: the head, split targets, recovery rebuilds).
+func (tr *Tree) writeWholeLeaf(t *pmem.Thread, leaf pmem.Addr, img *leafImage) {
+	prev := t.SetTag(pmem.TagLeaf)
+	t.WriteRange(leaf, img.words[:])
+	t.Persist(leaf, LeafBytes)
+	t.SetTag(prev)
+}
+
+// compare orders two key words. In fixed mode it is plain integer
+// order; in VarKV mode both words are indirection pointers and the
+// comparison chases them to the actual key bytes (§4.4), with 0 as the
+// -infinity sentinel used by the head node. The thread is charged for
+// any PM reads the chase performs.
+func (tr *Tree) compare(t *pmem.Thread, a, b uint64) int {
+	if !tr.opts.VarKV {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	return tr.compareVar(t, a, b)
+}
+
+// keyFingerprint returns the 1 B fingerprint of a key word. VarKV mode
+// hashes the key bytes so equal logical keys collide regardless of
+// which blob holds them.
+func (tr *Tree) keyFingerprint(t *pmem.Thread, keyWord uint64) byte {
+	if !tr.opts.VarKV {
+		return fpHash(mix64(keyWord))
+	}
+	return fpHash(hashKeyBytes(tr.keyBytes(t, keyWord)))
+}
+
+// memoryModelBufferNodeBytes is the paper-layout size of one buffer
+// node: the compressed 8 B header, the 8 B leaf pointer, and Nbatch
+// 16 B slots.
+func (tr *Tree) memoryModelBufferNodeBytes() int64 {
+	return int64(8 + 8 + 16*tr.opts.Nbatch)
+}
+
+// MemoryUsage reports modeled DRAM bytes (buffer nodes at their §3.2
+// layout size plus inner-node routing entries) and PM bytes in use.
+func (tr *Tree) MemoryUsage() (dramBytes, pmBytes int64) {
+	nodes := tr.leafCount.Load() // one buffer node per leaf
+	dram := nodes * tr.memoryModelBufferNodeBytes()
+	// Inner routing entry: key + pointer, plus B+-tree node overhead
+	// amortized (~1.2×).
+	dram += int64(tr.inner.entries()) * 20
+	return dram, tr.alloc.TotalInUseBytes()
+}

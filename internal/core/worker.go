@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"cclbtree/internal/pmem"
+	"cclbtree/internal/wal"
+)
+
+// KV is one key/value pair in word form. In VarKV mode both words are
+// indirection pointers.
+type KV struct {
+	Key, Value uint64
+}
+
+// Tombstone is the reserved value word marking a deletion (§4.2: "the
+// tombstone KV (i.e., value is set to zero)"). Fixed-mode callers must
+// not store it as a real value; blob pointers are never zero.
+const Tombstone uint64 = 0
+
+// conflictPenaltyNS is the modeled cost of one failed optimistic
+// attempt (version-lock conflict or range mismatch): the cacheline
+// bounce plus the retried traversal's overlap with the holder.
+const conflictPenaltyNS = 150
+
+// Worker is a per-goroutine handle to the tree. It owns the thread's
+// two WALs (the B-log/I-log pair of §3.4), its PM access thread, and
+// its blob arena. A Worker must not be used concurrently.
+type Worker struct {
+	tree   *Tree
+	t      *pmem.Thread
+	socket int
+	id     int
+	logs   [2]*wal.Log
+	blobs  blobArena
+
+	scratch  []KV   // reused per-op buffer
+	probeKey []byte // current VarKV lookup/scan probe (see probeTag)
+	seenGen  uint64 // last naive-GC stall generation absorbed
+}
+
+// syncStall lifts the worker's clock over the latest stop-the-world
+// pause, once per GC round (clocks across workers are only loosely
+// comparable; gating by generation keeps stale stalls from leaking).
+func (w *Worker) syncStall() {
+	if gen := w.tree.stallGen.Load(); gen != w.seenGen {
+		w.seenGen = gen
+		w.t.SyncClock(w.tree.stallVT.Load())
+	}
+}
+
+// NewWorker creates and registers an operation handle bound to a NUMA
+// socket (its WALs are allocated from local PM, §4.4 Optimization #1).
+func (tr *Tree) NewWorker(socket int) *Worker {
+	w := &Worker{
+		tree:   tr,
+		t:      tr.pool.NewThread(socket),
+		socket: socket,
+	}
+	w.logs[0] = wal.NewLog(tr.walman, socket)
+	w.logs[1] = wal.NewLog(tr.walman, socket)
+	w.blobs = blobArena{alloc: tr.alloc, socket: socket}
+	tr.workersMu.Lock()
+	w.id = len(tr.workers)
+	tr.workers = append(tr.workers, w)
+	tr.workersMu.Unlock()
+	return w
+}
+
+// Thread exposes the worker's PM thread (virtual clock, tagging).
+func (w *Worker) Thread() *pmem.Thread { return w.t }
+
+// findBuffer routes a key word to its owning buffer node.
+func (tr *Tree) findBuffer(t *pmem.Thread, key uint64) *bufferNode {
+	if n := tr.inner.findLE(t, key); n != nil {
+		return n
+	}
+	return tr.head
+}
+
+// rangeOK checks, under the node's lock or an optimistic read, that n
+// still owns key.
+func (w *Worker) rangeOK(n *bufferNode, key uint64) bool {
+	if n.dead() {
+		return false
+	}
+	if n.lowKey != 0 && w.tree.compare(w.t, key, n.lowKey) < 0 {
+		return false
+	}
+	if nx := n.next.Load(); nx != nil && w.tree.compare(w.t, key, nx.lowKey) >= 0 {
+		return false
+	}
+	return true
+}
+
+// MaxValue bounds direct 8 B keys and values: the top two bits tag
+// indirection pointers (blobs) and probes, so recovery can tell payload
+// from pointer unambiguously. Larger payloads go through
+// UpsertLargeValue.
+const MaxValue = 1<<62 - 1
+
+// Upsert inserts or updates a fixed 8 B key/value pair. key must be in
+// [1, MaxValue]; value must be in [1, MaxValue] (0 is the tombstone —
+// use Delete).
+func (w *Worker) Upsert(key, value uint64) error {
+	if key == 0 || key > MaxValue {
+		return fmt.Errorf("core: key %#x outside [1, MaxValue]", key)
+	}
+	if value == Tombstone {
+		return fmt.Errorf("core: value 0 is the tombstone; use Delete")
+	}
+	if value > MaxValue {
+		return fmt.Errorf("core: value %#x exceeds MaxValue; use UpsertLargeValue", value)
+	}
+	w.tree.ctr.upserts.Add(1)
+	w.tree.pool.AddUserBytes(16)
+	return w.upsertWord(key, value)
+}
+
+// Delete inserts a tombstone for key (§4.2 treats deletion as an
+// insertion so it benefits from buffering and logging identically).
+func (w *Worker) Delete(key uint64) error {
+	if key == 0 {
+		return fmt.Errorf("core: key 0 is reserved")
+	}
+	w.tree.ctr.deletes.Add(1)
+	w.tree.pool.AddUserBytes(16)
+	return w.upsertWord(key, Tombstone)
+}
+
+func (w *Worker) upsertWord(key, value uint64) error {
+	tr := w.tree
+	if tr.opts.GC == GCNaive {
+		tr.stw.RLock()
+		defer tr.stw.RUnlock()
+		w.syncStall()
+	}
+	var mergeCandidate *bufferNode
+	for {
+		attemptVT := w.t.Now()
+		n := tr.findBuffer(w.t, key)
+		v, ok := n.tryLock()
+		if !ok {
+			tr.ctr.retries.Add(1)
+			w.t.Rewind(attemptVT)
+			w.t.Advance(conflictPenaltyNS)
+			runtime.Gosched()
+			continue
+		}
+		if !w.rangeOK(n, key) {
+			n.unlock(v)
+			tr.ctr.retries.Add(1)
+			w.t.Rewind(attemptVT)
+			w.t.Advance(conflictPenaltyNS)
+			continue
+		}
+		underfull, err := w.upsertLocked(n, key, value)
+		n.unlock(v)
+		if err != nil {
+			return err
+		}
+		if underfull {
+			mergeCandidate = n
+		}
+		break
+	}
+	if mergeCandidate != nil {
+		w.tryMerge(mergeCandidate)
+	}
+	tr.maybeTriggerGC()
+	return nil
+}
+
+// upsertLocked performs the §3.2 insert flow with n's version lock
+// held. It reports whether the leaf ended a flush underfull (merge
+// candidate).
+func (w *Worker) upsertLocked(n *bufferNode, key, value uint64) (underfull bool, err error) {
+	tr := w.tree
+	pos, eb, _ := unpackHdr(n.hdr.Load())
+	epoch := uint16(tr.epoch.Load())
+
+	// In-buffer upsert: an unflushed slot already holds this key.
+	for i := 0; i < pos; i++ {
+		if sk := n.slotKey(i); sk != 0 && tr.compare(w.t, sk, key) == 0 {
+			if err := w.appendLog(key, value); err != nil {
+				return false, err
+			}
+			n.slots[2*i+1].Store(value)
+			eb = eb&^(1<<uint(i)) | epoch<<uint(i)
+			n.hdr.Store(packHdr(pos, eb, false))
+			return false, nil
+		}
+	}
+
+	if pos >= n.nbatch() {
+		// Trigger write (§3.3): the batch — every buffered KV plus the
+		// incoming one — flushes to the leaf in one XPLine write. Under
+		// write-conservative logging the incoming KV skips the WAL; it
+		// is durable the moment the batch is.
+		tr.ctr.triggerWrites.Add(1)
+		if tr.opts.NaiveLogging && n.nbatch() > 0 {
+			if err := w.appendLog(key, value); err != nil {
+				return false, err
+			}
+		} else if n.nbatch() > 0 {
+			tr.ctr.skippedLogs.Add(1)
+		}
+		batch := w.scratch[:0]
+		for i := 0; i < pos; i++ {
+			batch = append(batch, KV{n.slotKey(i), n.slotVal(i)})
+		}
+		batch = append(batch, KV{key, value})
+		w.scratch = batch
+		valid, err := w.leafBatchInsert(n, batch)
+		if err != nil {
+			return false, err
+		}
+		// Slots remain as a read cache; refresh any copy of the
+		// trigger key so reads cannot see a stale cached value.
+		for i := 0; i < n.nbatch(); i++ {
+			if sk := n.slotKey(i); sk != 0 && tr.compare(w.t, sk, key) == 0 {
+				n.slots[2*i+1].Store(value)
+			}
+		}
+		n.hdr.Store(packHdr(0, eb, false))
+		return valid < LeafSlots/2 && n != tr.head, nil
+	}
+
+	// Normal buffered insert: WAL first, then the slot (§3.2).
+	if err := w.appendLog(key, value); err != nil {
+		return false, err
+	}
+	n.setSlot(pos, key, value)
+	// Purge stale cached copies from earlier flush rounds: slots beyond
+	// pos may hold an older version (even a tombstone) of this key at a
+	// HIGHER index, which a later round's overwrites could leave
+	// shadowing the leaf's newer value.
+	for i := pos + 1; i < n.nbatch(); i++ {
+		if sk := n.slotKey(i); sk != 0 && tr.compare(w.t, sk, key) == 0 {
+			n.setSlot(i, 0, 0)
+		}
+	}
+	eb = eb&^(1<<uint(pos)) | epoch<<uint(pos)
+	n.hdr.Store(packHdr(pos+1, eb, false))
+	return false, nil
+}
+
+// appendLog writes one WAL entry to the current-epoch log.
+func (w *Worker) appendLog(key, value uint64) error {
+	tr := w.tree
+	e := tr.epoch.Load()
+	ts := tr.clock.Now(w.socket)
+	if _, err := w.logs[e].Append(w.t, wal.Entry{Key: key, Value: value, Timestamp: ts}); err != nil {
+		return err
+	}
+	tr.logBytes.Add(wal.EntrySize)
+	if n := tr.ctr.loggedWrites.Add(1); n%512 == 0 {
+		tr.notePeakLog()
+	}
+	return nil
+}
+
+// Lookup finds the value for a fixed 8 B key.
+func (w *Worker) Lookup(key uint64) (uint64, bool) {
+	w.tree.ctr.lookups.Add(1)
+	v, ok := w.lookupWord(key)
+	if !ok || v == Tombstone {
+		return 0, false
+	}
+	return v, true
+}
+
+func (w *Worker) lookupWord(key uint64) (uint64, bool) {
+	tr := w.tree
+	if tr.opts.GC == GCNaive {
+		tr.stw.RLock()
+		defer tr.stw.RUnlock()
+		w.syncStall()
+	}
+	for {
+		attemptVT := w.t.Now()
+		if val, found, ok := w.lookupAttempt(key); ok {
+			return val, found
+		}
+		tr.ctr.retries.Add(1)
+		w.t.Rewind(attemptVT)
+		w.t.Advance(conflictPenaltyNS)
+		runtime.Gosched()
+	}
+}
+
+// lookupAttempt is one optimistic lookup pass; ok is false when the
+// version changed underneath and the caller must retry.
+func (w *Worker) lookupAttempt(key uint64) (val uint64, found, ok bool) {
+	tr := w.tree
+	n := tr.findBuffer(w.t, key)
+	ver, clean := n.beginRead()
+	if !clean {
+		return 0, false, false
+	}
+	if !w.rangeOK(n, key) {
+		return 0, false, false
+	}
+	// Buffer scan, left to right: the leftmost match is the newest
+	// version (§4.3).
+	w.t.Advance(int64(n.nbatch()) * w.t.CostDRAM())
+	for i := 0; i < n.nbatch(); i++ {
+		sk := n.slotKey(i)
+		if sk == 0 || tr.compare(w.t, sk, key) != 0 {
+			continue
+		}
+		v := n.slotVal(i)
+		if !n.validateRead(ver) {
+			return 0, false, false
+		}
+		tr.ctr.bufferHits.Add(1)
+		return v, true, true
+	}
+	// Leaf search: bitmap + fingerprints in the header cacheline
+	// filter the PM reads (§4.1).
+	v, f := w.leafSearch(n.leaf, key)
+	if !n.validateRead(ver) {
+		return 0, false, false
+	}
+	return v, f, true
+}
+
+// ScanEntry is one range-query result in word form.
+type ScanEntry = KV
+
+// Scan collects up to max live entries with key ≥ start in ascending
+// order into out, returning the count (§4.3: traverse successive buffer
+// and leaf nodes, buffered entries win).
+func (w *Worker) Scan(start uint64, max int, out []KV) int {
+	tr := w.tree
+	tr.ctr.scans.Add(1)
+	if tr.opts.GC == GCNaive {
+		tr.stw.RLock()
+		defer tr.stw.RUnlock()
+		w.syncStall()
+	}
+	if max > len(out) {
+		max = len(out)
+	}
+	count := 0
+	var lastKey uint64
+	haveLast := false
+	n := tr.findBuffer(w.t, start)
+	for n != nil && count < max {
+		attemptVT := w.t.Now()
+		ver, ok := n.beginRead()
+		if !ok {
+			tr.ctr.retries.Add(1)
+			w.t.Rewind(attemptVT)
+			w.t.Advance(conflictPenaltyNS)
+			runtime.Gosched()
+			continue
+		}
+		if n.dead() {
+			// Merged away: re-route from the last progress point.
+			from := start
+			if haveLast {
+				from = lastKey
+			}
+			n = tr.findBuffer(w.t, from)
+			continue
+		}
+		ents, ok := w.collectNode(n, ver)
+		if !ok {
+			tr.ctr.retries.Add(1)
+			w.t.Rewind(attemptVT)
+			w.t.Advance(conflictPenaltyNS)
+			continue
+		}
+		nx := n.next.Load()
+		if !n.validateRead(ver) {
+			tr.ctr.retries.Add(1)
+			w.t.Rewind(attemptVT)
+			w.t.Advance(conflictPenaltyNS)
+			continue
+		}
+		for _, e := range ents {
+			if count >= max {
+				break
+			}
+			if tr.compare(w.t, e.Key, start) < 0 {
+				continue
+			}
+			if haveLast && tr.compare(w.t, e.Key, lastKey) <= 0 {
+				continue
+			}
+			out[count] = e
+			count++
+			lastKey = e.Key
+			haveLast = true
+		}
+		n = nx
+	}
+	return count
+}
+
+// collectNode snapshots one node's live entries (leaf ∪ buffer, buffer
+// wins, tombstones drop), sorted ascending. ok is false if the version
+// changed mid-read.
+func (w *Worker) collectNode(n *bufferNode, ver uint64) ([]KV, bool) {
+	tr := w.tree
+	var img leafImage
+	prev := w.t.SetTag(pmem.TagLeaf)
+	readLeaf(w.t, n.leaf, &img)
+	w.t.SetTag(prev)
+
+	type cand struct {
+		kv       KV
+		fromBuf  bool
+		bufIndex int
+	}
+	cands := make([]cand, 0, LeafSlots+n.nbatch())
+	for i := 0; i < n.nbatch(); i++ {
+		if k := n.slotKey(i); k != 0 {
+			cands = append(cands, cand{KV{k, n.slotVal(i)}, true, i})
+		}
+	}
+	for i := 0; i < LeafSlots; i++ {
+		if img.slotValid(i) {
+			cands = append(cands, cand{KV{img.key(i), img.val(i)}, false, 0})
+		}
+	}
+	if !n.validateRead(ver) {
+		return nil, false
+	}
+	// Dedup: leftmost buffer entry wins, then leaf.
+	ents := make([]KV, 0, len(cands))
+	for i, c := range cands {
+		dup := false
+		for j := 0; j < i; j++ {
+			if tr.compare(w.t, cands[j].kv.Key, c.kv.Key) == 0 {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if c.kv.Value == Tombstone {
+			continue
+		}
+		// Buffer slots can cache keys that have since split to a
+		// right sibling; range-filter them defensively.
+		if c.fromBuf {
+			if nx := n.next.Load(); nx != nil && tr.compare(w.t, c.kv.Key, nx.lowKey) >= 0 {
+				continue
+			}
+		}
+		ents = append(ents, c.kv)
+	}
+	sort.Slice(ents, func(i, j int) bool { return tr.compare(w.t, ents[i].Key, ents[j].Key) < 0 })
+	w.t.Advance(int64(len(ents)) * w.t.CostDRAM() * 2) // DRAM sort cost
+	return ents, true
+}

@@ -1,0 +1,238 @@
+// Package indextest is the shared conformance suite every persistent
+// index in this repository must pass: correctness against a reference
+// model, ordered scans, deletes, updates, and basic concurrency.
+package indextest
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cclbtree/internal/index"
+	"cclbtree/internal/pmem"
+)
+
+// Options tunes the suite for an index's limitations.
+type Options struct {
+	// SkipDelete skips delete coverage (PACTree's public code cannot
+	// run deletes either, §5.1).
+	SkipDelete bool
+	// Light reduces op counts for slow indexes (the LSM).
+	Light bool
+}
+
+// Pool builds the standard small test pool.
+func Pool() *pmem.Pool {
+	return pmem.NewPool(pmem.Config{
+		Sockets:        2,
+		DIMMsPerSocket: 2,
+		DeviceBytes:    64 << 20,
+		XPBufferLines:  16,
+		CacheLines:     1 << 13,
+	})
+}
+
+// Run exercises the full conformance suite against factory.
+func Run(t *testing.T, factory index.Factory, opts Options) {
+	t.Helper()
+	scale := 1
+	if opts.Light {
+		scale = 4
+	}
+
+	t.Run("RoundTrip", func(t *testing.T) {
+		idx := mustNew(t, factory)
+		defer idx.Close()
+		h := idx.NewHandle(0)
+		n := uint64(4000 / scale)
+		for i := uint64(1); i <= n; i++ {
+			if err := h.Upsert(i, i*3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := uint64(1); i <= n; i++ {
+			v, ok := h.Lookup(i)
+			if !ok || v != i*3 {
+				t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+			}
+		}
+		if _, ok := h.Lookup(n + 100); ok {
+			t.Fatal("found absent key")
+		}
+	})
+
+	t.Run("UpdateWins", func(t *testing.T) {
+		idx := mustNew(t, factory)
+		defer idx.Close()
+		h := idx.NewHandle(0)
+		for i := uint64(1); i <= 500; i++ {
+			_ = h.Upsert(i, 1)
+		}
+		for i := uint64(1); i <= 500; i++ {
+			_ = h.Upsert(i, i+77)
+		}
+		for i := uint64(1); i <= 500; i++ {
+			v, ok := h.Lookup(i)
+			if !ok || v != i+77 {
+				t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+			}
+		}
+	})
+
+	t.Run("ScanOrderedComplete", func(t *testing.T) {
+		idx := mustNew(t, factory)
+		defer idx.Close()
+		h := idx.NewHandle(0)
+		rng := rand.New(rand.NewSource(3))
+		n := 3000 / scale
+		for _, p := range rng.Perm(n) {
+			_ = h.Upsert(uint64(p+1), uint64(p+1)*2)
+		}
+		out := make([]index.KV, n+10)
+		got := h.Scan(1, n+10, out)
+		if got != n {
+			t.Fatalf("full scan found %d of %d", got, n)
+		}
+		for i := 0; i < got; i++ {
+			if out[i].Key != uint64(i+1) || out[i].Value != uint64(i+1)*2 {
+				t.Fatalf("scan[%d] = %+v", i, out[i])
+			}
+		}
+		mid := uint64(n / 2)
+		got = h.Scan(mid, 10, out)
+		for i := 0; i < got; i++ {
+			if out[i].Key != mid+uint64(i) {
+				t.Fatalf("mid scan[%d] = %d", i, out[i].Key)
+			}
+		}
+	})
+
+	if !opts.SkipDelete {
+		t.Run("Delete", func(t *testing.T) {
+			idx := mustNew(t, factory)
+			defer idx.Close()
+			h := idx.NewHandle(0)
+			n := uint64(2000 / scale)
+			for i := uint64(1); i <= n; i++ {
+				_ = h.Upsert(i, i)
+			}
+			for i := uint64(1); i <= n; i += 2 {
+				if err := h.Delete(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := uint64(1); i <= n; i++ {
+				_, ok := h.Lookup(i)
+				if want := i%2 == 0; ok != want {
+					t.Fatalf("Lookup(%d) = %v want %v", i, ok, want)
+				}
+			}
+			out := make([]index.KV, n)
+			got := h.Scan(1, int(n), out)
+			if got != int(n/2) {
+				t.Fatalf("scan after delete: %d want %d", got, n/2)
+			}
+			// Reinsert.
+			for i := uint64(1); i <= n; i += 2 {
+				_ = h.Upsert(i, i*9)
+			}
+			for i := uint64(1); i <= n; i += 2 {
+				v, ok := h.Lookup(i)
+				if !ok || v != i*9 {
+					t.Fatalf("reinsert Lookup(%d) = %d,%v", i, v, ok)
+				}
+			}
+		})
+	}
+
+	t.Run("RandomAgainstModel", func(t *testing.T) {
+		idx := mustNew(t, factory)
+		defer idx.Close()
+		h := idx.NewHandle(0)
+		ref := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(17))
+		space := 1500 / scale
+		for op := 0; op < 15000/scale; op++ {
+			k := uint64(rng.Intn(space) + 1)
+			switch {
+			case !opts.SkipDelete && rng.Intn(8) == 0:
+				_ = h.Delete(k)
+				delete(ref, k)
+			case rng.Intn(4) == 0:
+				v, ok := h.Lookup(k)
+				wv, wok := ref[k]
+				if ok != wok || (ok && v != wv) {
+					t.Fatalf("op %d Lookup(%d) = %d,%v want %d,%v", op, k, v, ok, wv, wok)
+				}
+			default:
+				v := rng.Uint64()%(1<<40) + 1
+				_ = h.Upsert(k, v)
+				ref[k] = v
+			}
+		}
+		out := make([]index.KV, space+10)
+		got := h.Scan(1, space+10, out)
+		if got != len(ref) {
+			t.Fatalf("scan %d, model %d", got, len(ref))
+		}
+		var prev uint64
+		for i := 0; i < got; i++ {
+			if out[i].Key <= prev || ref[out[i].Key] != out[i].Value {
+				t.Fatalf("scan[%d] = %+v (model %d)", i, out[i], ref[out[i].Key])
+			}
+			prev = out[i].Key
+		}
+	})
+
+	t.Run("ConcurrentDisjoint", func(t *testing.T) {
+		idx := mustNew(t, factory)
+		defer idx.Close()
+		const workers = 4
+		per := 1500 / scale
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				h := idx.NewHandle(g % 2)
+				base := uint64(g*per + 1)
+				for i := 0; i < per; i++ {
+					if err := h.Upsert(base+uint64(i), base+uint64(i)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		h := idx.NewHandle(0)
+		for k := uint64(1); k <= uint64(workers*per); k++ {
+			v, ok := h.Lookup(k)
+			if !ok || v != k {
+				t.Fatalf("key %d: %d,%v", k, v, ok)
+			}
+		}
+	})
+
+	t.Run("MemoryUsage", func(t *testing.T) {
+		idx := mustNew(t, factory)
+		defer idx.Close()
+		h := idx.NewHandle(0)
+		for i := uint64(1); i <= 2000; i++ {
+			_ = h.Upsert(i, i)
+		}
+		_, pm := idx.MemoryUsage()
+		if pm <= 0 {
+			t.Fatalf("PM usage %d not positive", pm)
+		}
+	})
+}
+
+func mustNew(t *testing.T, factory index.Factory) index.Index {
+	t.Helper()
+	idx, err := factory(Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}

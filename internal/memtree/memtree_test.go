@@ -1,0 +1,311 @@
+package memtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var tr Tree[int]
+	if tr.Len() != 0 || tr.Depth() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty")
+	}
+	if _, _, ok := tr.FindLE(1); ok {
+		t.Fatal("FindLE on empty")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty")
+	}
+	tr.Ascend(0, func(uint64, int) bool { t.Fatal("Ascend on empty"); return false })
+}
+
+func TestPutGet(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 10000; i++ {
+		tr.Put(uint64(i*7%10000), i)
+	}
+	if tr.Len() != 10000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 10000; i++ {
+		v, ok := tr.Get(uint64(i * 7 % 10000))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i*7%10000, v, ok)
+		}
+	}
+	if _, ok := tr.Get(99999); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	var tr Tree[string]
+	tr.Put(5, "a")
+	tr.Put(5, "b")
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", tr.Len())
+	}
+	if v, _ := tr.Get(5); v != "b" {
+		t.Fatalf("Get = %q", v)
+	}
+}
+
+func TestFindLE(t *testing.T) {
+	var tr Tree[int]
+	for _, k := range []uint64{10, 20, 30, 40} {
+		tr.Put(k, int(k))
+	}
+	cases := []struct {
+		q      uint64
+		want   uint64
+		wantOK bool
+	}{
+		{5, 0, false}, {10, 10, true}, {15, 10, true},
+		{20, 20, true}, {39, 30, true}, {40, 40, true}, {100, 40, true},
+	}
+	for _, c := range cases {
+		k, v, ok := tr.FindLE(c.q)
+		if ok != c.wantOK || (ok && (k != c.want || v != int(c.want))) {
+			t.Fatalf("FindLE(%d) = %d,%d,%v", c.q, k, v, ok)
+		}
+	}
+}
+
+func TestFindLEDense(t *testing.T) {
+	var tr Tree[uint64]
+	rng := rand.New(rand.NewSource(1))
+	keys := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(1 << 20))
+		keys[k] = true
+		tr.Put(k, k)
+	}
+	sorted := make([]uint64, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for trial := 0; trial < 5000; trial++ {
+		q := uint64(rng.Intn(1 << 20))
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > q })
+		k, _, ok := tr.FindLE(q)
+		if i == 0 {
+			if ok {
+				t.Fatalf("FindLE(%d) = %d, want none", q, k)
+			}
+			continue
+		}
+		if !ok || k != sorted[i-1] {
+			t.Fatalf("FindLE(%d) = %d,%v, want %d", q, k, ok, sorted[i-1])
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 1000; i++ {
+		tr.Put(uint64(i), i)
+	}
+	for i := 0; i < 1000; i += 2 {
+		if !tr.Delete(uint64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		_, ok := tr.Get(uint64(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v", i, ok)
+		}
+	}
+	if tr.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestAscend(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 100; i++ {
+		tr.Put(uint64(i*10), i)
+	}
+	var got []uint64
+	tr.Ascend(250, func(k uint64, v int) bool {
+		got = append(got, k)
+		return len(got) < 5
+	})
+	want := []uint64{250, 260, 270, 280, 290}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestAscendSkipsDeletedAcrossLeaves(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 500; i++ {
+		tr.Put(uint64(i), i)
+	}
+	for i := 100; i < 400; i++ {
+		tr.Delete(uint64(i))
+	}
+	var got []uint64
+	tr.Ascend(50, func(k uint64, v int) bool {
+		got = append(got, k)
+		return len(got) < 100
+	})
+	for i, k := range got {
+		var want uint64
+		if i < 50 {
+			want = uint64(50 + i)
+		} else {
+			want = uint64(400 + i - 50)
+		}
+		if k != want {
+			t.Fatalf("position %d: got %d want %d", i, k, want)
+		}
+	}
+}
+
+func TestMin(t *testing.T) {
+	var tr Tree[int]
+	tr.Put(42, 1)
+	tr.Put(7, 2)
+	tr.Put(100, 3)
+	k, v, ok := tr.Min()
+	if !ok || k != 7 || v != 2 {
+		t.Fatalf("Min = %d,%d,%v", k, v, ok)
+	}
+}
+
+// TestQuickAgainstMap drives random op sequences against a reference map.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		var tr Tree[uint64]
+		ref := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			k := uint64(op % 512)
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Uint64()
+				tr.Put(k, v)
+				ref[k] = v
+			case 1:
+				got := tr.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				v, ok := tr.Get(k)
+				wv, wok := ref[k]
+				if ok != wok || (ok && v != wv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		// Full iteration must match the sorted reference.
+		keys := make([]uint64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		i := 0
+		okAll := true
+		tr.Ascend(0, func(k uint64, v uint64) bool {
+			if i >= len(keys) || k != keys[i] || v != ref[k] {
+				okAll = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okAll && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSequential(t *testing.T) {
+	var tr Tree[uint64]
+	const n = 200000
+	for i := uint64(0); i < n; i++ {
+		tr.Put(i, i*2)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Depth() < 3 {
+		t.Fatalf("depth %d suspiciously small", tr.Depth())
+	}
+	count := 0
+	prev := uint64(0)
+	tr.Ascend(0, func(k uint64, v uint64) bool {
+		if count > 0 && k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if v != k*2 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("iterated %d", count)
+	}
+}
+
+func TestFindLEAfterDeletesAcrossLeaves(t *testing.T) {
+	// Regression for stale-separator routing: deleting entries that
+	// were promoted as separators must not break predecessor queries
+	// when the descent lands at index 0 of a non-leftmost leaf.
+	var tr Tree[uint64]
+	const n = 5000
+	for k := uint64(1); k <= n; k++ {
+		tr.Put(k*10, k*10)
+	}
+	rng := rand.New(rand.NewSource(8))
+	deleted := map[uint64]bool{}
+	for i := 0; i < n/2; i++ {
+		k := (uint64(rng.Intn(n-1)) + 2) * 10
+		tr.Delete(k)
+		deleted[k] = true
+	}
+	var live []uint64
+	for k := uint64(1); k <= n; k++ {
+		if !deleted[k*10] {
+			live = append(live, k*10)
+		}
+	}
+	for trial := 0; trial < 4000; trial++ {
+		q := uint64(rng.Intn(n*10)) + 10
+		i := sort.Search(len(live), func(i int) bool { return live[i] > q })
+		gk, gv, ok := tr.FindLE(q)
+		if i == 0 {
+			if ok {
+				t.Fatalf("FindLE(%d) = %d, want none", q, gk)
+			}
+			continue
+		}
+		if !ok || gk != live[i-1] || gv != live[i-1] {
+			t.Fatalf("FindLE(%d) = %d,%v want %d", q, gk, ok, live[i-1])
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package pmalloc is a chunk-based persistent-memory allocator in the
+// style the paper adopts from uTree (§4.2): threads carve small objects
+// (256 B leaf nodes) out of larger chunks so that allocation is cheap
+// and a crash can leak at most the unpublished tail of a chunk, which
+// recovery reclaims by rebuilding reachability from the leaf linked
+// list.
+//
+// Allocator metadata lives in DRAM: like the modeled indexes, recovery
+// never trusts volatile allocator state — it re-derives liveness from
+// the persistent structures. Exact-size free lists make Free/Alloc pairs
+// recycle the same PM addresses, which both bounds PM consumption and
+// preserves XPLine locality of reused log chunks (§3.4).
+package pmalloc
+
+import (
+	"fmt"
+	"sync"
+
+	"cclbtree/internal/pmem"
+)
+
+// reserveBytes keeps the low addresses of every device unallocated so
+// offset 0 can serve as the nil pointer and small offsets can hold
+// superblock-style metadata in examples.
+const reserveBytes = 4096
+
+// carveBytes is how much a size class grabs from the bump region at a
+// time, amortizing the lock.
+const carveBytes = 64 << 10
+
+// Allocator hands out PM blocks from per-socket arenas.
+type Allocator struct {
+	pool    *pmem.Pool
+	sockets []socketArena
+}
+
+type socketArena struct {
+	mu     sync.Mutex
+	next   uint64 // bump pointer
+	limit  uint64
+	free   map[int][]pmem.Addr // size class -> free addresses
+	inUse  int64
+	wasted int64 // rounding loss
+}
+
+// New returns the pool's allocator, creating it on first use. Every
+// caller allocating on the same pool shares one allocator (bump
+// pointers and free lists), so independently constructed components —
+// an index, its WAL manager, a benchmark's blob arena — can never hand
+// out overlapping PM regions.
+func New(pool *pmem.Pool) *Allocator {
+	return pool.Aux("pmalloc", func() any { return newAllocator(pool) }).(*Allocator)
+}
+
+func newAllocator(pool *pmem.Pool) *Allocator {
+	a := &Allocator{pool: pool, sockets: make([]socketArena, pool.Sockets())}
+	for i := range a.sockets {
+		a.sockets[i] = socketArena{
+			next:  reserveBytes,
+			limit: uint64(pool.DeviceBytes()),
+			free:  map[int][]pmem.Addr{},
+		}
+	}
+	return a
+}
+
+// roundSize aligns a request to the XPLine-friendly granularity: small
+// objects to 64 B multiples, anything ≥256 B to 256 B multiples so
+// objects never straddle more XPLines than necessary.
+func roundSize(size int) int {
+	if size <= 0 {
+		panic("pmalloc: non-positive size")
+	}
+	if size < pmem.XPLineSize {
+		return (size + pmem.CachelineSize - 1) &^ (pmem.CachelineSize - 1)
+	}
+	return (size + pmem.XPLineSize - 1) &^ (pmem.XPLineSize - 1)
+}
+
+// Alloc returns a block of at least size bytes on the given socket,
+// aligned so that 256 B objects occupy exactly one XPLine.
+func (a *Allocator) Alloc(socket, size int) (pmem.Addr, error) {
+	size = roundSize(size)
+	s := &a.sockets[socket]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lst := s.free[size]; len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		s.free[size] = lst[:len(lst)-1]
+		s.inUse += int64(size)
+		return addr, nil
+	}
+	// Align the bump pointer: XPLine alignment for XPLine-sized-and-up
+	// classes, cacheline alignment otherwise.
+	align := uint64(pmem.CachelineSize)
+	if size >= pmem.XPLineSize {
+		align = pmem.XPLineSize
+	}
+	aligned := (s.next + align - 1) &^ (align - 1)
+	s.wasted += int64(aligned - s.next)
+	if aligned+uint64(size) > s.limit {
+		return pmem.NilAddr, fmt.Errorf("pmalloc: socket %d out of PM (%d in use, %d capacity)", socket, s.inUse, s.limit)
+	}
+	s.next = aligned + uint64(size)
+	s.inUse += int64(size)
+	return pmem.MakeAddr(socket, aligned), nil
+}
+
+// AllocBatch fills dst with blocks of the given size, amortizing the
+// arena lock for hot allocation paths (leaf splits under load).
+func (a *Allocator) AllocBatch(socket, size int, dst []pmem.Addr) error {
+	size = roundSize(size)
+	s := &a.sockets[socket]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range dst {
+		if lst := s.free[size]; len(lst) > 0 {
+			dst[i] = lst[len(lst)-1]
+			s.free[size] = lst[:len(lst)-1]
+			s.inUse += int64(size)
+			continue
+		}
+		align := uint64(pmem.CachelineSize)
+		if size >= pmem.XPLineSize {
+			align = pmem.XPLineSize
+		}
+		aligned := (s.next + align - 1) &^ (align - 1)
+		s.wasted += int64(aligned - s.next)
+		if aligned+uint64(size) > s.limit {
+			// Roll back what this call took.
+			for j := 0; j < i; j++ {
+				s.free[size] = append(s.free[size], dst[j])
+				s.inUse -= int64(size)
+			}
+			return fmt.Errorf("pmalloc: socket %d out of PM", socket)
+		}
+		s.next = aligned + uint64(size)
+		s.inUse += int64(size)
+		dst[i] = pmem.MakeAddr(socket, aligned)
+	}
+	return nil
+}
+
+// Free returns a block to its size-class free list. size must be the
+// original request (it is re-rounded identically).
+func (a *Allocator) Free(addr pmem.Addr, size int) {
+	if addr.IsNil() {
+		return
+	}
+	size = roundSize(size)
+	s := &a.sockets[addr.Socket()]
+	s.mu.Lock()
+	s.free[size] = append(s.free[size], addr)
+	s.inUse -= int64(size)
+	s.mu.Unlock()
+}
+
+// InUseBytes reports bytes currently allocated on one socket.
+func (a *Allocator) InUseBytes(socket int) int64 {
+	s := &a.sockets[socket]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse
+}
+
+// TotalInUseBytes reports bytes currently allocated across all sockets
+// (the "PM consumption" of Fig 18).
+func (a *Allocator) TotalInUseBytes() int64 {
+	var total int64
+	for i := range a.sockets {
+		total += a.InUseBytes(i)
+	}
+	return total
+}
+
+// SetBump advances a socket's bump pointer to at least off. Recovery
+// uses it after rebuilding reachability from persistent structures so
+// fresh allocations never overlap live data. Space below the new bump
+// that is not reachable is leaked until reclaimed by structure-level GC
+// (the chunk-based-allocation trade-off the paper adopts, §4.2).
+func (a *Allocator) SetBump(socket int, off uint64) {
+	s := &a.sockets[socket]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < reserveBytes {
+		off = reserveBytes
+	}
+	if off > s.next {
+		s.inUse += int64(off - s.next)
+		s.next = off
+	}
+}
+
+// HighWaterBytes reports how far the bump pointer has moved on a socket
+// (peak footprint including free-listed blocks).
+func (a *Allocator) HighWaterBytes(socket int) int64 {
+	s := &a.sockets[socket]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.next - reserveBytes)
+}

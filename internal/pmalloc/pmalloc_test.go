@@ -1,0 +1,199 @@
+package pmalloc
+
+import (
+	"sync"
+	"testing"
+
+	"cclbtree/internal/pmem"
+)
+
+func newTestAlloc(t *testing.T, deviceBytes int64) *Allocator {
+	t.Helper()
+	pool := pmem.NewPool(pmem.Config{Sockets: 2, DIMMsPerSocket: 2, DeviceBytes: deviceBytes})
+	return New(pool)
+}
+
+func TestAllocAligned(t *testing.T) {
+	a := newTestAlloc(t, 1<<20)
+	addr, err := a.Alloc(0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.Offset()%pmem.XPLineSize != 0 {
+		t.Fatalf("256 B block not XPLine aligned: %v", addr)
+	}
+	small, err := a.Alloc(0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Offset()%pmem.CachelineSize != 0 {
+		t.Fatalf("small block not cacheline aligned: %v", small)
+	}
+}
+
+func TestNeverReturnsNil(t *testing.T) {
+	a := newTestAlloc(t, 1<<20)
+	for i := 0; i < 100; i++ {
+		addr, err := a.Alloc(0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr.IsNil() {
+			t.Fatal("allocator returned the nil address")
+		}
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	a := newTestAlloc(t, 1<<20)
+	addr, _ := a.Alloc(1, 256)
+	a.Free(addr, 256)
+	addr2, _ := a.Alloc(1, 256)
+	if addr2 != addr {
+		t.Fatalf("freed block not reused: %v then %v", addr, addr2)
+	}
+}
+
+func TestDistinctAddresses(t *testing.T) {
+	a := newTestAlloc(t, 1<<20)
+	seen := map[pmem.Addr]bool{}
+	for i := 0; i < 500; i++ {
+		addr, err := a.Alloc(0, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[addr] {
+			t.Fatalf("address %v handed out twice", addr)
+		}
+		seen[addr] = true
+	}
+}
+
+func TestInUseAccounting(t *testing.T) {
+	a := newTestAlloc(t, 1<<20)
+	addr, _ := a.Alloc(0, 256)
+	if got := a.InUseBytes(0); got != 256 {
+		t.Fatalf("InUseBytes = %d", got)
+	}
+	_, _ = a.Alloc(1, 256)
+	if got := a.TotalInUseBytes(); got != 512 {
+		t.Fatalf("TotalInUseBytes = %d", got)
+	}
+	a.Free(addr, 256)
+	if got := a.InUseBytes(0); got != 0 {
+		t.Fatalf("after free InUseBytes = %d", got)
+	}
+	if a.HighWaterBytes(0) < 256 {
+		t.Fatal("high water did not record peak")
+	}
+}
+
+func TestRoundSize(t *testing.T) {
+	cases := map[int]int{1: 64, 24: 64, 64: 64, 65: 128, 255: 256, 256: 256, 257: 512, 4 << 20: 4 << 20}
+	for in, want := range cases {
+		if got := roundSize(in); got != want {
+			t.Fatalf("roundSize(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := newTestAlloc(t, 64<<10)
+	var last error
+	n := 0
+	for i := 0; i < 10000; i++ {
+		_, err := a.Alloc(0, 4096)
+		if err != nil {
+			last = err
+			break
+		}
+		n++
+	}
+	if last == nil {
+		t.Fatal("allocator never reported exhaustion")
+	}
+	if n == 0 {
+		t.Fatal("no allocations succeeded before exhaustion")
+	}
+	// Capacity freed up again is allocatable.
+	a.Free(pmem.MakeAddr(0, 4096), 4096)
+	if _, err := a.Alloc(0, 4096); err != nil {
+		t.Fatalf("allocation after free failed: %v", err)
+	}
+}
+
+func TestAllocBatch(t *testing.T) {
+	a := newTestAlloc(t, 1<<20)
+	dst := make([]pmem.Addr, 16)
+	if err := a.AllocBatch(0, 256, dst); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[pmem.Addr]bool{}
+	for _, addr := range dst {
+		if addr.IsNil() || seen[addr] {
+			t.Fatalf("bad batch address %v", addr)
+		}
+		if addr.Offset()%pmem.XPLineSize != 0 {
+			t.Fatalf("unaligned batch address %v", addr)
+		}
+		seen[addr] = true
+	}
+	if got := a.InUseBytes(0); got != 16*256 {
+		t.Fatalf("InUseBytes after batch = %d", got)
+	}
+}
+
+func TestAllocBatchExhaustionRollsBack(t *testing.T) {
+	a := newTestAlloc(t, 64<<10)
+	dst := make([]pmem.Addr, 4096) // far more than the device holds
+	if err := a.AllocBatch(0, 256, dst); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	if got := a.InUseBytes(0); got != 0 {
+		t.Fatalf("failed batch leaked %d bytes", got)
+	}
+}
+
+func TestConcurrentAlloc(t *testing.T) {
+	a := newTestAlloc(t, 8<<20)
+	var mu sync.Mutex
+	seen := map[pmem.Addr]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]pmem.Addr, 0, 200)
+			for i := 0; i < 200; i++ {
+				addr, err := a.Alloc(w%2, 256)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				local = append(local, addr)
+			}
+			mu.Lock()
+			for _, addr := range local {
+				if seen[addr] {
+					t.Errorf("duplicate address %v", addr)
+				}
+				seen[addr] = true
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestSocketLocality(t *testing.T) {
+	a := newTestAlloc(t, 1<<20)
+	for s := 0; s < 2; s++ {
+		addr, err := a.Alloc(s, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr.Socket() != s {
+			t.Fatalf("asked for socket %d, got %v", s, addr)
+		}
+	}
+}

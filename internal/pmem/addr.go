@@ -1,0 +1,53 @@
+package pmem
+
+import "fmt"
+
+// Addr is a persistent-memory address: a socket id in the top 8 bits and
+// a byte offset within that socket's device in the low 56 bits. The zero
+// Addr is reserved as the nil pointer (offset 0 of socket 0 is never
+// handed out by the allocator).
+type Addr uint64
+
+// NilAddr is the null persistent pointer.
+const NilAddr Addr = 0
+
+const addrSocketShift = 56
+
+// MakeAddr builds an address from a socket id and byte offset.
+func MakeAddr(socket int, off uint64) Addr {
+	return Addr(uint64(socket)<<addrSocketShift | off)
+}
+
+// Socket returns the socket id encoded in the address.
+func (a Addr) Socket() int { return int(a >> addrSocketShift) }
+
+// Offset returns the byte offset within the socket's device.
+func (a Addr) Offset() uint64 { return uint64(a) & (1<<addrSocketShift - 1) }
+
+// Add returns the address advanced by n bytes.
+func (a Addr) Add(n int64) Addr { return Addr(int64(a) + n) }
+
+// IsNil reports whether a is the null pointer.
+func (a Addr) IsNil() bool { return a == NilAddr }
+
+func (a Addr) String() string {
+	return fmt.Sprintf("pm[%d]+0x%x", a.Socket(), a.Offset())
+}
+
+// Pack48 packs an address into 48 bits for compressed headers (the leaf
+// node next pointer shares a word with the bitmap, §4.1). Socket ids and
+// offsets beyond 48 bits panic: the modeled devices are far smaller.
+func (a Addr) Pack48() uint64 {
+	s := uint64(a.Socket())
+	off := a.Offset()
+	if s >= 1<<4 || off >= 1<<44 {
+		panic("pmem: address does not fit in 48 bits")
+	}
+	return s<<44 | off
+}
+
+// Unpack48 reverses Pack48.
+func Unpack48(v uint64) Addr {
+	v &= 1<<48 - 1
+	return MakeAddr(int(v>>44), v&(1<<44-1))
+}

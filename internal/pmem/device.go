@@ -1,0 +1,372 @@
+package pmem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// interleaveXPLines is the DIMM interleave granularity in XPLines
+// (16 × 256 B = 4 KB, matching real platform interleaving).
+const interleaveXPLines = 16
+
+const numShards = 64
+
+// lineEntry tracks one dirty cacheline in the modeled CPU cache. pre is
+// the persistent image to restore on a crash; it is nil when crash
+// tracking is off or the platform is eADR (where the cache itself is
+// persistent).
+type lineEntry struct {
+	pre []uint64
+}
+
+// lineShard stripes the dirty-line table to keep store-path locking
+// cheap under concurrency.
+type lineShard struct {
+	mu    sync.Mutex
+	lines map[uint64]*lineEntry // cacheline index -> entry
+}
+
+// dimm models one DIMM: an XPBuffer (write-combining cache of XPLines
+// with LRU replacement) plus a bandwidth arbiter for the media behind it.
+type dimm struct {
+	mu  sync.Mutex
+	cap int
+	// lru is a doubly linked list of resident XPLines, most recent
+	// first, implemented inline to avoid container/list allocations.
+	ent        map[uint64]*xpEntry
+	head, tail *xpEntry
+
+	busyUntil atomic.Int64
+}
+
+type xpEntry struct {
+	xpline     uint64
+	tag        Tag
+	dirty      bool
+	prev, next *xpEntry
+}
+
+// device is one socket's PM: the word array (media + cache view), the
+// dirty-line table, XPLine residency bits, and the DIMM models.
+type device struct {
+	id    int
+	words []uint64
+	// dirtyBits has one bit per cacheline: set iff the line has an
+	// entry in its shard (i.e. is dirty in the modeled CPU cache).
+	dirtyBits []atomic.Uint32
+	// residentBits has one bit per XPLine: set iff the XPLine is
+	// resident in its DIMM's XPBuffer. Maintained under the DIMM lock,
+	// read lock-free on the load path.
+	residentBits []atomic.Uint32
+	shards       [numShards]lineShard
+	dirtyCount   atomic.Int64
+	evictCursor  atomic.Uint64
+	dimms        []*dimm
+	cacheCap     int
+}
+
+func newDevice(id int, cfg *Config) *device {
+	nWords := cfg.DeviceBytes / WordSize
+	nLines := cfg.DeviceBytes / CachelineSize
+	nXP := cfg.DeviceBytes / XPLineSize
+	d := &device{
+		id:           id,
+		words:        make([]uint64, nWords),
+		dirtyBits:    make([]atomic.Uint32, (nLines+31)/32),
+		residentBits: make([]atomic.Uint32, (nXP+31)/32),
+		dimms:        make([]*dimm, cfg.DIMMsPerSocket),
+		cacheCap:     cfg.CacheLines,
+	}
+	for i := range d.shards {
+		d.shards[i].lines = make(map[uint64]*lineEntry)
+	}
+	for i := range d.dimms {
+		d.dimms[i] = &dimm{cap: cfg.XPBufferLines, ent: make(map[uint64]*xpEntry)}
+	}
+	return d
+}
+
+func (d *device) shardFor(line uint64) *lineShard {
+	return &d.shards[line%numShards]
+}
+
+func (d *device) dimmFor(xpline uint64) *dimm {
+	return d.dimms[(xpline/interleaveXPLines)%uint64(len(d.dimms))]
+}
+
+func (d *device) lineDirty(line uint64) bool {
+	return d.dirtyBits[line/32].Load()&(1<<(line%32)) != 0
+}
+
+func (d *device) setDirtyBit(line uint64) {
+	w := &d.dirtyBits[line/32]
+	bit := uint32(1) << (line % 32)
+	for {
+		old := w.Load()
+		if old&bit != 0 || w.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+func (d *device) clearDirtyBit(line uint64) {
+	w := &d.dirtyBits[line/32]
+	bit := uint32(1) << (line % 32)
+	for {
+		old := w.Load()
+		if old&bit == 0 || w.CompareAndSwap(old, old&^bit) {
+			return
+		}
+	}
+}
+
+func (d *device) xplineResident(xp uint64) bool {
+	return d.residentBits[xp/32].Load()&(1<<(xp%32)) != 0
+}
+
+func (d *device) setResident(xp uint64, v bool) {
+	w := &d.residentBits[xp/32]
+	bit := uint32(1) << (xp % 32)
+	for {
+		old := w.Load()
+		var nw uint32
+		if v {
+			nw = old | bit
+		} else {
+			nw = old &^ bit
+		}
+		if old == nw || w.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// readLine atomically snapshots the 8 words of a cacheline.
+func (d *device) readLine(line uint64) []uint64 {
+	base := line * wordsPerLine
+	s := make([]uint64, wordsPerLine)
+	for i := range s {
+		s[i] = atomic.LoadUint64(&d.words[base+uint64(i)])
+	}
+	return s
+}
+
+// markDirty records a store's cacheline in the CPU-cache model. trackPre
+// selects whether the pre-store content is saved for crash rollback.
+// It returns true when the dirty set exceeded capacity and the caller
+// should evict one line (done outside the shard lock to avoid lock-order
+// inversion between shards).
+func (d *device) markDirty(line uint64, trackPre bool) bool {
+	if d.lineDirty(line) {
+		return false
+	}
+	sh := d.shardFor(line)
+	sh.mu.Lock()
+	if _, ok := sh.lines[line]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	e := &lineEntry{}
+	if trackPre {
+		e.pre = d.readLine(line)
+	}
+	sh.lines[line] = e
+	d.setDirtyBit(line)
+	sh.mu.Unlock()
+	return d.dirtyCount.Add(1) > int64(d.cacheCap)
+}
+
+// evictOne writes back an arbitrary dirty line (hardware cache
+// eviction): the data persists, a media-level write is accounted, and
+// the program had no say — this is what degrades eADR locality (§5.5).
+func (d *device) evictOne(p *Pool, t *Thread) {
+	start := d.evictCursor.Add(1)
+	for i := uint64(0); i < numShards; i++ {
+		sh := &d.shards[(start+i)%numShards]
+		sh.mu.Lock()
+		var victim uint64
+		found := false
+		for line := range sh.lines {
+			victim = line
+			found = true
+			break
+		}
+		if !found {
+			sh.mu.Unlock()
+			continue
+		}
+		delete(sh.lines, victim)
+		d.clearDirtyBit(victim)
+		sh.mu.Unlock()
+		d.dirtyCount.Add(-1)
+		p.ctr.cacheEvictions.Add(1)
+		// The written-back line flows through the XPBuffer like any
+		// flush; the backpressure stall still lands on the thread
+		// whose store overflowed the cache.
+		if _, stall := d.xpbufAccess(p, t, victim, true); stall > 0 {
+			t.vt += stall
+		}
+		return
+	}
+}
+
+// xpbufAccess models one cacheline-granular access reaching the
+// XPBuffer: a write-back from a flush or cache eviction (isWrite), or a
+// load fill (read). Hits are write-combined or served in place; misses
+// bring the XPLine in from media, evicting (and writing back, if
+// dirty) the LRU line. It returns (hit, backpressure stall): the stall
+// reflects how far the DIMM's media queue runs ahead of the thread —
+// the WPQ/XPBuffer backpressure that makes XPLine flush count, not
+// cacheline flush count, bound throughput at saturation (§2.2).
+func (d *device) xpbufAccess(p *Pool, t *Thread, line uint64, isWrite bool) (bool, int64) {
+	c := &p.cfg.Cost
+	xp := line / linesPerXPLine
+	dm := d.dimmFor(xp)
+	if isWrite {
+		p.ctr.xpbufWriteBytes.Add(CachelineSize)
+	}
+
+	dm.mu.Lock()
+	if e, ok := dm.ent[xp]; ok {
+		dm.moveToFront(e)
+		if isWrite {
+			e.dirty = true
+			e.tag = t.tag
+			p.ctr.xpbufWriteHits.Add(1)
+		} else {
+			p.ctr.xpbufReadHits.Add(1)
+		}
+		backlog := dm.busyUntil.Load()
+		dm.mu.Unlock()
+		stall := backlog - t.vt - c.MaxQueueLead
+		if stall < 0 {
+			stall = 0
+		}
+		return true, stall
+	}
+	if isWrite {
+		p.ctr.xpbufWriteMiss.Add(1)
+	} else {
+		p.ctr.xpbufReadMiss.Add(1)
+	}
+	// Fill: read-modify-write brings the XPLine in from media.
+	completion := dm.occupy(c.MediaRead)
+	p.ctr.mediaReadBytes.Add(XPLineSize)
+	if len(dm.ent) >= dm.cap {
+		victim := dm.popBack()
+		delete(dm.ent, victim.xpline)
+		d.setResident(victim.xpline, false)
+		if victim.dirty {
+			completion = dm.occupy(c.MediaWrite)
+			p.ctr.mediaWriteBytes.Add(XPLineSize)
+			p.ctr.mediaWriteByTag[victim.tag].Add(XPLineSize)
+		}
+	}
+	e := &xpEntry{xpline: xp, tag: t.tag, dirty: isWrite}
+	dm.ent[xp] = e
+	dm.pushFront(e)
+	d.setResident(xp, true)
+	dm.mu.Unlock()
+
+	stall := completion - t.vt - c.MaxQueueLead
+	if stall < 0 {
+		stall = 0
+	}
+	return false, stall
+}
+
+// drain writes back every dirty XPLine resident in the device's
+// XPBuffers so end-of-run accounting includes buffered-but-unwritten
+// lines.
+func (d *device) drain(p *Pool) {
+	for _, dm := range d.dimms {
+		dm.mu.Lock()
+		for xp, e := range dm.ent {
+			if e.dirty {
+				p.ctr.mediaWriteBytes.Add(XPLineSize)
+				p.ctr.mediaWriteByTag[e.tag].Add(XPLineSize)
+			}
+			d.setResident(xp, false)
+			delete(dm.ent, xp)
+		}
+		dm.head, dm.tail = nil, nil
+		dm.mu.Unlock()
+	}
+}
+
+// crash rolls the device back to its persistent image: every dirty line
+// with a pre-image is restored, the dirty set is cleared. XPBuffer and
+// WPQ contents are inside the ADR power-fail domain and survive (they
+// are accounting-only in this model; the flushed data already lives in
+// words).
+func (d *device) crash() {
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		for line, e := range sh.lines {
+			if e.pre != nil {
+				base := line * wordsPerLine
+				for j, w := range e.pre {
+					atomic.StoreUint64(&d.words[base+uint64(j)], w)
+				}
+			}
+			d.clearDirtyBit(line)
+			delete(sh.lines, line)
+		}
+		sh.mu.Unlock()
+	}
+	d.dirtyCount.Store(0)
+}
+
+// --- dimm LRU helpers (caller holds dm.mu) ---
+
+func (dm *dimm) pushFront(e *xpEntry) {
+	e.prev = nil
+	e.next = dm.head
+	if dm.head != nil {
+		dm.head.prev = e
+	}
+	dm.head = e
+	if dm.tail == nil {
+		dm.tail = e
+	}
+}
+
+func (dm *dimm) unlink(e *xpEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		dm.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		dm.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (dm *dimm) moveToFront(e *xpEntry) {
+	if dm.head == e {
+		return
+	}
+	dm.unlink(e)
+	dm.pushFront(e)
+}
+
+func (dm *dimm) popBack() *xpEntry {
+	e := dm.tail
+	dm.unlink(e)
+	return e
+}
+
+// occupy consumes service ns of the DIMM's media bandwidth, returning
+// the cumulative busy time. The DIMM timeline is a pure work sum: a
+// thread whose own clock lags the sum by more than the queue-lead pays
+// the difference as backpressure. Keeping the timeline independent of
+// per-thread clocks makes the model stable under any goroutine
+// scheduling on the host (per-thread arrival coupling would let one
+// late clock drag the shared frontier).
+func (dm *dimm) occupy(service int64) int64 {
+	return dm.busyUntil.Add(service)
+}

@@ -1,0 +1,39 @@
+// Package pmem is a software model of a persistent-memory system built
+// from Optane-DCPMM-like devices, faithful to the architecture described
+// in §2.1 of the CCL-BTree paper (EuroSys '24):
+//
+//	CPU cache (64 B cachelines, volatile under ADR)
+//	   │ clwb / sfence
+//	   ▼
+//	WPQ + XPBuffer (write-combining, 256 B XPLines, power-fail protected)
+//	   │ 256 B read-modify-write
+//	   ▼
+//	3D-XPoint media
+//
+// The model provides three things the real hardware provides and Go does
+// not:
+//
+//  1. Persistence semantics. Stores are volatile until flushed and fenced
+//     (ADR mode). Pool.Crash simulates a power failure: every store that
+//     was not both flushed and fenced (or evicted by the cache model) is
+//     rolled back, everything else survives. eADR mode persists stores
+//     immediately.
+//
+//  2. Hardware counters. Like ipmctl on real Optane, the pool counts
+//     bytes arriving at the XPBuffer (cacheline flushes) and bytes
+//     written to media (XPLine write-backs), from which the harness
+//     computes CLI- and XBI-amplification exactly as defined in §2.1.
+//     Media writes are attributed to a per-thread Tag so experiments can
+//     split amplification by source (leaf nodes vs WAL, Fig 13b).
+//
+//  3. A virtual-time cost model. Every access charges a latency to the
+//     issuing Thread, and every media-level XPLine operation occupies its
+//     DIMM for a service time through a shared bandwidth arbiter. With
+//     many threads the media becomes the bottleneck and throughput is
+//     bounded by the number of XPLine flushes, not cacheline flushes —
+//     the central observation of §2.2 (Fig 2).
+//
+// All data access is 8-byte-word granular and atomic, which matches how
+// persistent indexes program real PM (8 B failure-atomic stores) and keeps
+// optimistic concurrency race-free under the Go memory model.
+package pmem

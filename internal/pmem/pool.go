@@ -1,0 +1,197 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a set of PM devices, one per socket, sharing hardware counters
+// and a cost model. It is safe for concurrent use through per-goroutine
+// Thread handles.
+type Pool struct {
+	cfg  Config
+	devs []*device
+	ctr  counters
+
+	auxMu sync.Mutex
+	aux   map[string]any
+
+	failAfter atomic.Int64
+}
+
+// Aux returns the pool-scoped singleton registered under key, creating
+// it with make on first use. The PM allocator uses this so that every
+// component allocating on one pool (an index, its logs, a benchmark's
+// blob arena) shares a single bump pointer and free list — two
+// independent allocators on one pool would hand out overlapping
+// regions.
+func (p *Pool) Aux(key string, make func() any) any {
+	p.auxMu.Lock()
+	defer p.auxMu.Unlock()
+	if p.aux == nil {
+		p.aux = map[string]any{}
+	}
+	if v, ok := p.aux[key]; ok {
+		return v
+	}
+	v := make()
+	p.aux[key] = v
+	return v
+}
+
+// NewPool builds a pool from cfg (zero fields take defaults).
+func NewPool(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{cfg: cfg, devs: make([]*device, cfg.Sockets)}
+	for i := range p.devs {
+		p.devs[i] = newDevice(i, &cfg)
+	}
+	return p
+}
+
+// Config returns the (defaulted) configuration the pool runs with.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Sockets returns the number of NUMA nodes.
+func (p *Pool) Sockets() int { return len(p.devs) }
+
+// DeviceBytes returns the capacity of each socket's device.
+func (p *Pool) DeviceBytes() int64 { return p.cfg.DeviceBytes }
+
+// Stats snapshots the hardware counters.
+func (p *Pool) Stats() Stats { return p.ctr.snapshot() }
+
+// ResetStats zeroes the hardware counters (e.g. after a warm-up phase).
+func (p *Pool) ResetStats() { p.ctr.reset() }
+
+// AddUserBytes declares n bytes of application payload written, the
+// denominator of the amplification metrics.
+func (p *Pool) AddUserBytes(n uint64) { p.ctr.userWriteBytes.Add(n) }
+
+// PowerFailure is the panic value thrown when an armed fault trigger
+// fires (FailAfterFlushes). Test harnesses recover it, call Crash, and
+// exercise recovery from a mid-operation failure point.
+type PowerFailure struct{}
+
+func (PowerFailure) Error() string { return "pmem: simulated power failure" }
+
+// FailAfterFlushes arms a fault: the n-th subsequent Flush panics with
+// PowerFailure, modeling power loss at an arbitrary instruction
+// boundary inside an operation. n ≤ 0 disarms.
+func (p *Pool) FailAfterFlushes(n int64) {
+	p.failAfter.Store(n)
+}
+
+func (p *Pool) checkPowerFailure() {
+	if p.failAfter.Load() <= 0 {
+		return
+	}
+	if p.failAfter.Add(-1) == 0 {
+		panic(PowerFailure{})
+	}
+}
+
+// Crash simulates a power failure under the configured mode: in ADR,
+// all stores not yet flushed+fenced are rolled back; in eADR everything
+// survives. Existing Threads must be discarded afterwards (their pending
+// flush sets are meaningless post-restart).
+func (p *Pool) Crash() {
+	if p.cfg.Mode == ADR && p.cfg.DisableCrashTracking {
+		panic("pmem: Crash called with DisableCrashTracking set")
+	}
+	for _, d := range p.devs {
+		d.crash()
+	}
+}
+
+// DrainXPBuffers forces every buffered XPLine to media so end-of-run
+// media counters are complete. Content is unaffected.
+func (p *Pool) DrainXPBuffers() {
+	for _, d := range p.devs {
+		d.drain(p)
+	}
+}
+
+// NewThread creates an access handle bound to a socket (its "local"
+// NUMA node). A Thread must be used by one goroutine at a time.
+func (p *Pool) NewThread(socket int) *Thread {
+	if socket < 0 || socket >= len(p.devs) {
+		panic(fmt.Sprintf("pmem: socket %d out of range", socket))
+	}
+	return &Thread{pool: p, socket: socket}
+}
+
+// persistentWord returns the crash-consistent value of word idx on
+// device d: the pre-image if the containing line is dirty, else the
+// current value.
+func (d *device) persistentWord(idx uint64) uint64 {
+	line := idx / wordsPerLine
+	if d.lineDirty(line) {
+		sh := d.shardFor(line)
+		sh.mu.Lock()
+		e, ok := sh.lines[line]
+		sh.mu.Unlock()
+		if ok && e.pre != nil {
+			return e.pre[idx%wordsPerLine]
+		}
+	}
+	return atomic.LoadUint64(&d.words[idx])
+}
+
+// SavePersistent serializes the persistent (crash-consistent) image of
+// one socket's device. Use with LoadPersistent to carry a pool across
+// process restarts, standing in for a DAX-mapped pool file.
+func (p *Pool) SavePersistent(socket int, w io.Writer) error {
+	d := p.devs[socket]
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(len(d.words)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(p.cfg.Mode))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pmem: save header: %w", err)
+	}
+	buf := make([]byte, 8<<10)
+	for i := 0; i < len(d.words); {
+		n := 0
+		for ; n < len(buf) && i < len(d.words); n += 8 {
+			binary.LittleEndian.PutUint64(buf[n:], d.persistentWord(uint64(i)))
+			i++
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return fmt.Errorf("pmem: save body: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadPersistent restores a device image saved by SavePersistent into
+// socket's device. The pool must have been created with at least the
+// saved capacity.
+func (p *Pool) LoadPersistent(socket int, r io.Reader) error {
+	d := p.devs[socket]
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("pmem: load header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:])
+	if n > uint64(len(d.words)) {
+		return fmt.Errorf("pmem: image has %d words, device holds %d", n, len(d.words))
+	}
+	buf := make([]byte, 8<<10)
+	for i := uint64(0); i < n; {
+		want := len(buf)
+		if rem := int(n-i) * 8; rem < want {
+			want = rem
+		}
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return fmt.Errorf("pmem: load body: %w", err)
+		}
+		for off := 0; off < want; off += 8 {
+			atomic.StoreUint64(&d.words[i], binary.LittleEndian.Uint64(buf[off:]))
+			i++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package pmem
+
+import "sync/atomic"
+
+// counters is the pool-global set of hardware counters, updated with
+// atomics from every thread.
+type counters struct {
+	mediaWriteBytes atomic.Uint64
+	mediaReadBytes  atomic.Uint64
+	xpbufWriteBytes atomic.Uint64
+	xpbufWriteHits  atomic.Uint64
+	xpbufWriteMiss  atomic.Uint64
+	xpbufReadHits   atomic.Uint64
+	xpbufReadMiss   atomic.Uint64
+	cacheEvictions  atomic.Uint64
+	userWriteBytes  atomic.Uint64
+	remoteAccesses  atomic.Uint64
+	mediaWriteByTag [NumTags]atomic.Uint64
+}
+
+// Stats is a snapshot of the pool's hardware counters, in the spirit of
+// the ipmctl metrics the paper collects (§2.1).
+type Stats struct {
+	// MediaWriteBytes is the total written to the 3D-XPoint media
+	// (XPLine write-backs × 256 B).
+	MediaWriteBytes uint64
+	// MediaReadBytes is the total read from the media (fills + read
+	// misses × 256 B).
+	MediaReadBytes uint64
+	// XPBufWriteBytes is the total arriving at the XPBuffer from the
+	// CPU (cacheline flushes × 64 B).
+	XPBufWriteBytes uint64
+	// XPBufWriteHits / XPBufWriteMisses count cacheline flushes that
+	// were write-combined into a resident XPLine vs. those that forced
+	// a fill.
+	XPBufWriteHits   uint64
+	XPBufWriteMisses uint64
+	// XPBufReadHits / XPBufReadMisses classify PM loads.
+	XPBufReadHits   uint64
+	XPBufReadMisses uint64
+	// CacheEvictions counts dirty cachelines written back by the
+	// modeled CPU cache without an explicit flush.
+	CacheEvictions uint64
+	// UserWriteBytes is application-declared payload, the denominator
+	// of both amplification factors (AddUserBytes).
+	UserWriteBytes uint64
+	// RemoteAccesses counts cross-socket PM accesses.
+	RemoteAccesses uint64
+	// MediaWriteByTag splits MediaWriteBytes by Thread tag.
+	MediaWriteByTag [NumTags]uint64
+}
+
+// CLIAmplification is bytes reaching the XPBuffer per user byte:
+// cacheline-induced write amplification.
+func (s Stats) CLIAmplification() float64 {
+	if s.UserWriteBytes == 0 {
+		return 0
+	}
+	return float64(s.XPBufWriteBytes) / float64(s.UserWriteBytes)
+}
+
+// XBIAmplification is bytes written to media per user byte:
+// XPBuffer-induced write amplification, the paper's headline metric.
+func (s Stats) XBIAmplification() float64 {
+	if s.UserWriteBytes == 0 {
+		return 0
+	}
+	return float64(s.MediaWriteBytes) / float64(s.UserWriteBytes)
+}
+
+// Sub returns the counter deltas s−t (for measuring a phase that started
+// at snapshot t).
+func (s Stats) Sub(t Stats) Stats {
+	d := Stats{
+		MediaWriteBytes:  s.MediaWriteBytes - t.MediaWriteBytes,
+		MediaReadBytes:   s.MediaReadBytes - t.MediaReadBytes,
+		XPBufWriteBytes:  s.XPBufWriteBytes - t.XPBufWriteBytes,
+		XPBufWriteHits:   s.XPBufWriteHits - t.XPBufWriteHits,
+		XPBufWriteMisses: s.XPBufWriteMisses - t.XPBufWriteMisses,
+		XPBufReadHits:    s.XPBufReadHits - t.XPBufReadHits,
+		XPBufReadMisses:  s.XPBufReadMisses - t.XPBufReadMisses,
+		CacheEvictions:   s.CacheEvictions - t.CacheEvictions,
+		UserWriteBytes:   s.UserWriteBytes - t.UserWriteBytes,
+		RemoteAccesses:   s.RemoteAccesses - t.RemoteAccesses,
+	}
+	for i := range d.MediaWriteByTag {
+		d.MediaWriteByTag[i] = s.MediaWriteByTag[i] - t.MediaWriteByTag[i]
+	}
+	return d
+}
+
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		MediaWriteBytes:  c.mediaWriteBytes.Load(),
+		MediaReadBytes:   c.mediaReadBytes.Load(),
+		XPBufWriteBytes:  c.xpbufWriteBytes.Load(),
+		XPBufWriteHits:   c.xpbufWriteHits.Load(),
+		XPBufWriteMisses: c.xpbufWriteMiss.Load(),
+		XPBufReadHits:    c.xpbufReadHits.Load(),
+		XPBufReadMisses:  c.xpbufReadMiss.Load(),
+		CacheEvictions:   c.cacheEvictions.Load(),
+		UserWriteBytes:   c.userWriteBytes.Load(),
+		RemoteAccesses:   c.remoteAccesses.Load(),
+	}
+	for i := range s.MediaWriteByTag {
+		s.MediaWriteByTag[i] = c.mediaWriteByTag[i].Load()
+	}
+	return s
+}
+
+func (c *counters) reset() {
+	c.mediaWriteBytes.Store(0)
+	c.mediaReadBytes.Store(0)
+	c.xpbufWriteBytes.Store(0)
+	c.xpbufWriteHits.Store(0)
+	c.xpbufWriteMiss.Store(0)
+	c.xpbufReadHits.Store(0)
+	c.xpbufReadMiss.Store(0)
+	c.cacheEvictions.Store(0)
+	c.userWriteBytes.Store(0)
+	c.remoteAccesses.Store(0)
+	for i := range c.mediaWriteByTag {
+		c.mediaWriteByTag[i].Store(0)
+	}
+}

@@ -1,0 +1,278 @@
+// Package wal implements the paper's write-ahead log substrate (§3.3):
+// per-thread logs made of 4 MB PM chunks drawn from a shared free list,
+// 24 B entries (16 B KV + 8 B ORDO timestamp), and the two-generation
+// (B-log / I-log) chunk ownership that locality-aware GC flips between
+// (§3.4).
+//
+// Logs are single-writer: each worker thread appends only to its own
+// Log, which is what makes the per-thread design scale and keeps every
+// append an XPBuffer-friendly sequential write. Chunk recycling never
+// zeroes PM (that would itself cause XPLine writes): recovery instead
+// filters stale entries by timestamp against the leaf they belong to,
+// which is sound because any reclaimed entry's KV was flushed to a leaf
+// whose timestamp field is newer than the entry (see core's recovery).
+package wal
+
+import (
+	"fmt"
+	"sync"
+
+	"cclbtree/internal/pmalloc"
+	"cclbtree/internal/pmem"
+)
+
+// EntrySize is the on-PM size of one log record: key, value, timestamp.
+const EntrySize = 3 * pmem.WordSize
+
+// DefaultChunkBytes is the paper's log chunk size.
+const DefaultChunkBytes = 4 << 20
+
+// Entry is one WAL record. A zero Timestamp marks unwritten space and is
+// never produced by a live append (ordo reserves it).
+type Entry struct {
+	Key, Value, Timestamp uint64
+}
+
+// Manager owns the per-socket free lists of recycled log chunks and
+// allocates new ones when the free list runs dry, exactly the scheme of
+// §3.3.
+type Manager struct {
+	alloc      *pmalloc.Allocator
+	chunkBytes int
+
+	// OnAcquire/OnRelease, when set before first use, are invoked for
+	// every chunk handed to or taken back from a log. CCL-BTree hooks
+	// them to maintain its persistent chunk directory so recovery can
+	// find every log without volatile state.
+	OnAcquire func(pmem.Addr)
+	OnRelease func(pmem.Addr)
+
+	mu        sync.Mutex
+	free      map[int][]pmem.Addr // socket -> free chunks
+	allocated int64               // chunks ever allocated (not free-listed)
+}
+
+// NewManager creates a chunk manager. chunkBytes ≤ 0 selects the 4 MB
+// default; it must be a multiple of EntrySize and XPLineSize.
+func NewManager(alloc *pmalloc.Allocator, chunkBytes int) *Manager {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	if chunkBytes%pmem.XPLineSize != 0 {
+		panic("wal: chunk size must be XPLine aligned")
+	}
+	return &Manager{
+		alloc:      alloc,
+		chunkBytes: chunkBytes,
+		free:       map[int][]pmem.Addr{},
+	}
+}
+
+// ChunkBytes returns the configured chunk size.
+func (m *Manager) ChunkBytes() int { return m.chunkBytes }
+
+// AcquireChunk returns a chunk on the given socket, recycling from the
+// free list first.
+func (m *Manager) AcquireChunk(socket int) (pmem.Addr, error) {
+	m.mu.Lock()
+	if lst := m.free[socket]; len(lst) > 0 {
+		a := lst[len(lst)-1]
+		m.free[socket] = lst[:len(lst)-1]
+		m.mu.Unlock()
+		if m.OnAcquire != nil {
+			m.OnAcquire(a)
+		}
+		return a, nil
+	}
+	m.allocated++
+	m.mu.Unlock()
+	a, err := m.alloc.Alloc(socket, m.chunkBytes)
+	if err != nil {
+		return pmem.NilAddr, fmt.Errorf("wal: acquire chunk: %w", err)
+	}
+	if m.OnAcquire != nil {
+		m.OnAcquire(a)
+	}
+	return a, nil
+}
+
+// InUseChunks reports chunks currently held by logs (allocated minus
+// free-listed), the numerator of the GC trigger ratio.
+func (m *Manager) InUseChunks() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.allocated
+	for _, lst := range m.free {
+		n -= int64(len(lst))
+	}
+	return n
+}
+
+// ReleaseChunks puts chunks back on their sockets' free lists.
+func (m *Manager) ReleaseChunks(chunks []pmem.Addr) {
+	if m.OnRelease != nil {
+		for _, c := range chunks {
+			m.OnRelease(c)
+		}
+	}
+	m.mu.Lock()
+	for _, c := range chunks {
+		m.free[c.Socket()] = append(m.free[c.Socket()], c)
+	}
+	m.mu.Unlock()
+}
+
+// AdoptChunks takes ownership of externally discovered chunks (recovery
+// hands back the pre-crash log chunks) and free-lists them.
+func (m *Manager) AdoptChunks(chunks []pmem.Addr) {
+	m.mu.Lock()
+	m.allocated += int64(len(chunks))
+	m.mu.Unlock()
+	m.ReleaseChunks(chunks)
+}
+
+// FreeChunks reports the number of free-listed chunks on a socket.
+func (m *Manager) FreeChunks(socket int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.free[socket])
+}
+
+// AllocatedChunks reports how many chunks were ever allocated from PM
+// (the peak footprint; free-listed chunks are still PM-resident).
+func (m *Manager) AllocatedChunks() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocated
+}
+
+// Log is one thread's append-only log for one generation (B or I). The
+// owner goroutine calls Append; Chunks/Bytes/Detach may be called by a
+// GC thread concurrently.
+type Log struct {
+	m      *Manager
+	socket int
+
+	mu      sync.Mutex
+	chunks  []pmem.Addr
+	tailOff int   // bytes used in the last chunk
+	bytes   int64 // total appended
+}
+
+// NewLog creates an empty log bound to a socket.
+func NewLog(m *Manager, socket int) *Log {
+	return &Log{m: m, socket: socket}
+}
+
+// Append persists one entry (write + flush + fence) and returns its
+// address. The entry is durable when Append returns — the WAL contract
+// the buffer nodes rely on.
+func (l *Log) Append(t *pmem.Thread, e Entry) (pmem.Addr, error) {
+	if e.Timestamp == 0 {
+		return pmem.NilAddr, fmt.Errorf("wal: zero timestamp is reserved")
+	}
+	l.mu.Lock()
+	if len(l.chunks) == 0 || l.tailOff+EntrySize > l.m.chunkBytes {
+		c, err := l.m.AcquireChunk(l.socket)
+		if err != nil {
+			l.mu.Unlock()
+			return pmem.NilAddr, err
+		}
+		l.chunks = append(l.chunks, c)
+		l.tailOff = 0
+	}
+	addr := l.chunks[len(l.chunks)-1].Add(int64(l.tailOff))
+	l.tailOff += EntrySize
+	l.bytes += EntrySize
+	l.mu.Unlock()
+
+	prev := t.SetTag(pmem.TagWAL)
+	t.Store(addr, e.Key)
+	t.Store(addr.Add(8), e.Value)
+	t.Store(addr.Add(16), e.Timestamp)
+	t.Persist(addr, EntrySize)
+	t.SetTag(prev)
+	return addr, nil
+}
+
+// Bytes returns the total entry bytes appended to this log.
+func (l *Log) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// ChunkBytes returns the PM footprint currently held by the log.
+func (l *Log) ChunkBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(len(l.chunks)) * int64(l.m.chunkBytes)
+}
+
+// Detach removes and returns the log's chunks, resetting it to empty.
+// The caller passes them to Manager.ReleaseChunks once no reader needs
+// them (end of a GC round).
+func (l *Log) Detach() []pmem.Addr {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	chunks := l.chunks
+	l.chunks = nil
+	l.tailOff = 0
+	l.bytes = 0
+	return chunks
+}
+
+// Entries reads every record currently in the log, skipping unwritten
+// (zero-timestamp) slots. Because recycled chunks are not zeroed, the
+// result may include stale records from earlier generations; callers
+// filter them by comparing timestamps with the owning leaf (see §3.3's
+// latest-version rule). The log must be quiescent (no concurrent
+// Append) — this is a recovery/GC path.
+func (l *Log) Entries(t *pmem.Thread) []Entry {
+	l.mu.Lock()
+	chunks := append([]pmem.Addr(nil), l.chunks...)
+	tail := l.tailOff
+	l.mu.Unlock()
+
+	var out []Entry
+	words := make([]uint64, l.m.chunkBytes/pmem.WordSize)
+	for i, c := range chunks {
+		limit := l.m.chunkBytes
+		if i == len(chunks)-1 {
+			limit = tail
+		}
+		if limit == 0 {
+			continue
+		}
+		w := words[:limit/pmem.WordSize]
+		t.ReadRange(c, w)
+		for off := 0; off+EntrySize <= limit; off += EntrySize {
+			i := off / pmem.WordSize
+			e := Entry{Key: w[i], Value: w[i+1], Timestamp: w[i+2]}
+			if e.Timestamp == 0 {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ReadEntriesInChunks scans the given raw chunks (e.g. after a restart
+// when the Log object is gone) yielding nonzero-timestamp entries.
+func ReadEntriesInChunks(t *pmem.Thread, chunks []pmem.Addr, chunkBytes int) []Entry {
+	var out []Entry
+	w := make([]uint64, chunkBytes/pmem.WordSize)
+	for _, c := range chunks {
+		t.ReadRange(c, w)
+		for off := 0; off+EntrySize <= chunkBytes; off += EntrySize {
+			i := off / pmem.WordSize
+			e := Entry{Key: w[i], Value: w[i+1], Timestamp: w[i+2]}
+			if e.Timestamp == 0 {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}

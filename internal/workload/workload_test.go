@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestUniformNeverZero(t *testing.T) {
+	u := Uniform{N: 1000}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if u.Next(r) == 0 {
+			t.Fatal("uniform produced key 0")
+		}
+	}
+}
+
+func TestSequentialCoversSpace(t *testing.T) {
+	s := &Sequential{N: 500}
+	r := rand.New(rand.NewSource(1))
+	seen := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		seen[s.Next(r)] = true
+	}
+	if len(seen) != 500 {
+		t.Fatalf("sequential produced %d distinct of 500", len(seen))
+	}
+	// Wraps around deterministically: draw 501 repeats draw 1.
+	first := (&Sequential{N: 500}).Next(rand.New(rand.NewSource(9)))
+	if got := s.Next(r); got != first {
+		t.Fatalf("wrap mismatch: %d vs %d", got, first)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	const n = 10000
+	const draws = 200000
+	for _, theta := range []float64{0.5, 0.9, 0.99} {
+		z := NewZipf(n, theta)
+		r := rand.New(rand.NewSource(7))
+		counts := map[uint64]int{}
+		for i := 0; i < draws; i++ {
+			counts[z.Next(r)]++
+		}
+		freqs := make([]int, 0, len(counts))
+		for _, c := range counts {
+			freqs = append(freqs, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+		top10 := 0
+		for i := 0; i < 10 && i < len(freqs); i++ {
+			top10 += freqs[i]
+		}
+		share := float64(top10) / draws
+		switch {
+		case theta == 0.99 && share < 0.25:
+			t.Fatalf("theta 0.99: top-10 share %.3f too flat", share)
+		case theta == 0.5 && share > 0.25:
+			t.Fatalf("theta 0.5: top-10 share %.3f too skewed", share)
+		}
+	}
+}
+
+func TestZipfHigherThetaMoreSkewed(t *testing.T) {
+	const n = 5000
+	shares := map[float64]float64{}
+	for _, theta := range []float64{0.5, 0.7, 0.9} {
+		z := NewZipf(n, theta)
+		r := rand.New(rand.NewSource(3))
+		counts := map[uint64]int{}
+		for i := 0; i < 100000; i++ {
+			counts[z.Next(r)]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		shares[theta] = float64(max)
+	}
+	if !(shares[0.5] < shares[0.7] && shares[0.7] < shares[0.9]) {
+		t.Fatalf("skew not monotone in theta: %v", shares)
+	}
+}
+
+func TestMixPickRatios(t *testing.T) {
+	m := MixInsertIntensive
+	r := rand.New(rand.NewSource(5))
+	counts := map[OpKind]int{}
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[m.Pick(r)]++
+	}
+	ins := float64(counts[OpInsert]) / draws
+	if ins < 0.72 || ins > 0.78 {
+		t.Fatalf("insert share %.3f, want ≈0.75", ins)
+	}
+	if counts[OpScan] != 0 || counts[OpDelete] != 0 {
+		t.Fatal("unexpected op kinds")
+	}
+}
+
+func TestDatasetsDistinctAndDeterministic(t *testing.T) {
+	for _, d := range []Dataset{DatasetAmzn, DatasetOsm, DatasetWiki, DatasetFacebook} {
+		a := Keys(d, 5000, 42)
+		b := Keys(d, 5000, 42)
+		seen := map[uint64]bool{}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: not deterministic at %d", d, i)
+			}
+			if a[i] == 0 {
+				t.Fatalf("%s: key 0", d)
+			}
+			seen[a[i]] = true
+		}
+		if len(seen) < 4900 {
+			t.Fatalf("%s: only %d distinct keys of 5000", d, len(seen))
+		}
+	}
+}
+
+func TestDatasetCharacter(t *testing.T) {
+	// wiki keys are dense (small range), osm keys span the 62-bit
+	// space.
+	wiki := Keys(DatasetWiki, 10000, 1)
+	osm := Keys(DatasetOsm, 10000, 1)
+	maxW, minW := uint64(0), ^uint64(0)
+	for _, k := range wiki {
+		if k > maxW {
+			maxW = k
+		}
+		if k < minW {
+			minW = k
+		}
+	}
+	if maxW-minW > 100000 {
+		t.Fatalf("wiki span %d too sparse", maxW-minW)
+	}
+	big := 0
+	for _, k := range osm {
+		if k > 1<<55 {
+			big++
+		}
+	}
+	if big < 1000 {
+		t.Fatalf("osm keys not spread: %d above 2^55", big)
+	}
+}
+
+func TestVarSizer(t *testing.T) {
+	v := VarSizer{Min: 8, Max: 128}
+	r := rand.New(rand.NewSource(2))
+	for i := uint64(1); i < 1000; i++ {
+		b := v.Bytes(r, i)
+		if len(b) < 8 || len(b) > 128 {
+			t.Fatalf("size %d out of range", len(b))
+		}
+	}
+	// Content depends only on key, not on the rng (length does).
+	b1 := VarSizer{Min: 16, Max: 16}.Bytes(r, 7)
+	b2 := VarSizer{Min: 16, Max: 16}.Bytes(r, 7)
+	if string(b1) != string(b2) {
+		t.Fatal("payload not reproducible for same key")
+	}
+}
