@@ -1,0 +1,156 @@
+// Command persistlint statically checks the repository's persistent
+// memory discipline (see internal/analysis/persist): every PM store
+// must be flushed and fenced before the function returns, flushes must
+// be fenced, flushing under eADR-only branches is dead code, and
+// *pmem.Thread handles must not cross goroutine boundaries.
+//
+// Usage:
+//
+//	persistlint [-json] [-tests] [packages...]
+//
+// Package patterns are directories; a trailing /... recurses. With no
+// arguments it checks ./... from the current directory. Exit status is
+// 0 when no findings, 1 when findings were reported, 2 on usage or
+// parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cclbtree/internal/analysis/persist"
+)
+
+var (
+	jsonOut  = flag.Bool("json", false, "emit one JSON object per finding (stable across PRs for CI diffing)")
+	withTest = flag.Bool("tests", false, "also analyze _test.go files")
+)
+
+// jsonFinding is the -json wire form: one object per line, keyed for
+// stable diffing between runs.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Code    string `json:"code"`
+	Func    string `json:"func"`
+	Message string `json:"message"`
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: persistlint [-json] [-tests] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dirs, err := resolve(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "persistlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	an := persist.NewAnalyzer()
+	for _, d := range dirs {
+		if err := an.AddDir(d, *withTest); err != nil {
+			fmt.Fprintf(os.Stderr, "persistlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	findings := an.Run()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range findings {
+			_ = enc.Encode(jsonFinding{
+				File:    filepath.ToSlash(f.Pos.Filename),
+				Line:    f.Pos.Line,
+				Col:     f.Pos.Column,
+				Code:    f.Code,
+				Func:    f.Func,
+				Message: f.Msg,
+			})
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "persistlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// resolve expands package patterns into a deduplicated directory list.
+// Directories named testdata or vendor, and hidden directories, are
+// skipped during recursion (matching the go tool's conventions).
+func resolve(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, p := range patterns {
+		if root, ok := strings.CutSuffix(p, "/..."); ok {
+			if root == "" || root == "." {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("%s is not a directory", p)
+		}
+		add(p)
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

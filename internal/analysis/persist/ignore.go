@@ -1,0 +1,76 @@
+package persist
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //persistlint:ignore comment.
+type directive struct {
+	pos    token.Position
+	code   string // "PL001" or a comma list split into codes
+	codes  []string
+	reason string
+}
+
+func (d directive) matches(code string) bool {
+	for _, c := range d.codes {
+		if c == code || c == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectiveComment recognizes "//persistlint:ignore CODE[,CODE] reason".
+// A leading space after // is tolerated; the reason is everything after
+// the code list.
+func parseDirectiveComment(fset *token.FileSet, c *ast.Comment) (directive, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "persistlint:ignore") {
+		return directive{}, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "persistlint:ignore"))
+	code, reason, _ := strings.Cut(rest, " ")
+	d := directive{
+		pos:    fset.Position(c.Pos()),
+		code:   code,
+		reason: strings.TrimSpace(reason),
+	}
+	for _, cd := range strings.Split(code, ",") {
+		if cd = strings.TrimSpace(cd); cd != "" {
+			d.codes = append(d.codes, cd)
+		}
+	}
+	if len(d.codes) == 0 {
+		return directive{}, false
+	}
+	return d, true
+}
+
+// parseDirectives indexes every ignore directive in the file by the
+// line it sits on.
+func parseDirectives(fset *token.FileSet, f *ast.File) map[int][]directive {
+	out := map[int][]directive{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseDirectiveComment(fset, c); ok {
+				out[d.pos.Line] = append(out[d.pos.Line], d)
+			}
+		}
+	}
+	return out
+}
+
+// directiveMatches reports whether any directive in the list covers the
+// code with a non-empty reason (reasonless directives never suppress).
+func directiveMatches(dirs []directive, code string) bool {
+	for _, d := range dirs {
+		if d.reason != "" && d.matches(code) {
+			return true
+		}
+	}
+	return false
+}

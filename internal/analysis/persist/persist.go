@@ -1,0 +1,374 @@
+// Package persist is a static analyzer for the repository's persistent
+// memory API (internal/pmem). It enforces the store→flush→fence
+// discipline that every crash-consistent structure in this module
+// hand-writes: a Store/WriteRange to PM is volatile under ADR until a
+// Flush of its cachelines and an sfence (Fence) retire it, so a missed
+// flush or fence silently voids the crash-consistency argument without
+// failing any functional test.
+//
+// The analyzer is purely syntactic (go/ast + go/parser + go/token, no
+// go/types, no external dependencies): it resolves "thread expressions"
+// — values it can see are *pmem.Thread handles — from parameter
+// declarations, struct fields declared *pmem.Thread anywhere in the
+// analyzed set, and assignments from NewThread/Thread calls, then
+// checks four rules:
+//
+//	PL001  a Store/WriteRange with no Flush or Persist on the same
+//	       thread later in the function (store may never persist)
+//	PL002  a Flush with no Fence or Persist on the same thread later
+//	       in the function (the clwb is queued but never retired)
+//	PL003  a Flush/Persist inside an eADR-only branch (dead code:
+//	       stores are already durable in the eADR domain)
+//	PL004  a *pmem.Thread crossing a goroutine boundary (captured by a
+//	       go-closure, passed as a go-call argument, or sent on a
+//	       channel); Thread is documented single-owner
+//
+// Rules PL001/PL002 are deliberately function-local and linear: a
+// helper that stores and hands the persist obligation to its caller is
+// a finding, to be acknowledged with an ignore directive explaining the
+// contract. Suppression:
+//
+//	//persistlint:ignore PL001 caller persists the whole leaf image
+//
+// on the finding's line, the line above it, or in the enclosing
+// function's doc comment (which suppresses that code for the whole
+// function). A directive without a reason does not suppress and is
+// itself reported (PL000).
+package persist
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Category codes. PL000 is reserved for defects in the directives
+// themselves.
+const (
+	CodeBadDirective   = "PL000"
+	CodeStoreNoPersist = "PL001"
+	CodeFlushNoFence   = "PL002"
+	CodeDeadFlush      = "PL003"
+	CodeThreadEscape   = "PL004"
+)
+
+// pmemImportPath identifies the modeled-PM package; any import path
+// with this suffix (plus the package's own files) activates analysis.
+const pmemImportPath = "internal/pmem"
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos  token.Position
+	Code string
+	Func string // enclosing function, e.g. "(*Worker).leafBatchInsert"
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s (in %s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Code, f.Msg, f.Func)
+}
+
+// Analyzer accumulates parsed files, then runs the rules over all of
+// them; struct-field thread declarations are collected globally first
+// so method bodies in one package recognize fields declared in another.
+type Analyzer struct {
+	fset  *token.FileSet
+	files []*fileInfo
+
+	// threadFields holds names of struct fields declared *pmem.Thread
+	// anywhere in the analyzed set ("t" in practice): any selector
+	// expression ending in one of these is treated as a thread.
+	threadFields map[string]bool
+}
+
+type fileInfo struct {
+	path     string
+	f        *ast.File
+	pmemName string // local import name of internal/pmem ("" if absent)
+	inPmem   bool   // file belongs to package pmem itself
+	ignores  map[int][]directive
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{fset: token.NewFileSet(), threadFields: map[string]bool{}}
+}
+
+// Fset exposes the analyzer's file set (positions in Findings resolve
+// against it).
+func (a *Analyzer) Fset() *token.FileSet { return a.fset }
+
+// AddFile parses one source file (src may be nil to read from disk).
+func (a *Analyzer) AddFile(path string, src []byte) error {
+	var from any // a nil []byte must become a nil interface or ParseFile reads it as empty source
+	if src != nil {
+		from = src
+	}
+	f, err := parser.ParseFile(a.fset, path, from, parser.ParseComments)
+	if err != nil {
+		return err
+	}
+	fi := &fileInfo{path: path, f: f, inPmem: f.Name.Name == "pmem"}
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p == pmemImportPath || strings.HasSuffix(p, "/"+pmemImportPath) {
+			if imp.Name != nil {
+				fi.pmemName = imp.Name.Name
+			} else {
+				fi.pmemName = "pmem"
+			}
+		}
+	}
+	fi.ignores = parseDirectives(a.fset, f)
+	a.files = append(a.files, fi)
+	return nil
+}
+
+// AddDir parses every .go file directly in dir. Test files are skipped
+// unless includeTests is set (test code routinely leaves stores
+// unpersisted on purpose, e.g. crash-injection harnesses).
+func (a *Analyzer) AddDir(dir string, includeTests bool) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if err := a.AddFile(filepath.Join(dir, name), nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes all rules and returns unsuppressed findings in position
+// order.
+func (a *Analyzer) Run() []Finding {
+	for _, fi := range a.files {
+		a.collectThreadFields(fi)
+	}
+	var out []Finding
+	for _, fi := range a.files {
+		out = append(out, a.checkFile(fi)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Column < out[j].Pos.Column
+	})
+	return out
+}
+
+// isThreadType reports whether the type expression denotes
+// *pmem.Thread (or *Thread inside package pmem).
+func (fi *fileInfo) isThreadType(e ast.Expr) bool {
+	st, ok := e.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	switch x := st.X.(type) {
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		return ok && fi.pmemName != "" && id.Name == fi.pmemName && x.Sel.Name == "Thread"
+	case *ast.Ident:
+		return fi.inPmem && x.Name == "Thread"
+	}
+	return false
+}
+
+// collectThreadFields records struct field names declared *pmem.Thread.
+func (a *Analyzer) collectThreadFields(fi *fileInfo) {
+	ast.Inspect(fi.f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			if !fi.isThreadType(fld.Type) {
+				continue
+			}
+			for _, name := range fld.Names {
+				a.threadFields[name.Name] = true
+			}
+		}
+		return true
+	})
+}
+
+// checkFile runs per-function rules over one file.
+func (a *Analyzer) checkFile(fi *fileInfo) []Finding {
+	var out []Finding
+	for _, decl := range fi.f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fa := &funcAnalysis{an: a, fi: fi, fn: fd, threads: map[string]bool{}}
+		fa.collectThreadVars()
+		out = append(out, fa.run()...)
+	}
+	// Report malformed directives (missing reason) once per site.
+	for line, dirs := range fi.ignores {
+		for _, d := range dirs {
+			if d.reason == "" {
+				out = append(out, Finding{
+					Pos:  d.pos,
+					Code: CodeBadDirective,
+					Func: "-",
+					Msg:  fmt.Sprintf("persistlint:ignore %s on line %d has no reason; suppression requires a justification", d.code, line),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// funcAnalysis is the per-function state shared by the rules.
+type funcAnalysis struct {
+	an      *Analyzer
+	fi      *fileInfo
+	fn      *ast.FuncDecl
+	threads map[string]bool // local identifiers known to hold *pmem.Thread
+}
+
+func (fa *funcAnalysis) name() string {
+	fd := fa.fn
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return "(" + renderExpr(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+}
+
+// collectThreadVars seeds the thread-identifier set from the parameter
+// list and from assignments whose right side is a thread expression or
+// a NewThread()/Thread() call.
+func (fa *funcAnalysis) collectThreadVars() {
+	for _, fld := range fa.fn.Type.Params.List {
+		if fa.fi.isThreadType(fld.Type) {
+			for _, n := range fld.Names {
+				fa.threads[n.Name] = true
+			}
+		}
+	}
+	if fa.fn.Recv != nil {
+		for _, fld := range fa.fn.Recv.List {
+			if fa.fi.isThreadType(fld.Type) {
+				for _, n := range fld.Names {
+					fa.threads[n.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !fa.isThreadExpr(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				fa.threads[id.Name] = true
+			}
+		}
+		return true
+	})
+}
+
+// isThreadExpr reports whether e syntactically denotes a *pmem.Thread:
+// a known thread identifier, a selector ending in a known thread field,
+// or a call of a method named Thread (zero-arg accessor) or NewThread.
+func (fa *funcAnalysis) isThreadExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return fa.isThreadExpr(x.X)
+	case *ast.Ident:
+		return fa.threads[x.Name]
+	case *ast.SelectorExpr:
+		return fa.an.threadFields[x.Sel.Name]
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "NewThread" {
+				return true
+			}
+			if sel.Sel.Name == "Thread" && len(x.Args) == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// renderExpr prints the small expression forms the analyzer deals in
+// (identifier/selector chains, calls, stars); it exists so findings can
+// name the thread value without importing go/printer.
+func renderExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderExpr(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + renderExpr(x.X)
+	case *ast.ParenExpr:
+		return "(" + renderExpr(x.X) + ")"
+	case *ast.CallExpr:
+		return renderExpr(x.Fun) + "()"
+	case *ast.IndexExpr:
+		return renderExpr(x.X) + "[...]"
+	}
+	return "?"
+}
+
+// threadCall decomposes a call into (thread key, method name) when the
+// callee is a method on a thread expression; ok is false otherwise.
+func (fa *funcAnalysis) threadCall(call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	if !fa.isThreadExpr(sel.X) {
+		return "", "", false
+	}
+	return renderExpr(sel.X), sel.Sel.Name, true
+}
+
+// suppressed checks the three suppression scopes for a finding.
+func (fa *funcAnalysis) suppressed(code string, line int) bool {
+	if directiveMatches(fa.fi.ignores[line], code) || directiveMatches(fa.fi.ignores[line-1], code) {
+		return true
+	}
+	// Function-scope: directive in the func doc comment.
+	if fa.fn.Doc != nil {
+		for _, c := range fa.fn.Doc.List {
+			if d, ok := parseDirectiveComment(fa.an.fset, c); ok && d.reason != "" && d.matches(code) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (fa *funcAnalysis) finding(code string, pos token.Pos, msg string) (Finding, bool) {
+	p := fa.an.fset.Position(pos)
+	if fa.suppressed(code, p.Line) {
+		return Finding{}, false
+	}
+	return Finding{Pos: p, Code: code, Func: fa.name(), Msg: msg}, true
+}

@@ -1,0 +1,152 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the expectation comment and its quoted regexps:
+//
+//	t.Store(a, 1) // want "PL001" "second finding"
+var (
+	wantRE  = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quoteRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+type wantEntry struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants maps file line numbers to expected-finding regexps.
+func parseWants(t *testing.T, path string) map[int][]*wantEntry {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[int][]*wantEntry{}
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, q := range quoteRE.FindAllStringSubmatch(m[1], -1) {
+			re, err := regexp.Compile(q[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, q[1], err)
+			}
+			out[i+1] = append(out[i+1], &wantEntry{re: re})
+		}
+	}
+	return out
+}
+
+// TestGolden analyzes every testdata file as one package (they share
+// helper types, as real packages do) and checks the findings against
+// the // want annotations, both directions: every finding must be
+// expected and every expectation must fire.
+func TestGolden(t *testing.T) {
+	ents, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalyzer()
+	wants := map[string]map[int][]*wantEntry{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join("testdata", e.Name())
+		if err := an.AddFile(path, nil); err != nil {
+			t.Fatal(err)
+		}
+		wants[path] = parseWants(t, path)
+	}
+	if len(wants) == 0 {
+		t.Fatal("no testdata files")
+	}
+
+	for _, f := range an.Run() {
+		text := f.Code + " " + f.Msg
+		entries := wants[f.Pos.Filename][f.Pos.Line]
+		matched := false
+		for _, w := range entries {
+			if !w.matched && w.re.MatchString(text) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s:%d: %s", f.Pos.Filename, f.Pos.Line, text)
+		}
+	}
+	for path, byLine := range wants {
+		for line, entries := range byLine {
+			for _, w := range entries {
+				if !w.matched {
+					t.Errorf("%s:%d: expected finding matching %q, got none", path, line, w.re)
+				}
+			}
+		}
+	}
+}
+
+// TestDirectiveWithoutReason checks that a reasonless ignore neither
+// suppresses nor passes silently: the original finding stays and a
+// PL000 defect is reported at the directive.
+func TestDirectiveWithoutReason(t *testing.T) {
+	src := `package p
+
+import "cclbtree/internal/pmem"
+
+func f(t *pmem.Thread, a pmem.Addr) {
+	//persistlint:ignore PL001
+	t.Store(a, 1)
+}
+`
+	an := NewAnalyzer()
+	if err := an.AddFile("reasonless.go", []byte(src)); err != nil {
+		t.Fatal(err)
+	}
+	findings := an.Run()
+	var codes []string
+	for _, f := range findings {
+		codes = append(codes, f.Code)
+	}
+	got := strings.Join(codes, ",")
+	if !strings.Contains(got, CodeBadDirective) || !strings.Contains(got, CodeStoreNoPersist) {
+		t.Fatalf("want PL000 and PL001, got %v", findings)
+	}
+}
+
+// TestFindingString pins the human-readable output shape the CLI
+// prints (file:line:col: [CODE] message (in func)).
+func TestFindingString(t *testing.T) {
+	src := `package p
+
+import "cclbtree/internal/pmem"
+
+func leak(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+}
+`
+	an := NewAnalyzer()
+	if err := an.AddFile("x.go", []byte(src)); err != nil {
+		t.Fatal(err)
+	}
+	fs := an.Run()
+	if len(fs) != 1 {
+		t.Fatalf("want 1 finding, got %v", fs)
+	}
+	s := fs[0].String()
+	want := fmt.Sprintf("x.go:6:2: [%s]", CodeStoreNoPersist)
+	if !strings.HasPrefix(s, want) || !strings.HasSuffix(s, "(in leak)") {
+		t.Fatalf("finding rendered as %q, want prefix %q and func suffix", s, want)
+	}
+}

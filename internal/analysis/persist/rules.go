@@ -1,0 +1,325 @@
+package persist
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// event kinds for the PL001/PL002 linear coverage check.
+const (
+	evStore = iota
+	evFlush
+	evFence
+	evPersist
+)
+
+type pmEvent struct {
+	pos      token.Pos
+	key      string // rendered thread expression ("t", "w.t", ...)
+	method   string
+	kind     int
+	deferred bool // inside a defer: runs at return, covers everything
+}
+
+// span is a half-open source range [from, to).
+type span struct{ from, to token.Pos }
+
+func (s span) contains(p token.Pos) bool { return p >= s.from && p < s.to }
+
+func inSpans(spans []span, p token.Pos) bool {
+	for _, s := range spans {
+		if s.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes all four rules on one function body.
+func (fa *funcAnalysis) run() []Finding {
+	deferSpans := fa.collectDeferSpans()
+	eadrSpans := fa.collectEADRSpans()
+	events := fa.collectEvents(deferSpans)
+
+	var out []Finding
+	emit := func(code string, pos token.Pos, msg string) {
+		if f, ok := fa.finding(code, pos, msg); ok {
+			out = append(out, f)
+		}
+	}
+
+	// PL001/PL002: linear reachability approximation — an obligation at
+	// position p is met by a discharging call on the same thread at a
+	// later position (or in a defer, which runs at every return).
+	covered := func(e pmEvent, kinds ...int) bool {
+		for _, o := range events {
+			if o.key != e.key || (!o.deferred && o.pos <= e.pos) {
+				continue
+			}
+			for _, k := range kinds {
+				if o.kind == k {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, e := range events {
+		switch e.kind {
+		case evStore:
+			if !covered(e, evFlush, evPersist) {
+				emit(CodeStoreNoPersist, e.pos, fmt.Sprintf(
+					"%s.%s to PM with no later %s.Flush/Persist before return: the store is volatile under ADR", e.key, e.method, e.key))
+			}
+		case evFlush:
+			if !covered(e, evFence, evPersist) {
+				emit(CodeFlushNoFence, e.pos, fmt.Sprintf(
+					"%s.Flush with no later %s.Fence/Persist before return: the clwb never retires", e.key, e.key))
+			}
+		}
+		// PL003: flushing where only eADR can execute is dead code.
+		if (e.kind == evFlush || e.kind == evPersist) && inSpans(eadrSpans, e.pos) {
+			emit(CodeDeadFlush, e.pos, fmt.Sprintf(
+				"%s.%s under an eADR-only branch is a no-op (eADR stores are already durable)", e.key, e.method))
+		}
+	}
+
+	out = append(out, fa.checkEscapes()...)
+	return out
+}
+
+// collectDeferSpans returns the source ranges of defer statements.
+func (fa *funcAnalysis) collectDeferSpans() []span {
+	var spans []span
+	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			spans = append(spans, span{d.Pos(), d.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+// collectEvents gathers every Thread API call relevant to PL001–PL003.
+func (fa *funcAnalysis) collectEvents(deferSpans []span) []pmEvent {
+	var events []pmEvent
+	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method, ok := fa.threadCall(call)
+		if !ok {
+			return true
+		}
+		var kind int
+		switch method {
+		case "Store", "WriteRange":
+			kind = evStore
+		case "Flush":
+			kind = evFlush
+		case "Fence":
+			kind = evFence
+		case "Persist":
+			kind = evPersist
+		default:
+			return true
+		}
+		events = append(events, pmEvent{
+			pos:      call.Pos(),
+			key:      key,
+			method:   method,
+			kind:     kind,
+			deferred: inSpans(deferSpans, call.Pos()),
+		})
+		return true
+	})
+	return events
+}
+
+// isEADRRef matches a reference to the EADR mode constant (pmem.EADR,
+// or plain EADR inside package pmem).
+func isEADRRef(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name == "EADR"
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "EADR"
+	case *ast.ParenExpr:
+		return isEADRRef(x.X)
+	}
+	return false
+}
+
+// condImpliesEADR reports whether the condition being true implies the
+// platform mode is eADR (x == EADR, possibly under &&).
+func condImpliesEADR(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return condImpliesEADR(x.X)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL:
+			return isEADRRef(x.X) || isEADRRef(x.Y)
+		case token.LAND:
+			return condImpliesEADR(x.X) || condImpliesEADR(x.Y)
+		}
+	}
+	return false
+}
+
+// condIsNotEADR matches x != EADR (whose else-branch is eADR-only).
+func condIsNotEADR(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return condIsNotEADR(x.X)
+	case *ast.BinaryExpr:
+		return x.Op == token.NEQ && (isEADRRef(x.X) || isEADRRef(x.Y))
+	}
+	return false
+}
+
+// collectEADRSpans returns the ranges of statements that only execute
+// when the mode is eADR: the body of `if mode == EADR`, the else of
+// `if mode != EADR`, and `case EADR:` clauses.
+func (fa *funcAnalysis) collectEADRSpans() []span {
+	var spans []span
+	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			if condImpliesEADR(x.Cond) {
+				spans = append(spans, span{x.Body.Pos(), x.Body.End()})
+			}
+			if condIsNotEADR(x.Cond) && x.Else != nil {
+				spans = append(spans, span{x.Else.Pos(), x.Else.End()})
+			}
+		case *ast.SwitchStmt:
+			for _, stmt := range x.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, v := range cc.List {
+					if isEADRRef(v) {
+						spans = append(spans, span{cc.Pos(), cc.End()})
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+// checkEscapes implements PL004: a *pmem.Thread value crossing a
+// goroutine boundary. A freshly created thread (pool.NewThread(...) as
+// a go-call argument) is an ownership transfer and is allowed; an
+// existing thread identifier or field crossing the boundary is not.
+func (fa *funcAnalysis) checkEscapes() []Finding {
+	var out []Finding
+	emit := func(pos token.Pos, msg string) {
+		if f, ok := fa.finding(CodeThreadEscape, pos, msg); ok {
+			out = append(out, f)
+		}
+	}
+	existingThread := func(e ast.Expr) bool {
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			return fa.isThreadExpr(e)
+		}
+		return false
+	}
+	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				local := declaredNames(lit.Body)
+				for _, fld := range lit.Type.Params.List {
+					for _, id := range fld.Names {
+						local[id.Name] = true
+					}
+				}
+				for _, id := range freeIdents(lit.Body) {
+					if fa.threads[id.Name] && !local[id.Name] {
+						emit(id.Pos(), fmt.Sprintf(
+							"*pmem.Thread %q captured by goroutine closure; Thread is single-owner", id.Name))
+					}
+				}
+			}
+			for _, arg := range x.Call.Args {
+				if existingThread(arg) {
+					emit(arg.Pos(), fmt.Sprintf(
+						"*pmem.Thread %s passed into a goroutine; Thread is single-owner", renderExpr(arg)))
+				}
+			}
+		case *ast.SendStmt:
+			if existingThread(x.Value) {
+				emit(x.Value.Pos(), fmt.Sprintf(
+					"*pmem.Thread %s sent over a channel; Thread is single-owner", renderExpr(x.Value)))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// declaredNames collects names the closure body declares itself (:=,
+// var, range with define): referencing those is not a capture.
+func declaredNames(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				for _, l := range x.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Tok == token.DEFINE {
+				if id, ok := x.Key.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+				if id, ok := x.Value.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range x.Names {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// freeIdents returns value-position identifiers in a closure body:
+// selector fields (x.Sel) and composite-literal keys are excluded so a
+// struct field named like a thread variable does not false-positive.
+func freeIdents(body *ast.BlockStmt) []*ast.Ident {
+	skip := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			skip[x.Sel] = true
+		case *ast.KeyValueExpr:
+			if id, ok := x.Key.(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+		return true
+	})
+	var out []*ast.Ident
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !skip[id] {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,50 @@
+// PL003 cases: under eADR the CPU caches are inside the persistence
+// domain, so a Flush/Persist that can only execute on an eADR-only
+// branch writes back nothing — dead code that usually signals inverted
+// mode logic.
+package testdata
+
+import "cclbtree/internal/pmem"
+
+func deadFlushUnderEADR(t *pmem.Thread, a pmem.Addr, mode pmem.Mode) {
+	t.Store(a, 1)
+	if mode == pmem.EADR {
+		t.Flush(a, 8) // want "PL003"
+	}
+	t.Persist(a, 8)
+}
+
+func deadPersistInElseOfNotEADR(t *pmem.Thread, a pmem.Addr, mode pmem.Mode) {
+	t.Store(a, 1)
+	if mode != pmem.EADR {
+		t.Persist(a, 8)
+	} else {
+		t.Persist(a, 8) // want "PL003"
+	}
+}
+
+func deadPersistInSwitchCase(t *pmem.Thread, a pmem.Addr, mode pmem.Mode) {
+	t.Store(a, 1)
+	switch mode {
+	case pmem.EADR:
+		t.Persist(a, 8) // want "PL003"
+	default:
+		t.Persist(a, 8)
+	}
+}
+
+func flushUnderADRBranchIsFine(t *pmem.Thread, a pmem.Addr, mode pmem.Mode) {
+	t.Store(a, 1)
+	if mode == pmem.ADR {
+		t.Flush(a, 8)
+		t.Fence()
+	}
+}
+
+func eadrEarlyReturnIsFine(t *pmem.Thread, a pmem.Addr, mode pmem.Mode) {
+	t.Store(a, 1)
+	if mode == pmem.EADR {
+		return
+	}
+	t.Persist(a, 8)
+}

@@ -1,0 +1,41 @@
+// PL002 cases: a Flush queues a clwb that only becomes durable at the
+// next Fence (or Persist); a flush with no later fence leaks pending
+// write-backs.
+package testdata
+
+import "cclbtree/internal/pmem"
+
+func flushNoFence(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8) // want "PL002"
+}
+
+func flushThenFence(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+	t.Fence()
+}
+
+func flushCoveredByLaterPersist(t *pmem.Thread, a, b pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+	t.Store(b, 2)
+	t.Persist(b, 8)
+}
+
+func fenceBeforeFlushDoesNotCover(t *pmem.Thread, a pmem.Addr) {
+	t.Fence()
+	t.Store(a, 1)
+	t.Flush(a, 8) // want "PL002"
+}
+
+func flushCoveredByDeferredFence(t *pmem.Thread, a pmem.Addr) {
+	defer t.Fence()
+	t.Store(a, 1)
+	t.Flush(a, 8)
+}
+
+func (w *worker) fieldFlushNoFence(a pmem.Addr) {
+	w.t.Store(a, 1)
+	w.t.Flush(a, 8) // want "PL002"
+}

@@ -1,0 +1,35 @@
+// Suppression cases: //persistlint:ignore CODE reason on the finding's
+// line, the line above, or in the function doc comment. A directive for
+// a different code, or with no reason, does not suppress.
+package testdata
+
+import "cclbtree/internal/pmem"
+
+func suppressedSameLine(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1) //persistlint:ignore PL001 caller persists the whole region after batching
+}
+
+func suppressedPrevLine(t *pmem.Thread, a pmem.Addr) {
+	//persistlint:ignore PL001 caller persists the whole region after batching
+	t.Store(a, 1)
+}
+
+// suppressedFuncScope builds an image the caller persists in one shot.
+//
+//persistlint:ignore PL001 builder helper, caller persists the assembled image
+func suppressedFuncScope(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Store(a.Add(8), 2)
+}
+
+func wrongCodeDoesNotSuppress(t *pmem.Thread, a pmem.Addr) {
+	//persistlint:ignore PL002 a fence directive cannot excuse a missing flush
+	t.Store(a, 1) // want "PL001"
+}
+
+func multiCodeDirective(t *pmem.Thread, a pmem.Addr) {
+	//persistlint:ignore PL001,PL002 both obligations transfer to the epilogue helper
+	t.Store(a, 1)
+	//persistlint:ignore PL001,PL002 both obligations transfer to the epilogue helper
+	t.Flush(a, 8)
+}

@@ -1,0 +1,72 @@
+// PL001 cases: a Store/WriteRange to PM must be followed by a
+// Flush/Persist on the same thread before the function returns.
+package testdata
+
+import "cclbtree/internal/pmem"
+
+func storeNoPersist(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1) // want "PL001"
+}
+
+func writeRangeNoPersist(t *pmem.Thread, a pmem.Addr, src []uint64) {
+	t.WriteRange(a, src) // want "PL001"
+}
+
+func storeThenPersist(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Persist(a, 8)
+}
+
+func storeThenFlushFence(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+	t.Fence()
+}
+
+func storeAfterLastPersist(t *pmem.Thread, a pmem.Addr) {
+	t.Persist(a, 8)
+	t.Store(a, 2) // want "PL001"
+}
+
+func storeCoveredByDefer(t *pmem.Thread, a pmem.Addr) {
+	defer t.Persist(a, 8)
+	t.Store(a, 1)
+}
+
+// worker mirrors the repo-wide pattern of a handle struct owning its
+// PM thread; field-typed threads resolve through the declaration.
+type worker struct {
+	t *pmem.Thread
+}
+
+func (w *worker) fieldStoreNoPersist(a pmem.Addr) {
+	w.t.Store(a, 1) // want "PL001"
+}
+
+func (w *worker) fieldStorePersist(a pmem.Addr) {
+	w.t.Store(a, 1)
+	w.t.Persist(a, 8)
+}
+
+// A persist on a different thread does not discharge the obligation.
+func twoThreads(t1, t2 *pmem.Thread, a pmem.Addr) {
+	t1.Store(a, 1) // want "PL001"
+	t2.Persist(a, 8)
+}
+
+// A thread obtained from an accessor or constructor is recognized.
+func accessorThread(w *worker, a pmem.Addr) {
+	t := w.Thread()
+	t.Store(a, 1) // want "PL001"
+}
+
+func (w *worker) Thread() *pmem.Thread { return w.t }
+
+// Store on a non-thread receiver (sync/atomic style) is not a PM store.
+type atomicBox struct{ v uint64 }
+
+func (b *atomicBox) Store(v uint64) { b.v = v }
+
+func atomicStoreIgnored(b *atomicBox) {
+	b.Store(1)
+}

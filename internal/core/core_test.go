@@ -15,6 +15,7 @@ func newTestPool(mut func(*pmem.Config)) *pmem.Pool {
 		DeviceBytes:    32 << 20,
 		XPBufferLines:  16,
 		CacheLines:     1 << 13,
+		StrictPersist:  true,
 	}
 	if mut != nil {
 		mut(&cfg)

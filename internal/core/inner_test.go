@@ -19,7 +19,7 @@ func fixedCmp(_ *pmem.Thread, a, b uint64) int {
 }
 
 func innerThread() *pmem.Thread {
-	return pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 1 << 20}).NewThread(0)
+	return pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 1 << 20, StrictPersist: true}).NewThread(0)
 }
 
 func TestInnerTreePutFindLE(t *testing.T) {
@@ -100,7 +100,7 @@ func TestInnerTreeStaleSeparatorRouting(t *testing.T) {
 }
 
 func TestChunkDirRegisterUnregister(t *testing.T) {
-	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 4 << 20})
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 4 << 20, StrictPersist: true})
 	base := pmem.MakeAddr(0, 8192)
 	d := newChunkDir(pool.NewThread(0), base, 16)
 	d.clearAll()
@@ -129,7 +129,7 @@ func TestChunkDirRegisterUnregister(t *testing.T) {
 }
 
 func TestChunkDirSurvivesCrash(t *testing.T) {
-	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 4 << 20})
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 4 << 20, StrictPersist: true})
 	base := pmem.MakeAddr(0, 8192)
 	d := newChunkDir(pool.NewThread(0), base, 8)
 	d.clearAll()
@@ -143,7 +143,7 @@ func TestChunkDirSurvivesCrash(t *testing.T) {
 }
 
 func TestBlobRoundtrip(t *testing.T) {
-	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 8 << 20})
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 8 << 20, StrictPersist: true})
 	th := pool.NewThread(0)
 	tr, err := New(pool, Options{VarKV: true, ChunkBytes: 16 << 10})
 	if err != nil {
@@ -166,7 +166,7 @@ func TestBlobRoundtrip(t *testing.T) {
 }
 
 func TestCompareVarOrdering(t *testing.T) {
-	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 8 << 20})
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 8 << 20, StrictPersist: true})
 	tr, err := New(pool, Options{VarKV: true, ChunkBytes: 16 << 10})
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +199,7 @@ func TestCompareVarOrdering(t *testing.T) {
 }
 
 func TestDecodeValueWord(t *testing.T) {
-	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 8 << 20})
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 8 << 20, StrictPersist: true})
 	th := pool.NewThread(0)
 	// Inline word decodes little-endian.
 	got := decodeValueWord(th, 0x0102030405060708)

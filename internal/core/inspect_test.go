@@ -74,7 +74,7 @@ func TestInspectDetectsOrderViolation(t *testing.T) {
 }
 
 func TestInspectRejectsEmptyPool(t *testing.T) {
-	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 1 << 20})
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 1 << 20, StrictPersist: true})
 	if _, err := Inspect(pool); err == nil {
 		t.Fatal("empty pool accepted")
 	}

@@ -293,6 +293,7 @@ func TestParallelRecoveryMatchesSerial(t *testing.T) {
 			k := uint64(rng.Intn(2000) + 1)
 			_ = w.Upsert(k, k+uint64(op))
 		}
+		tr.Freeze()
 		pool.Crash()
 		return pool
 	}

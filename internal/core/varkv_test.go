@@ -221,7 +221,7 @@ func TestLargeValueIndirection(t *testing.T) {
 func TestEADRMode(t *testing.T) {
 	// eADR: no flushes needed; stores survive crash; tree still works.
 	pool := pmem.NewPool(pmem.Config{
-		Sockets: 2, DIMMsPerSocket: 2, DeviceBytes: 32 << 20, Mode: pmem.EADR,
+		Sockets: 2, DIMMsPerSocket: 2, DeviceBytes: 32 << 20, Mode: pmem.EADR, StrictPersist: true,
 	})
 	tr, err := New(pool, Options{ChunkBytes: 16 << 10})
 	if err != nil {

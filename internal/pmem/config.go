@@ -134,6 +134,12 @@ type Config struct {
 	// that never call Crash. Persistence semantics are unchanged for
 	// the program; only Crash becomes unavailable.
 	DisableCrashTracking bool
+	// StrictPersist arms the runtime discipline checker (see strict.go):
+	// panic-with-context on cross-goroutine Thread use, unaligned
+	// Load/Store addresses, Thread.Release with pending flushes, and
+	// Pool.Close with dirty lines outside declared-volatile regions.
+	// Meant for test suites; off by default to keep hot paths clean.
+	StrictPersist bool
 }
 
 // DefaultConfig returns a two-socket, four-DIMMs-per-socket platform

@@ -36,4 +36,43 @@
 // All data access is 8-byte-word granular and atomic, which matches how
 // persistent indexes program real PM (8 B failure-atomic stores) and keeps
 // optimistic concurrency race-free under the Go memory model.
+//
+// # Persistence contract
+//
+// Code using this package must obey the discipline real ADR hardware
+// imposes; the static analyzer (cmd/persistlint) and the StrictPersist
+// runtime checks enforce complementary halves of it:
+//
+//   - Every Store/WriteRange that must survive a crash is followed by a
+//     Flush of the covering cachelines and then a Fence (or a single
+//     Persist) before the enclosing operation declares success. A store
+//     without a reachable flush is volatile until the cache model
+//     happens to evict it (persistlint rule PL001).
+//
+//   - A Flush alone orders nothing: the write-back becomes durable only
+//     at the next Fence on the same Thread. Flush with no following
+//     Fence/Persist is an unretired clwb (rule PL002; at runtime,
+//     Thread.Release and Pool.Close panic on nonempty pending sets).
+//
+//   - Under eADR, flushes are unnecessary — stores are durable once
+//     globally visible — so a Flush or Persist that executes only on an
+//     eADR-mode branch is dead code (rule PL003). Branching on the mode
+//     to *skip* flushes is the intended pattern and is not flagged.
+//
+//   - A Thread is a single-owner handle. It may be handed from one
+//     goroutine to another, but never used by two at once; its pending
+//     flush set and virtual clock are unsynchronized by design (rule
+//     PL004 catches escapes into goroutine closures and channel sends;
+//     StrictPersist catches dynamic overlap).
+//
+// Addresses passed to Load/Store/ReadRange/WriteRange must be 8-byte
+// aligned; in strict mode unaligned addresses panic instead of being
+// silently truncated to the containing word.
+//
+// Config.StrictPersist arms the runtime half: Thread.Release panics if
+// flushes are pending, Pool.Close panics on pending flushes or dirty
+// cachelines outside regions declared scratch with Pool.DeclareVolatile,
+// and concurrent Thread use panics with both call sites identified.
+// Test suites should run strict; production-shaped benchmarks leave it
+// off to keep the hot paths branch-cheap.
 package pmem

@@ -20,6 +20,13 @@ type Pool struct {
 	aux   map[string]any
 
 	failAfter atomic.Int64
+
+	// Strict-mode bookkeeping (see strict.go): live threads to audit at
+	// Close, declared-volatile regions exempt from the dirty-line check.
+	strictMu      sync.Mutex
+	strictThreads []*Thread
+	volatiles     []volRange
+	closed        bool
 }
 
 // Aux returns the pool-scoped singleton registered under key, creating
@@ -105,6 +112,19 @@ func (p *Pool) Crash() {
 	for _, d := range p.devs {
 		d.crash()
 	}
+	if p.cfg.StrictPersist {
+		// Threads do not survive a power failure: their pending flush
+		// sets are meaningless post-restart. Mark them released so any
+		// further use (or a later Close auditing them) panics loudly
+		// instead of reporting phantom pending flushes.
+		p.strictMu.Lock()
+		for _, t := range p.strictThreads {
+			t.pending = nil
+			t.released = true
+		}
+		p.strictThreads = nil
+		p.strictMu.Unlock()
+	}
 }
 
 // DrainXPBuffers forces every buffered XPLine to media so end-of-run
@@ -121,7 +141,13 @@ func (p *Pool) NewThread(socket int) *Thread {
 	if socket < 0 || socket >= len(p.devs) {
 		panic(fmt.Sprintf("pmem: socket %d out of range", socket))
 	}
-	return &Thread{pool: p, socket: socket}
+	t := &Thread{pool: p, socket: socket, strict: p.cfg.StrictPersist}
+	if t.strict {
+		p.strictMu.Lock()
+		p.strictThreads = append(p.strictThreads, t)
+		p.strictMu.Unlock()
+	}
+	return t
 }
 
 // persistentWord returns the crash-consistent value of word idx on

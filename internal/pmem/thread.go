@@ -29,6 +29,13 @@ type Thread struct {
 
 	readCache [readCacheSize]uint64 // device-qualified XPLine ids, 0 = empty
 	readPos   int
+
+	// Strict-mode state (see strict.go). inOp is 1 while an operation
+	// is in flight; a second entry while it is held means two
+	// goroutines are using the handle concurrently.
+	strict   bool
+	released bool
+	inOp     atomic.Int32
 }
 
 // Socket returns the thread's local NUMA node.
@@ -128,6 +135,11 @@ func (t *Thread) chargeLoad(d *device, line uint64) {
 
 // Load reads the 8-byte word at a (must be word-aligned).
 func (t *Thread) Load(a Addr) uint64 {
+	if t.strict {
+		t.beginOp("Load")
+		defer t.endOp()
+		t.checkAligned(a, "Load")
+	}
 	d := t.dev(a)
 	idx := a.Offset() / WordSize
 	t.chargeLoad(d, idx/wordsPerLine)
@@ -137,6 +149,11 @@ func (t *Thread) Load(a Addr) uint64 {
 // Store writes the 8-byte word at a. The store is volatile under ADR
 // until flushed and fenced; under eADR it is immediately persistent.
 func (t *Thread) Store(a Addr, v uint64) {
+	if t.strict {
+		t.beginOp("Store")
+		defer t.endOp()
+		t.checkAligned(a, "Store")
+	}
 	d := t.dev(a)
 	idx := a.Offset() / WordSize
 	line := idx / wordsPerLine
@@ -151,6 +168,11 @@ func (t *Thread) Store(a Addr, v uint64) {
 // ReadRange loads len(dst) consecutive words starting at a, charging one
 // cacheline load per line covered.
 func (t *Thread) ReadRange(a Addr, dst []uint64) {
+	if t.strict {
+		t.beginOp("ReadRange")
+		defer t.endOp()
+		t.checkAligned(a, "ReadRange")
+	}
 	d := t.dev(a)
 	idx := a.Offset() / WordSize
 	first := idx / wordsPerLine
@@ -165,6 +187,11 @@ func (t *Thread) ReadRange(a Addr, dst []uint64) {
 
 // WriteRange stores len(src) consecutive words starting at a.
 func (t *Thread) WriteRange(a Addr, src []uint64) {
+	if t.strict {
+		t.beginOp("WriteRange")
+		defer t.endOp()
+		t.checkAligned(a, "WriteRange")
+	}
 	d := t.dev(a)
 	idx := a.Offset() / WordSize
 	trackPre := t.pool.cfg.Mode == ADR && !t.pool.cfg.DisableCrashTracking
@@ -189,6 +216,14 @@ func (t *Thread) WriteRange(a Addr, src []uint64) {
 // are skipped (clwb of an unmodified line writes nothing back). The
 // write-back becomes durable at the next Fence.
 func (t *Thread) Flush(a Addr, n int) {
+	if t.strict {
+		t.beginOp("Flush")
+		defer t.endOp()
+	}
+	t.flush(a, n)
+}
+
+func (t *Thread) flush(a Addr, n int) {
 	if t.pool.cfg.Mode == EADR {
 		return // no flushing needed; stores are already in the domain
 	}
@@ -214,6 +249,14 @@ func (t *Thread) Flush(a Addr, n int) {
 // Fence issues sfence: every previously flushed line becomes durable
 // with the content it had at flush time.
 func (t *Thread) Fence() {
+	if t.strict {
+		t.beginOp("Fence")
+		defer t.endOp()
+	}
+	t.fence()
+}
+
+func (t *Thread) fence() {
 	t.vt += t.pool.cfg.Cost.FenceIssue
 	if len(t.pending) == 0 {
 		return
@@ -226,8 +269,12 @@ func (t *Thread) Fence() {
 
 // Persist is the common Flush+Fence sequence.
 func (t *Thread) Persist(a Addr, n int) {
-	t.Flush(a, n)
-	t.Fence()
+	if t.strict {
+		t.beginOp("Persist")
+		defer t.endOp()
+	}
+	t.flush(a, n)
+	t.fence()
 }
 
 // commitFlush makes snapshot the persistent image of line. If the line

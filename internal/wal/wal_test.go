@@ -9,7 +9,7 @@ import (
 
 func testSetup(t *testing.T, chunkBytes int) (*pmem.Pool, *Manager) {
 	t.Helper()
-	pool := pmem.NewPool(pmem.Config{Sockets: 2, DIMMsPerSocket: 2, DeviceBytes: 8 << 20})
+	pool := pmem.NewPool(pmem.Config{Sockets: 2, DIMMsPerSocket: 2, DeviceBytes: 8 << 20, StrictPersist: true})
 	return pool, NewManager(pmalloc.New(pool), chunkBytes)
 }
 
