@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"cclbtree/internal/core"
+	"cclbtree/internal/obs"
 	"cclbtree/internal/pmem"
 )
 
@@ -63,6 +64,15 @@ type Config struct {
 	VarKV bool
 	// ChunkBytes overrides the WAL chunk size (default 4 MB).
 	ChunkBytes int
+	// Metrics enables per-operation latency histograms, retrievable
+	// via Tree.Metrics. Off by default (zero overhead when off).
+	Metrics bool
+	// Tracer, when non-nil, receives ring-buffer events from the tree
+	// (inserts, flushes, splits, GC rounds, ...). Enable it with
+	// Tracer.Enable; a disabled tracer costs one atomic load per event
+	// site. Pair with Pool().SetDeviceTracer(tracer.DeviceHook()) to
+	// interleave device-level eviction events.
+	Tracer *obs.Tracer
 	// Platform overrides the PM device model configuration; zero
 	// fields take defaults (two sockets, 4 DIMMs each, 256 MB/socket).
 	Platform pmem.Config
@@ -83,6 +93,8 @@ func (c Config) coreOptions() core.Options {
 		NaiveLogging: c.NaiveLogging,
 		VarKV:        c.VarKV,
 		ChunkBytes:   c.ChunkBytes,
+		Metrics:      c.Metrics,
+		Tracer:       c.Tracer,
 	}
 }
 
@@ -132,6 +144,14 @@ func (t *Tree) Core() *core.Tree { return t.inner }
 
 // Counters returns the tree's behavioral statistics.
 func (t *Tree) Counters() core.Counters { return t.inner.Counters() }
+
+// Metrics returns the tree's behavioral counters plus, when
+// Config.Metrics is on, aggregated per-operation latency histograms.
+func (t *Tree) Metrics() core.TreeMetrics { return t.inner.Metrics() }
+
+// Observe snapshots the pool's device counters flattened for display or
+// JSON export, including the per-scope media-byte attribution.
+func (t *Tree) Observe() obs.Observation { return obs.Observe(t.pool) }
 
 // MemoryUsage returns modeled DRAM bytes and PM bytes in use.
 func (t *Tree) MemoryUsage() (dramBytes, pmBytes int64) { return t.inner.MemoryUsage() }

@@ -16,12 +16,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
 
 	"cclbtree/internal/bench"
+	"cclbtree/internal/obs"
 )
 
 func main() {
@@ -34,6 +37,8 @@ func main() {
 		mainThr = flag.Int("mainthreads", 0, "thread count for single-point experiments")
 		scanLen = flag.Int("scanlen", 0, "default range query length")
 		seed    = flag.Int64("seed", 0, "workload seed")
+		out     = flag.String("out", ".", "directory for BENCH_<exp>.json records (\"\" disables)")
+		httpOn  = flag.String("http", "", "serve live observation JSON on this address (e.g. :7071)")
 	)
 	flag.Parse()
 
@@ -74,11 +79,46 @@ func main() {
 		}
 	}
 
+	if *httpOn != "" {
+		// Live observation endpoint: the currently measured pool's
+		// counters as JSON (503 between runs). cclstat -attach polls it.
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/", obs.Handler())
+			if err := http.ListenAndServe(*httpOn, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "http listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving live observation on %s\n", *httpOn)
+	}
+
 	for _, e := range selected {
 		start := time.Now()
-		tabs, err := e.Run(scale)
+		bench.StartReport(e.Name)
+		tabs, err := runExperiment(e, scale)
+		rep := bench.FinishReport()
 		if err != nil {
+			rep.Partial = true
+			rep.Err = err.Error()
+		}
+		if *out != "" {
+			if path, werr := rep.WriteFile(*out); werr != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, werr)
+			} else {
+				fmt.Printf("[wrote %s: %d phases]\n", path, len(rep.Phases))
+			}
+		}
+		if err != nil {
+			// An experiment died: print whatever phases completed so the
+			// run is not a total loss, then fail the process.
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.Name, err)
+			if len(rep.Phases) > 0 {
+				fmt.Fprintf(os.Stderr, "partial results (%d phases):\n", len(rep.Phases))
+				for _, p := range rep.Phases {
+					fmt.Fprintf(os.Stderr, "  %-28s %8.2f Mop/s  WA %.2f\n",
+						p.Phase, p.MopsPerSec, p.WAFactor)
+				}
+			}
 			os.Exit(1)
 		}
 		for _, t := range tabs {
@@ -86,4 +126,15 @@ func main() {
 		}
 		fmt.Printf("[%s finished in %.1fs wall]\n\n", e.Name, time.Since(start).Seconds())
 	}
+}
+
+// runExperiment runs one experiment, converting a panic into an error
+// so the caller can still emit the phases recorded before the crash.
+func runExperiment(e bench.Experiment, scale bench.Scale) (tabs []*bench.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return e.Run(scale)
 }

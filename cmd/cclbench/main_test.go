@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"cclbtree/internal/bench"
+)
+
+// A panicking experiment must surface as an error (so main can emit
+// the partial report and exit non-zero), not kill the process.
+func TestRunExperimentRecoversPanic(t *testing.T) {
+	e := bench.Experiment{
+		Name: "boom",
+		Run: func(bench.Scale) ([]*bench.Table, error) {
+			panic("device exploded")
+		},
+	}
+	tabs, err := runExperiment(e, bench.Scale{})
+	if tabs != nil || err == nil {
+		t.Fatalf("want nil tables + error, got %v, %v", tabs, err)
+	}
+	if !strings.Contains(err.Error(), "device exploded") {
+		t.Fatalf("panic value lost: %v", err)
+	}
+}
+
+func TestRunExperimentPassesThrough(t *testing.T) {
+	want := []*bench.Table{{Title: "ok"}}
+	e := bench.Experiment{
+		Name: "fine",
+		Run:  func(bench.Scale) ([]*bench.Table, error) { return want, nil },
+	}
+	tabs, err := runExperiment(e, bench.Scale{})
+	if err != nil || len(tabs) != 1 || tabs[0].Title != "ok" {
+		t.Fatalf("got %v, %v", tabs, err)
+	}
+}

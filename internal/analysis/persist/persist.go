@@ -19,9 +19,11 @@
 //	       in the function (the clwb is queued but never retired)
 //	PL003  a Flush/Persist inside an eADR-only branch (dead code:
 //	       stores are already durable in the eADR domain)
-//	PL004  a *pmem.Thread crossing a goroutine boundary (captured by a
-//	       go-closure, passed as a go-call argument, or sent on a
-//	       channel); Thread is documented single-owner
+//	PL004  a *pmem.Thread or *obs.Handle crossing a goroutine boundary
+//	       (captured by a go-closure, passed as a go-call argument, or
+//	       sent on a channel); both types are documented single-owner
+//	       (the obs handle's sharded counters are written without
+//	       synchronization on the owning goroutine)
 //
 // Rules PL001/PL002 are deliberately function-local and linear: a
 // helper that stores and hands the persist obligation to its caller is
@@ -61,6 +63,10 @@ const (
 // with this suffix (plus the package's own files) activates analysis.
 const pmemImportPath = "internal/pmem"
 
+// obsImportPath identifies the observability package, whose *Handle is
+// a second single-owner type PL004 polices.
+const obsImportPath = "internal/obs"
+
 // Finding is one rule violation.
 type Finding struct {
 	Pos  token.Position
@@ -84,19 +90,23 @@ type Analyzer struct {
 	// anywhere in the analyzed set ("t" in practice): any selector
 	// expression ending in one of these is treated as a thread.
 	threadFields map[string]bool
+	// handleFields is the same for struct fields declared *obs.Handle.
+	handleFields map[string]bool
 }
 
 type fileInfo struct {
 	path     string
 	f        *ast.File
 	pmemName string // local import name of internal/pmem ("" if absent)
+	obsName  string // local import name of internal/obs ("" if absent)
 	inPmem   bool   // file belongs to package pmem itself
+	inObs    bool   // file belongs to package obs itself
 	ignores  map[int][]directive
 }
 
 // NewAnalyzer returns an empty analyzer.
 func NewAnalyzer() *Analyzer {
-	return &Analyzer{fset: token.NewFileSet(), threadFields: map[string]bool{}}
+	return &Analyzer{fset: token.NewFileSet(), threadFields: map[string]bool{}, handleFields: map[string]bool{}}
 }
 
 // Fset exposes the analyzer's file set (positions in Findings resolve
@@ -113,7 +123,7 @@ func (a *Analyzer) AddFile(path string, src []byte) error {
 	if err != nil {
 		return err
 	}
-	fi := &fileInfo{path: path, f: f, inPmem: f.Name.Name == "pmem"}
+	fi := &fileInfo{path: path, f: f, inPmem: f.Name.Name == "pmem", inObs: f.Name.Name == "obs"}
 	for _, imp := range f.Imports {
 		p := strings.Trim(imp.Path.Value, `"`)
 		if p == pmemImportPath || strings.HasSuffix(p, "/"+pmemImportPath) {
@@ -121,6 +131,13 @@ func (a *Analyzer) AddFile(path string, src []byte) error {
 				fi.pmemName = imp.Name.Name
 			} else {
 				fi.pmemName = "pmem"
+			}
+		}
+		if p == obsImportPath || strings.HasSuffix(p, "/"+obsImportPath) {
+			if imp.Name != nil {
+				fi.obsName = imp.Name.Name
+			} else {
+				fi.obsName = "obs"
 			}
 		}
 	}
@@ -191,7 +208,25 @@ func (fi *fileInfo) isThreadType(e ast.Expr) bool {
 	return false
 }
 
-// collectThreadFields records struct field names declared *pmem.Thread.
+// isHandleType reports whether the type expression denotes
+// *obs.Handle (or *Handle inside package obs).
+func (fi *fileInfo) isHandleType(e ast.Expr) bool {
+	st, ok := e.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	switch x := st.X.(type) {
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		return ok && fi.obsName != "" && id.Name == fi.obsName && x.Sel.Name == "Handle"
+	case *ast.Ident:
+		return fi.inObs && x.Name == "Handle"
+	}
+	return false
+}
+
+// collectThreadFields records struct field names declared *pmem.Thread
+// or *obs.Handle.
 func (a *Analyzer) collectThreadFields(fi *fileInfo) {
 	ast.Inspect(fi.f, func(n ast.Node) bool {
 		st, ok := n.(*ast.StructType)
@@ -199,11 +234,15 @@ func (a *Analyzer) collectThreadFields(fi *fileInfo) {
 			return true
 		}
 		for _, fld := range st.Fields.List {
-			if !fi.isThreadType(fld.Type) {
-				continue
-			}
-			for _, name := range fld.Names {
-				a.threadFields[name.Name] = true
+			switch {
+			case fi.isThreadType(fld.Type):
+				for _, name := range fld.Names {
+					a.threadFields[name.Name] = true
+				}
+			case fi.isHandleType(fld.Type):
+				for _, name := range fld.Names {
+					a.handleFields[name.Name] = true
+				}
 			}
 		}
 		return true
@@ -218,7 +257,7 @@ func (a *Analyzer) checkFile(fi *fileInfo) []Finding {
 		if !ok || fd.Body == nil {
 			continue
 		}
-		fa := &funcAnalysis{an: a, fi: fi, fn: fd, threads: map[string]bool{}}
+		fa := &funcAnalysis{an: a, fi: fi, fn: fd, threads: map[string]bool{}, handles: map[string]bool{}}
 		fa.collectThreadVars()
 		out = append(out, fa.run()...)
 	}
@@ -244,6 +283,7 @@ type funcAnalysis struct {
 	fi      *fileInfo
 	fn      *ast.FuncDecl
 	threads map[string]bool // local identifiers known to hold *pmem.Thread
+	handles map[string]bool // local identifiers known to hold *obs.Handle
 }
 
 func (fa *funcAnalysis) name() string {
@@ -264,6 +304,11 @@ func (fa *funcAnalysis) collectThreadVars() {
 				fa.threads[n.Name] = true
 			}
 		}
+		if fa.fi.isHandleType(fld.Type) {
+			for _, n := range fld.Names {
+				fa.handles[n.Name] = true
+			}
+		}
 	}
 	if fa.fn.Recv != nil {
 		for _, fld := range fa.fn.Recv.List {
@@ -280,11 +325,14 @@ func (fa *funcAnalysis) collectThreadVars() {
 			return true
 		}
 		for i, rhs := range as.Rhs {
-			if !fa.isThreadExpr(rhs) {
+			id, isIdent := as.Lhs[i].(*ast.Ident)
+			if !isIdent || id.Name == "_" {
 				continue
 			}
-			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+			if fa.isThreadExpr(rhs) {
 				fa.threads[id.Name] = true
+			} else if fa.isHandleExpr(rhs) {
+				fa.handles[id.Name] = true
 			}
 		}
 		return true
@@ -310,6 +358,30 @@ func (fa *funcAnalysis) isThreadExpr(e ast.Expr) bool {
 			if sel.Sel.Name == "Thread" && len(x.Args) == 0 {
 				return true
 			}
+		}
+	}
+	return false
+}
+
+// isHandleExpr reports whether e syntactically denotes an *obs.Handle:
+// a known handle identifier, a selector ending in a known handle field,
+// or a NewHandle call. The call heuristic only applies in files that
+// import internal/obs (index.Index also has a NewHandle method; files
+// using only that interface are not confused).
+func (fa *funcAnalysis) isHandleExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return fa.isHandleExpr(x.X)
+	case *ast.Ident:
+		return fa.handles[x.Name]
+	case *ast.SelectorExpr:
+		return fa.an.handleFields[x.Sel.Name]
+	case *ast.CallExpr:
+		if fa.fi.obsName == "" && !fa.fi.inObs {
+			return false
+		}
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "NewHandle" {
+			return true
 		}
 	}
 	return false

@@ -213,10 +213,11 @@ func (fa *funcAnalysis) collectEADRSpans() []span {
 	return spans
 }
 
-// checkEscapes implements PL004: a *pmem.Thread value crossing a
-// goroutine boundary. A freshly created thread (pool.NewThread(...) as
-// a go-call argument) is an ownership transfer and is allowed; an
-// existing thread identifier or field crossing the boundary is not.
+// checkEscapes implements PL004: a single-owner value — *pmem.Thread
+// or *obs.Handle — crossing a goroutine boundary. A freshly created
+// value (pool.NewThread(...) / m.NewHandle() as a go-call argument) is
+// an ownership transfer and is allowed; an existing identifier or field
+// crossing the boundary is not.
 func (fa *funcAnalysis) checkEscapes() []Finding {
 	var out []Finding
 	emit := func(pos token.Pos, msg string) {
@@ -224,12 +225,28 @@ func (fa *funcAnalysis) checkEscapes() []Finding {
 			out = append(out, f)
 		}
 	}
-	existingThread := func(e ast.Expr) bool {
+	// ownedKind classifies an existing (non-freshly-created) expression
+	// as one of the single-owner types, returning its display name.
+	ownedKind := func(e ast.Expr) (string, bool) {
 		switch e.(type) {
 		case *ast.Ident, *ast.SelectorExpr:
-			return fa.isThreadExpr(e)
+			if fa.isThreadExpr(e) {
+				return "*pmem.Thread", true
+			}
+			if fa.isHandleExpr(e) {
+				return "*obs.Handle", true
+			}
 		}
-		return false
+		return "", false
+	}
+	identKind := func(name string) (string, bool) {
+		if fa.threads[name] {
+			return "*pmem.Thread", true
+		}
+		if fa.handles[name] {
+			return "*obs.Handle", true
+		}
+		return "", false
 	}
 	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
@@ -242,22 +259,22 @@ func (fa *funcAnalysis) checkEscapes() []Finding {
 					}
 				}
 				for _, id := range freeIdents(lit.Body) {
-					if fa.threads[id.Name] && !local[id.Name] {
+					if kind, ok := identKind(id.Name); ok && !local[id.Name] {
 						emit(id.Pos(), fmt.Sprintf(
-							"*pmem.Thread %q captured by goroutine closure; Thread is single-owner", id.Name))
+							"%s %q captured by goroutine closure; %s is single-owner", kind, id.Name, kind))
 					}
 				}
 			}
 			for _, arg := range x.Call.Args {
-				if existingThread(arg) {
+				if kind, ok := ownedKind(arg); ok {
 					emit(arg.Pos(), fmt.Sprintf(
-						"*pmem.Thread %s passed into a goroutine; Thread is single-owner", renderExpr(arg)))
+						"%s %s passed into a goroutine; %s is single-owner", kind, renderExpr(arg), kind))
 				}
 			}
 		case *ast.SendStmt:
-			if existingThread(x.Value) {
+			if kind, ok := ownedKind(x.Value); ok {
 				emit(x.Value.Pos(), fmt.Sprintf(
-					"*pmem.Thread %s sent over a channel; Thread is single-owner", renderExpr(x.Value)))
+					"%s %s sent over a channel; %s is single-owner", kind, renderExpr(x.Value), kind))
 			}
 		}
 		return true

@@ -1,0 +1,54 @@
+// PL004 cases for the second single-owner type: *obs.Handle shards
+// counters per owning goroutine and is written without synchronization,
+// so an existing handle crossing a goroutine boundary is a data race in
+// waiting. A freshly created handle handed to a new goroutine transfers
+// ownership, like a fresh thread.
+package testdata
+
+import (
+	"cclbtree/internal/obs"
+	"cclbtree/internal/pmem"
+)
+
+type statWorker struct {
+	t  *pmem.Thread
+	mh *obs.Handle
+}
+
+func handleClosureCapture(h *obs.Handle, c obs.CounterID) {
+	go func() {
+		h.Add(c, 1) // want "PL004"
+	}()
+}
+
+func handleGoCallArg(h *obs.Handle) {
+	go consumeHandle(h) // want "PL004"
+}
+
+func consumeHandle(h *obs.Handle) {}
+
+func handleChanSend(h *obs.Handle, ch chan *obs.Handle) {
+	ch <- h // want "PL004"
+}
+
+func handleFieldGoArg(w *statWorker) {
+	go consumeHandle(w.mh) // want "PL004"
+}
+
+func handleAssignedThenCaptured(m *obs.Metrics, c obs.CounterID) {
+	h := m.NewHandle()
+	go func() {
+		h.Add(c, 1) // want "PL004"
+	}()
+}
+
+func handleFreshHandoff(m *obs.Metrics) {
+	go consumeHandle(m.NewHandle())
+}
+
+func handleOwnInside(m *obs.Metrics, c obs.CounterID) {
+	go func() {
+		h := m.NewHandle()
+		h.Add(c, 1)
+	}()
+}

@@ -29,6 +29,7 @@ import (
 	"cclbtree/internal/baselines/utree"
 	"cclbtree/internal/core"
 	"cclbtree/internal/index"
+	"cclbtree/internal/obs"
 	"cclbtree/internal/pmalloc"
 	"cclbtree/internal/pmem"
 	"cclbtree/internal/workload"
@@ -172,21 +173,21 @@ type Result struct {
 	PMBytes   int64
 }
 
-// CLIAmp is bytes reaching the XPBuffer per user byte written.
-func (r *Result) CLIAmp() float64 {
-	if r.UserBytes == 0 {
-		return 0
-	}
-	return float64(r.Stats.XPBufWriteBytes) / float64(r.UserBytes)
+// ampStats is the phase's stats with the harness-computed payload
+// volume as denominator, so the pmem amplification helpers apply: the
+// harness measures every index with the same UserBytes regardless of
+// whether the index itself calls AddUserBytes.
+func (r *Result) ampStats() pmem.Stats {
+	s := r.Stats
+	s.UserWriteBytes = r.UserBytes
+	return s
 }
 
+// CLIAmp is bytes reaching the XPBuffer per user byte written.
+func (r *Result) CLIAmp() float64 { return r.ampStats().CLIAmplification() }
+
 // XBIAmp is bytes written to media per user byte written.
-func (r *Result) XBIAmp() float64 {
-	if r.UserBytes == 0 {
-		return 0
-	}
-	return float64(r.Stats.MediaWriteBytes) / float64(r.UserBytes)
-}
+func (r *Result) XBIAmp() float64 { return r.ampStats().AmplificationFactor() }
 
 // Mops returns the simulated throughput in million ops/s.
 func (r *Result) Mops() float64 {
@@ -265,6 +266,9 @@ func Run(pool *pmem.Pool, idx index.Index, spec Spec) (*Result, error) {
 	if spec.Threads < 1 {
 		spec.Threads = 1
 	}
+	// Point the live observation endpoint (cclbench -http / cclstat
+	// -attach) at the pool currently being measured.
+	obs.SetLive(func() obs.Observation { return obs.Observe(pool) })
 	sockets := pool.Sockets()
 	handles := make([]index.Handle, spec.Threads)
 	for i := range handles {
@@ -425,6 +429,7 @@ func Run(pool *pmem.Pool, idx index.Index, spec Spec) (*Result, error) {
 		}
 		sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
 	}
+	recordPhase(idx.Name(), spec, res)
 	return res, nil
 }
 

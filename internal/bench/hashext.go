@@ -75,6 +75,7 @@ func ExtensionHash(s Scale) ([]*Table, error) {
 		pool.DrainXPBuffers()
 		st := pool.Stats()
 		ops := perThread * threads
+		st.UserWriteBytes = uint64(ops * 16)
 		_, logged, gcRuns, _ := h.Stats()
 		h.Close()
 		label := fmt.Sprintf("%d", nb)
@@ -84,7 +85,7 @@ func ExtensionHash(s Scale) ([]*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			label,
 			f2(float64(ops) * 1e3 / float64(elapsed)),
-			f2(float64(st.MediaWriteBytes) / float64(ops*16)),
+			f2(st.AmplificationFactor()),
 			f2(float64(logged) / float64(ops+s.Warm)),
 			fmt.Sprintf("%d", gcRuns),
 		})

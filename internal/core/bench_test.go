@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"cclbtree/internal/obs"
+	"cclbtree/internal/pmem"
+)
+
+// benchmarkInsert measures the wall-clock cost of the hot insert path
+// (not the modeled virtual time — bench/ measures that). The *ObsDisabled
+// variant carries a disabled tracer: comparing the two bounds the
+// overhead the observability layer adds when it is off.
+func benchmarkInsert(b *testing.B, opts Options) {
+	pool := pmem.NewPool(pmem.Config{
+		Sockets:              1,
+		DIMMsPerSocket:       2,
+		DeviceBytes:          512 << 20,
+		DisableCrashTracking: true,
+	})
+	opts.GC = GCOff
+	tr, err := New(pool, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := tr.NewWorker(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Upsert(uint64(i)+1, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	benchmarkInsert(b, Options{})
+}
+
+func BenchmarkInsertObsDisabled(b *testing.B) {
+	benchmarkInsert(b, Options{Tracer: obs.NewTracer(1 << 10)})
+}
+
+func BenchmarkInsertMetricsOn(b *testing.B) {
+	benchmarkInsert(b, Options{Metrics: true})
+}

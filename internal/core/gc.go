@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 
+	"cclbtree/internal/obs"
 	"cclbtree/internal/pmem"
 	"cclbtree/internal/wal"
 )
@@ -101,6 +102,10 @@ func (tr *Tree) gcWorker() *Worker {
 func (tr *Tree) runLocalityGC() {
 	tr.ctr.gcRuns.Add(1)
 	w := tr.gcWorker()
+	// The round's PM traffic is gc-caused; I-log appends still land in
+	// ScopeWAL (wal.Append overrides) per the attribution contract.
+	defer w.t.PopScope(w.t.PushScope(pmem.ScopeGC))
+	tr.tracer.Emit(obs.EvGCRound, w.id, w.t.Now(), uint64(tr.ctr.gcRuns.Load()), 0)
 	oldE := tr.epoch.Load()
 	newE := 1 - oldE
 	tr.epoch.Store(newE)
@@ -160,6 +165,8 @@ func (tr *Tree) runLocalityGC() {
 func (tr *Tree) runNaiveGC() {
 	tr.ctr.gcRuns.Add(1)
 	w := tr.gcWorker()
+	defer w.t.PopScope(w.t.PushScope(pmem.ScopeGC))
+	tr.tracer.Emit(obs.EvGCRound, w.id, w.t.Now(), uint64(tr.ctr.gcRuns.Load()), 1)
 	tr.stw.Lock()
 	defer tr.stw.Unlock()
 	for n := tr.head; n != nil; n = n.next.Load() {

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 
+	"cclbtree/internal/obs"
 	"cclbtree/internal/pmem"
 )
 
@@ -75,6 +76,14 @@ func (w *Worker) leafBatchInsertNext(n *bufferNode, batch []KV, newNext pmem.Add
 	var img leafImage
 	prevTag := w.t.SetTag(pmem.TagLeaf)
 	defer w.t.SetTag(prevTag)
+	// Attribute the flush to leafbuf only when no task scope is active:
+	// a GC- or recovery-driven flush stays charged to its task, so "gc"
+	// media bytes remain visibly gc-caused (the nesting contract in
+	// pmem.Scope).
+	if w.t.Scope() == pmem.ScopeNone {
+		defer w.t.PopScope(w.t.PushScope(pmem.ScopeLeafBuf))
+	}
+	tr.tracer.Emit(obs.EvFlushBatch, w.id, w.t.Now(), uint64(len(batch)), uint64(n.lowKey))
 	readLeaf(w.t, n.leaf, &img)
 
 	orig := img.bitmap()
@@ -162,6 +171,11 @@ func (w *Worker) leafBatchInsertNext(n *bufferNode, batch []KV, newNext pmem.Add
 // that both shrinks the old leaf's bitmap and links the new leaf.
 func (w *Worker) splitLeaf(n *bufferNode, img *leafImage, batch []KV) (int, error) {
 	tr := w.tree
+	// Structural writes override a leafbuf scope but not an active task
+	// scope (gc, recovery).
+	if s := w.t.Scope(); s == pmem.ScopeNone || s == pmem.ScopeLeafBuf {
+		defer w.t.PopScope(w.t.PushScope(pmem.ScopeSplit))
+	}
 
 	live := make([]KV, 0, LeafSlots)
 	type slotRef struct {
@@ -280,6 +294,7 @@ func (w *Worker) splitLeaf(n *bufferNode, img *leafImage, batch []KV) (int, erro
 	n.next.Store(nb)
 	tr.inner.put(w.t, splitKey, nb)
 	tr.ctr.splits.Add(1)
+	tr.tracer.Emit(obs.EvSplit, w.id, w.t.Now(), splitKey, 0)
 
 	// Cached slots that migrated right are out of n's range now; purge
 	// them so reads and scans cannot resurrect stale copies. (All
@@ -333,6 +348,7 @@ func (w *Worker) tryMerge(n *bufferNode) {
 		left.unlock(lv)
 		if merged {
 			tr.ctr.merges.Add(1)
+			tr.tracer.Emit(obs.EvMerge, w.id, w.t.Now(), n.lowKey, 0)
 		}
 		return
 	}
@@ -341,6 +357,9 @@ func (w *Worker) tryMerge(n *bufferNode) {
 // mergeLocked does the move with both locks held.
 func (w *Worker) mergeLocked(left, n *bufferNode) bool {
 	tr := w.tree
+	if s := w.t.Scope(); s == pmem.ScopeNone || s == pmem.ScopeLeafBuf {
+		defer w.t.PopScope(w.t.PushScope(pmem.ScopeSplit))
+	}
 	var limg, nimg leafImage
 	prevTag := w.t.SetTag(pmem.TagLeaf)
 	readLeaf(w.t, left.leaf, &limg)

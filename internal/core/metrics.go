@@ -1,0 +1,64 @@
+package core
+
+import "cclbtree/internal/obs"
+
+// treeMetrics is the optional obs wiring for one tree: a registry plus
+// the pre-registered latency histograms workers record into. nil when
+// Options.Metrics is off — every recording site nil-checks, keeping the
+// disabled hot path free of obs work.
+type treeMetrics struct {
+	m         *obs.Metrics
+	insertLat obs.HistID
+	lookupLat obs.HistID
+	scanLat   obs.HistID
+}
+
+func newTreeMetrics() *treeMetrics {
+	m := obs.NewMetrics()
+	return &treeMetrics{
+		m:         m,
+		insertLat: m.Histogram("insert_ns"),
+		lookupLat: m.Histogram("lookup_ns"),
+		scanLat:   m.Histogram("scan_ns"),
+	}
+}
+
+// initObs applies the observability options; shared by New and Open.
+func (tr *Tree) initObs() {
+	if tr.opts.Metrics {
+		tr.met = newTreeMetrics()
+	}
+	tr.tracer = tr.opts.Tracer
+}
+
+// TreeMetrics is the tree's observability snapshot: behavioral counters
+// always, latency histograms when Options.Metrics is on.
+type TreeMetrics struct {
+	Counters Counters
+	// Latency holds the "insert_ns"/"lookup_ns"/"scan_ns" histograms
+	// (virtual nanoseconds, deletes count as inserts); nil when metrics
+	// are disabled.
+	Latency *obs.Snapshot
+}
+
+// Metrics returns the observability snapshot (the tree-level
+// counterpart of pmem.Pool.Observe).
+func (tr *Tree) Metrics() TreeMetrics {
+	tm := TreeMetrics{Counters: tr.Counters()}
+	if tr.met != nil {
+		tm.Latency = tr.met.m.Snapshot()
+	}
+	return tm
+}
+
+// recordLat records one operation latency sample; no-op when metrics
+// are off (mh nil). Clamped at zero: Rewind can, in degenerate retry
+// interleavings, leave the clock marginally behind the recorded start.
+func (w *Worker) recordLat(id obs.HistID, start int64) {
+	if w.mh == nil {
+		return
+	}
+	if d := w.t.Now() - start; d > 0 {
+		w.mh.Observe(id, uint64(d))
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"cclbtree/internal/obs"
+	"cclbtree/internal/pmem"
+)
+
+// TestScopeAttributionAcrossHandoff is the satellite test: a worker
+// handed to another goroutine, with a caller-pushed scope on its
+// thread, must still attribute WAL-append bytes to the wal scope (the
+// scope travels with the Thread and wal.Append overrides it), never to
+// the caller's scope. Runs under StrictPersist (the pool helper arms
+// it), so it doubles as a discipline check on the scope-push paths.
+func TestScopeAttributionAcrossHandoff(t *testing.T) {
+	// Large Nbatch + few keys: every insert buffers and logs, no
+	// trigger flush, so WAL appends dominate the PM write traffic.
+	tr, w := newTestTree(t, Options{Nbatch: 8, GC: GCOff}, nil)
+	pool := tr.Pool()
+
+	done := make(chan error, 1)
+	go func() {
+		// The worker (and its Thread) crosses a goroutine boundary —
+		// the handoff PL004 polices for captures; here ownership moves
+		// wholesale, which is legal.
+		prev := w.Thread().PushScope(pmem.ScopeGC) // stand-in caller scope
+		defer w.Thread().PopScope(prev)
+		for i := uint64(1); i <= 6; i++ {
+			if err := w.Upsert(i*1000, i); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	pool.DrainXPBuffers()
+	s := pool.Stats()
+
+	if s.XPBufWriteByScope[pmem.ScopeWAL] == 0 {
+		t.Fatalf("no xpbuf bytes attributed to wal scope: %v", s.ScopeMediaBytes())
+	}
+	if s.MediaWriteByScope[pmem.ScopeWAL] == 0 {
+		t.Fatalf("no media bytes attributed to wal scope: %v", s.ScopeMediaBytes())
+	}
+	// The caller's scope (gc) did no PM writes of its own in this
+	// workload: no flush, no split, only buffered inserts whose PM
+	// traffic is all WAL.
+	if got := s.MediaWriteByScope[pmem.ScopeGC]; got != 0 {
+		t.Fatalf("caller scope stole %d media bytes from wal", got)
+	}
+	if got := s.XPBufWriteByScope[pmem.ScopeGC]; got != 0 {
+		t.Fatalf("caller scope stole %d xpbuf bytes from wal", got)
+	}
+	var sum uint64
+	for _, v := range s.MediaWriteByScope {
+		sum += v
+	}
+	if sum != s.MediaWriteBytes {
+		t.Fatalf("scope sum %d != MediaWriteBytes %d", sum, s.MediaWriteBytes)
+	}
+}
+
+// TestScopeBreakdownCoversComponents drives flushes, splits and GC and
+// checks each component's scope shows up while the partition invariant
+// holds.
+func TestScopeBreakdownCoversComponents(t *testing.T) {
+	tr, w := newTestTree(t, Options{Nbatch: 2}, nil)
+	pool := tr.Pool()
+	for i := uint64(1); i <= 3000; i++ {
+		if err := w.Upsert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.ForceGC()
+	tr.Freeze()
+	pool.DrainXPBuffers()
+	s := pool.Stats()
+	var sum uint64
+	for _, v := range s.MediaWriteByScope {
+		sum += v
+	}
+	if sum != s.MediaWriteBytes {
+		t.Fatalf("scope sum %d != MediaWriteBytes %d (%v)", sum, s.MediaWriteBytes, s.ScopeMediaBytes())
+	}
+	for _, sc := range []pmem.Scope{pmem.ScopeLeafBuf, pmem.ScopeWAL, pmem.ScopeSplit, pmem.ScopeMeta} {
+		if s.MediaWriteByScope[sc] == 0 {
+			t.Fatalf("scope %v has no media bytes: %v", sc, s.ScopeMediaBytes())
+		}
+	}
+}
+
+// TestMetricsLatencyHistograms exercises Options.Metrics end to end.
+func TestMetricsLatencyHistograms(t *testing.T) {
+	tr, w := newTestTree(t, Options{Metrics: true}, nil)
+	for i := uint64(1); i <= 500; i++ {
+		if err := w.Upsert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 100; i++ {
+		w.Lookup(i)
+	}
+	out := make([]KV, 16)
+	w.Scan(1, 16, out)
+
+	tm := tr.Metrics()
+	if tm.Latency == nil {
+		t.Fatal("Latency nil with Metrics on")
+	}
+	ins := tm.Latency.Hists["insert_ns"]
+	if ins == nil || ins.Count != 500 {
+		t.Fatalf("insert histogram: %+v", ins)
+	}
+	if ins.P99() < ins.P50() || ins.P50() == 0 {
+		t.Fatalf("implausible quantiles p50=%d p99=%d", ins.P50(), ins.P99())
+	}
+	if lk := tm.Latency.Hists["lookup_ns"]; lk.Count != 100 {
+		t.Fatalf("lookup count %d", lk.Count)
+	}
+	if sc := tm.Latency.Hists["scan_ns"]; sc.Count != 1 {
+		t.Fatalf("scan count %d", sc.Count)
+	}
+	if tm.Counters.Upserts != 500 {
+		t.Fatalf("counters not carried: %+v", tm.Counters)
+	}
+
+	// Metrics off: Latency must be nil, counters still live.
+	tr2, w2 := newTestTree(t, Options{}, nil)
+	if err := w2.Upsert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tm2 := tr2.Metrics(); tm2.Latency != nil || tm2.Counters.Upserts != 1 {
+		t.Fatalf("metrics-off snapshot: %+v", tm2)
+	}
+}
+
+// TestTreeTracerEvents wires a tracer through Options and the device
+// hook and checks tree + device events arrive.
+func TestTreeTracerEvents(t *testing.T) {
+	trc := obs.NewTracer(4096)
+	trc.Enable()
+	tr, w := newTestTree(t, Options{Nbatch: 2, Tracer: trc}, nil)
+	tr.Pool().SetDeviceTracer(trc.DeviceHook())
+	for i := uint64(1); i <= 2000; i++ {
+		if err := w.Upsert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Lookup(7)
+	kinds := map[obs.EventKind]int{}
+	for _, e := range trc.Events() {
+		kinds[e.Kind]++
+	}
+	for _, k := range []obs.EventKind{obs.EvInsert, obs.EvLookup, obs.EvFlushBatch, obs.EvSplit, obs.EvXPBufEvict} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %v events recorded: %v", k, kinds)
+		}
+	}
+}
+
+// TestHotPathAllocs is the acceptance guard: obs left disabled adds
+// zero allocations to the hot paths. The read path must be absolutely
+// allocation-free; the insert path is compared against a tree with no
+// obs options at all, because the device model itself allocates flush
+// snapshots (pre-existing, not obs traffic).
+func TestHotPathAllocs(t *testing.T) {
+	setup := func(opts Options) *Worker {
+		_, w := newTestTree(t, opts, nil)
+		for i := uint64(1); i <= 64; i++ {
+			if err := w.Upsert(i, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return w
+	}
+	insertAllocs := func(w *Worker) float64 {
+		var v uint64
+		return testing.AllocsPerRun(500, func() {
+			v++
+			if err := w.Upsert(7, v); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	plain := setup(Options{Nbatch: 4, GC: GCOff})
+	withObsOff := setup(Options{Nbatch: 4, GC: GCOff, Tracer: obs.NewTracer(128)}) // present, disabled
+
+	if base, got := insertAllocs(plain), insertAllocs(withObsOff); got > base {
+		t.Fatalf("disabled obs adds insert allocations: %v/op vs %v/op baseline", got, base)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		plain.Lookup(7)
+	}); n > 0 {
+		t.Fatalf("lookup hot path allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		withObsOff.Lookup(7)
+	}); n > 0 {
+		t.Fatalf("lookup with disabled tracer allocates %v/op, want 0", n)
+	}
+}

@@ -10,7 +10,11 @@
 // between adjacent leaves, preserving range-query performance.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"cclbtree/internal/obs"
+)
 
 // GCPolicy selects the log reclamation strategy (§3.4 / Fig 14).
 type GCPolicy int
@@ -73,6 +77,15 @@ type Options struct {
 	// DirSlots is the capacity of the persistent log-chunk directory
 	// used by recovery (default 4096 chunks = 16 GB of logs at 4 MB).
 	DirSlots int
+	// Metrics enables per-operation latency histograms (Tree.Metrics).
+	// Off by default: when off, workers carry no obs handle and the hot
+	// paths do no histogram work.
+	Metrics bool
+	// Tracer, when non-nil, receives operation/flush/split/GC events.
+	// Callers usually also install Tracer.DeviceHook on the pool to
+	// capture eviction events. A nil (or disabled) tracer costs one
+	// atomic load per event site.
+	Tracer *obs.Tracer
 }
 
 const (

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"cclbtree/internal/obs"
 	"cclbtree/internal/ordo"
 	"cclbtree/internal/pmalloc"
 	"cclbtree/internal/pmem"
@@ -35,6 +36,7 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 		threads = 1
 	}
 	t0 := pool.NewThread(0)
+	t0.PushScope(pmem.ScopeRecovery)
 
 	// Superblock.
 	sb := pmem.MakeAddr(0, sbOffset)
@@ -67,6 +69,7 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	close(tr.gcDone)
 	tr.inner = newInnerTree(tr.compare)
 	tr.walman = wal.NewManager(tr.alloc, opts.ChunkBytes)
+	tr.initObs()
 
 	st := &RecoveryStats{}
 	maxEnd := make([]uint64, pool.Sockets())
@@ -164,6 +167,7 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	scanThreads := make([]*pmem.Thread, threads)
 	for i := range scanThreads {
 		scanThreads[i] = pool.NewThread(i % pool.Sockets())
+		scanThreads[i].PushScope(pmem.ScopeRecovery)
 	}
 	entryLists := make([][]wal.Entry, threads)
 	var wgScan sync.WaitGroup
@@ -262,6 +266,9 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	workers := make([]*Worker, threads)
 	for i := range workers {
 		workers[i] = tr.NewWorker(i % pool.Sockets())
+		// Replay traffic (leaf flushes, splits, log re-appends) is
+		// recovery-caused; wal.Append still claims its own bytes.
+		workers[i].t.PushScope(pmem.ScopeRecovery)
 	}
 	var wg sync.WaitGroup
 	for i, w := range workers {
@@ -304,6 +311,9 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 
 	var maxWorker int64
 	for _, w := range workers {
+		// Recovery is over; the workers stay registered (their logs are
+		// reclaimed in later GC rounds) and must not keep attributing.
+		w.t.PopScope(pmem.ScopeNone)
 		if w.t.Now() > maxWorker {
 			maxWorker = w.t.Now()
 		}
@@ -315,6 +325,8 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 		}
 	}
 	st.VirtualNS = t0.Now() + maxScan + maxWorker
+	tr.tracer.Emit(obs.EvRecovery, 0, st.VirtualNS,
+		uint64(st.EntriesReplayed), uint64(st.EntriesStale))
 	return tr, st, nil
 }
 

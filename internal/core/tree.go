@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cclbtree/internal/obs"
 	"cclbtree/internal/ordo"
 	"cclbtree/internal/pmalloc"
 	"cclbtree/internal/pmem"
@@ -59,6 +60,11 @@ type Tree struct {
 	stw      sync.RWMutex
 	stallVT  atomic.Int64
 	stallGen atomic.Uint64
+
+	// met/tracer are the optional observability hooks (Options.Metrics,
+	// Options.Tracer); both nil-safe at every use site.
+	met    *treeMetrics
+	tracer *obs.Tracer
 
 	leafCount atomic.Int64
 	// logBytes tracks live appended WAL bytes (entries in unreclaimed
@@ -137,17 +143,25 @@ func New(pool *pmem.Pool, opts Options) (*Tree, error) {
 	close(tr.gcDone)
 	tr.inner = newInnerTree(tr.compare)
 	tr.walman = wal.NewManager(tr.alloc, opts.ChunkBytes)
+	tr.initObs()
 
 	t := pool.NewThread(0)
 	prev := t.SetTag(pmem.TagMeta)
 	defer t.SetTag(prev)
+	prevScope := t.PushScope(pmem.ScopeMeta)
+	defer t.PopScope(prevScope)
 
-	// Persistent chunk directory.
+	// Persistent chunk directory. Its dedicated thread keeps ScopeMeta
+	// for life: register/unregister fire from whatever operation
+	// acquires or releases a chunk, and directory writes are metadata
+	// regardless of the trigger.
 	dirAddr, err := tr.alloc.Alloc(0, opts.DirSlots*pmem.WordSize)
 	if err != nil {
 		return nil, fmt.Errorf("core: allocate chunk directory: %w", err)
 	}
-	tr.dir = newChunkDir(pool.NewThread(0), dirAddr, opts.DirSlots)
+	dirThread := pool.NewThread(0)
+	dirThread.PushScope(pmem.ScopeMeta)
+	tr.dir = newChunkDir(dirThread, dirAddr, opts.DirSlots)
 	tr.dir.clearAll()
 	tr.walman.OnAcquire = tr.dir.register
 	tr.walman.OnRelease = tr.dir.unregister

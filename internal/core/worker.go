@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 
+	"cclbtree/internal/obs"
 	"cclbtree/internal/pmem"
 	"cclbtree/internal/wal"
 )
@@ -35,6 +36,9 @@ type Worker struct {
 	id     int
 	logs   [2]*wal.Log
 	blobs  blobArena
+	// mh is the worker's metrics shard (nil when Options.Metrics is
+	// off). Single-owner like the Thread: one goroutine at a time.
+	mh *obs.Handle
 
 	scratch  []KV   // reused per-op buffer
 	probeKey []byte // current VarKV lookup/scan probe (see probeTag)
@@ -62,6 +66,9 @@ func (tr *Tree) NewWorker(socket int) *Worker {
 	w.logs[0] = wal.NewLog(tr.walman, socket)
 	w.logs[1] = wal.NewLog(tr.walman, socket)
 	w.blobs = blobArena{alloc: tr.alloc, socket: socket}
+	if tr.met != nil {
+		w.mh = tr.met.m.NewHandle()
+	}
 	tr.workersMu.Lock()
 	w.id = len(tr.workers)
 	tr.workers = append(tr.workers, w)
@@ -116,7 +123,13 @@ func (w *Worker) Upsert(key, value uint64) error {
 	}
 	w.tree.ctr.upserts.Add(1)
 	w.tree.pool.AddUserBytes(16)
-	return w.upsertWord(key, value)
+	start := w.t.Now()
+	err := w.upsertWord(key, value)
+	if w.mh != nil {
+		w.recordLat(w.tree.met.insertLat, start)
+	}
+	w.tree.tracer.Emit(obs.EvInsert, w.id, w.t.Now(), key, value)
+	return err
 }
 
 // Delete inserts a tombstone for key (§4.2 treats deletion as an
@@ -127,7 +140,13 @@ func (w *Worker) Delete(key uint64) error {
 	}
 	w.tree.ctr.deletes.Add(1)
 	w.tree.pool.AddUserBytes(16)
-	return w.upsertWord(key, Tombstone)
+	start := w.t.Now()
+	err := w.upsertWord(key, Tombstone)
+	if w.mh != nil {
+		w.recordLat(w.tree.met.insertLat, start)
+	}
+	w.tree.tracer.Emit(obs.EvDelete, w.id, w.t.Now(), key, 0)
+	return err
 }
 
 func (w *Worker) upsertWord(key, value uint64) error {
@@ -265,8 +284,18 @@ func (w *Worker) appendLog(key, value uint64) error {
 // Lookup finds the value for a fixed 8 B key.
 func (w *Worker) Lookup(key uint64) (uint64, bool) {
 	w.tree.ctr.lookups.Add(1)
+	start := w.t.Now()
 	v, ok := w.lookupWord(key)
-	if !ok || v == Tombstone {
+	if w.mh != nil {
+		w.recordLat(w.tree.met.lookupLat, start)
+	}
+	found := ok && v != Tombstone
+	var fw uint64
+	if found {
+		fw = 1
+	}
+	w.tree.tracer.Emit(obs.EvLookup, w.id, w.t.Now(), key, fw)
+	if !found {
 		return 0, false
 	}
 	return v, true
@@ -336,6 +365,13 @@ type ScanEntry = KV
 func (w *Worker) Scan(start uint64, max int, out []KV) int {
 	tr := w.tree
 	tr.ctr.scans.Add(1)
+	startVT := w.t.Now()
+	defer func() {
+		if w.mh != nil {
+			w.recordLat(tr.met.scanLat, startVT)
+		}
+		tr.tracer.Emit(obs.EvScan, w.id, w.t.Now(), start, uint64(max))
+	}()
 	if tr.opts.GC == GCNaive {
 		tr.stw.RLock()
 		defer tr.stw.RUnlock()

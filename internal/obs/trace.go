@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"cclbtree/internal/pmem"
+)
+
+// EventKind classifies a trace event.
+type EventKind uint8
+
+const (
+	EvInsert EventKind = iota
+	EvLookup
+	EvScan
+	EvDelete
+	EvFlushBatch // buffer-node batch flushed into a PM leaf
+	EvSplit
+	EvMerge
+	EvGCRound
+	EvCacheEvict // CPU cache wrote back an unflushed dirty line
+	EvXPBufEvict // XPBuffer evicted a dirty XPLine to media
+	EvCrash
+	EvRecovery
+	NumEventKinds
+)
+
+var eventNames = [NumEventKinds]string{
+	"insert", "lookup", "scan", "delete", "flush-batch", "split",
+	"merge", "gc-round", "cache-evict", "xpbuf-evict", "crash",
+	"recovery",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one recorded trace entry. Seq is a global monotonic sequence
+// number (gaps mean the ring wrapped); VT is the emitting thread's
+// virtual time in nanoseconds (0 for device-level events, which have no
+// thread clock); A and B are event-specific payloads (key hash, byte
+// count, XPLine index, ...).
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Kind   EventKind `json:"-"`
+	Name   string    `json:"kind"`
+	Worker int       `json:"worker"`
+	VT     int64     `json:"vt"`
+	A      uint64    `json:"a"`
+	B      uint64    `json:"b"`
+}
+
+// slot is one ring entry. The write protocol is a seqlock: the writer
+// stores seq=0, fills the payload, then stores the real (non-zero)
+// sequence number. A reader that sees seq==0, or a different seq after
+// re-reading, discards the slot as torn.
+type slot struct {
+	seq    atomic.Uint64
+	kind   atomic.Uint64
+	worker atomic.Uint64
+	vt     atomic.Int64
+	a, b   atomic.Uint64
+}
+
+// Tracer is a lock-free fixed-capacity event ring. Emit is safe from
+// any goroutine; when the ring wraps, the oldest events are overwritten
+// (the tracer favors recency — the events leading up to the thing you
+// are debugging). A nil or disabled Tracer makes Emit a no-op costing
+// one atomic load and zero allocations.
+type Tracer struct {
+	on    atomic.Bool
+	seq   atomic.Uint64
+	mask  uint64
+	slots []slot
+}
+
+// NewTracer creates a tracer holding capacity events (rounded up to a
+// power of two, minimum 64), initially disabled.
+func NewTracer(capacity int) *Tracer {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// Enable turns event recording on.
+func (t *Tracer) Enable() { t.on.Store(true) }
+
+// Disable turns event recording off (already-recorded events remain).
+func (t *Tracer) Disable() { t.on.Store(false) }
+
+// Enabled reports whether Emit currently records.
+func (t *Tracer) Enabled() bool { return t != nil && t.on.Load() }
+
+// Emit records one event. Safe (and free) on a nil or disabled tracer.
+func (t *Tracer) Emit(kind EventKind, worker int, vt int64, a, b uint64) {
+	if t == nil || !t.on.Load() {
+		return
+	}
+	n := t.seq.Add(1)
+	s := &t.slots[n&t.mask]
+	s.seq.Store(0)
+	s.kind.Store(uint64(kind))
+	s.worker.Store(uint64(worker))
+	s.vt.Store(vt)
+	s.a.Store(a)
+	s.b.Store(b)
+	s.seq.Store(n)
+}
+
+// DeviceHook adapts the tracer to pmem.Pool.SetDeviceTracer, recording
+// cache evictions, XPBuffer evictions and crashes as events (worker =
+// socket, A = XPLine index, VT = 0: the device has no thread clock).
+func (t *Tracer) DeviceHook() pmem.DeviceTracer {
+	return func(ev pmem.DeviceEvent, socket int, xpline uint64) {
+		var k EventKind
+		switch ev {
+		case pmem.DevCacheEvict:
+			k = EvCacheEvict
+		case pmem.DevXPBufEvict:
+			k = EvXPBufEvict
+		case pmem.DevCrash:
+			k = EvCrash
+		default:
+			return
+		}
+		t.Emit(k, socket, 0, xpline, 0)
+	}
+}
+
+// Events returns the surviving ring contents ordered by sequence
+// number. Torn slots (overwritten mid-read) are skipped.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 {
+			continue
+		}
+		e := Event{
+			Seq:    seq,
+			Kind:   EventKind(s.kind.Load()),
+			Worker: int(s.worker.Load()),
+			VT:     s.vt.Load(),
+			A:      s.a.Load(),
+			B:      s.b.Load(),
+		}
+		if s.seq.Load() != seq {
+			continue // torn: overwritten while reading
+		}
+		e.Name = e.Kind.String()
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteJSON dumps the ring as a JSON array of Event objects.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	for i, e := range t.Events() {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		fmt.Fprintf(bw, `  {"seq":%d,"kind":%q,"worker":%d,"vt":%d,"a":%d,"b":%d}`,
+			e.Seq, e.Name, e.Worker, e.VT, e.A, e.B)
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// WriteChromeTrace dumps the ring in Chrome trace_event format
+// (chrome://tracing, Perfetto): instant events, timestamped with
+// virtual time in microseconds, one track per worker. Events with no
+// thread clock (device events) land on their socket's track at ts 0.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[` + "\n")
+	for i, e := range t.Events() {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		fmt.Fprintf(bw,
+			`  {"name":%q,"ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d,"args":{"seq":%d,"a":%d,"b":%d}}`,
+			e.Name, float64(e.VT)/1e3, e.Worker, e.Seq, e.A, e.B)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

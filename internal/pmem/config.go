@@ -65,6 +65,75 @@ func (t Tag) String() string {
 	return "unknown"
 }
 
+// Scope attributes PM traffic to the program component that caused it,
+// one level finer than Tag: where Tag answers "what kind of bytes"
+// (leaf/WAL/meta), Scope answers "which code path wrote them" — the
+// per-site attribution the observability layer (internal/obs) exposes
+// and cclstat renders. Threads carry a current scope set with
+// PushScope/PopScope; every byte arriving at the XPBuffer, and every
+// XPLine eventually written back to media, is charged to the scope of
+// the thread that dirtied it.
+//
+// Nesting contract: the innermost component wins, with two documented
+// refinements implemented by the components themselves (not here):
+// WAL appends always attribute to ScopeWAL regardless of the caller's
+// scope, and the leaf-flush/split paths keep an active task scope
+// (ScopeGC, ScopeRecovery) instead of overriding it, so "gc" traffic
+// stays visibly gc-caused.
+type Scope uint8
+
+const (
+	// ScopeNone is the default: foreground application traffic with no
+	// finer attribution ("data" in displays).
+	ScopeNone Scope = iota
+	// ScopeLeafBuf marks buffer-node batch flushes into PM leaves.
+	ScopeLeafBuf
+	// ScopeWAL marks write-ahead-log appends.
+	ScopeWAL
+	// ScopeGC marks garbage-collection traffic (naive-GC leaf flushes,
+	// restamps); locality-aware GC's I-log copies are WAL appends and
+	// attribute to ScopeWAL by contract.
+	ScopeGC
+	// ScopeSplit marks structural operations: leaf splits and merges.
+	ScopeSplit
+	// ScopeRecovery marks post-crash recovery scans and replays.
+	ScopeRecovery
+	// ScopeMeta marks superblock, chunk-directory and allocator
+	// metadata writes.
+	ScopeMeta
+	// NumScopes is the number of attribution buckets.
+	NumScopes
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeNone:
+		return "data"
+	case ScopeLeafBuf:
+		return "leafbuf"
+	case ScopeWAL:
+		return "wal"
+	case ScopeGC:
+		return "gc"
+	case ScopeSplit:
+		return "split"
+	case ScopeRecovery:
+		return "recovery"
+	case ScopeMeta:
+		return "meta"
+	}
+	return "unknown"
+}
+
+// ScopeNames returns the display names of all scopes, indexed by Scope.
+func ScopeNames() [NumScopes]string {
+	var out [NumScopes]string
+	for i := range out {
+		out[i] = Scope(i).String()
+	}
+	return out
+}
+
 // CostModel holds the virtual-time parameters, all in nanoseconds. The
 // defaults are calibrated against published Optane 200 characterization
 // numbers; what matters for reproduction is their relative order

@@ -42,6 +42,7 @@ type dimm struct {
 type xpEntry struct {
 	xpline     uint64
 	tag        Tag
+	scope      Scope
 	dirty      bool
 	prev, next *xpEntry
 }
@@ -199,7 +200,10 @@ func (d *device) evictOne(p *Pool, t *Thread) {
 		d.clearDirtyBit(victim)
 		sh.mu.Unlock()
 		d.dirtyCount.Add(-1)
-		p.ctr.cacheEvictions.Add(1)
+		p.ctr.cur.cacheEvictions.Add(1)
+		if h := p.devHook.Load(); h != nil {
+			(*h)(DevCacheEvict, d.id, victim/linesPerXPLine)
+		}
 		// The written-back line flows through the XPBuffer like any
 		// flush; the backpressure stall still lands on the thread
 		// whose store overflowed the cache.
@@ -223,7 +227,8 @@ func (d *device) xpbufAccess(p *Pool, t *Thread, line uint64, isWrite bool) (boo
 	xp := line / linesPerXPLine
 	dm := d.dimmFor(xp)
 	if isWrite {
-		p.ctr.xpbufWriteBytes.Add(CachelineSize)
+		p.ctr.cur.xpbufWriteBytes.Add(CachelineSize)
+		p.ctr.cur.xpbufWriteByScope[t.scope].Add(CachelineSize)
 	}
 
 	dm.mu.Lock()
@@ -232,9 +237,10 @@ func (d *device) xpbufAccess(p *Pool, t *Thread, line uint64, isWrite bool) (boo
 		if isWrite {
 			e.dirty = true
 			e.tag = t.tag
-			p.ctr.xpbufWriteHits.Add(1)
+			e.scope = t.scope
+			p.ctr.cur.xpbufWriteHits.Add(1)
 		} else {
-			p.ctr.xpbufReadHits.Add(1)
+			p.ctr.cur.xpbufReadHits.Add(1)
 		}
 		backlog := dm.busyUntil.Load()
 		dm.mu.Unlock()
@@ -245,28 +251,37 @@ func (d *device) xpbufAccess(p *Pool, t *Thread, line uint64, isWrite bool) (boo
 		return true, stall
 	}
 	if isWrite {
-		p.ctr.xpbufWriteMiss.Add(1)
+		p.ctr.cur.xpbufWriteMiss.Add(1)
 	} else {
-		p.ctr.xpbufReadMiss.Add(1)
+		p.ctr.cur.xpbufReadMiss.Add(1)
 	}
 	// Fill: read-modify-write brings the XPLine in from media.
 	completion := dm.occupy(c.MediaRead)
-	p.ctr.mediaReadBytes.Add(XPLineSize)
+	p.ctr.cur.mediaReadBytes.Add(XPLineSize)
+	var evicted uint64
+	dirtyEvict := false
 	if len(dm.ent) >= dm.cap {
 		victim := dm.popBack()
 		delete(dm.ent, victim.xpline)
 		d.setResident(victim.xpline, false)
 		if victim.dirty {
 			completion = dm.occupy(c.MediaWrite)
-			p.ctr.mediaWriteBytes.Add(XPLineSize)
-			p.ctr.mediaWriteByTag[victim.tag].Add(XPLineSize)
+			p.ctr.cur.mediaWriteBytes.Add(XPLineSize)
+			p.ctr.cur.mediaWriteByTag[victim.tag].Add(XPLineSize)
+			p.ctr.cur.mediaWriteByScope[victim.scope].Add(XPLineSize)
+			evicted, dirtyEvict = victim.xpline, true
 		}
 	}
-	e := &xpEntry{xpline: xp, tag: t.tag, dirty: isWrite}
+	e := &xpEntry{xpline: xp, tag: t.tag, scope: t.scope, dirty: isWrite}
 	dm.ent[xp] = e
 	dm.pushFront(e)
 	d.setResident(xp, true)
 	dm.mu.Unlock()
+	if dirtyEvict {
+		if h := p.devHook.Load(); h != nil {
+			(*h)(DevXPBufEvict, d.id, evicted)
+		}
+	}
 
 	stall := completion - t.vt - c.MaxQueueLead
 	if stall < 0 {
@@ -283,8 +298,9 @@ func (d *device) drain(p *Pool) {
 		dm.mu.Lock()
 		for xp, e := range dm.ent {
 			if e.dirty {
-				p.ctr.mediaWriteBytes.Add(XPLineSize)
-				p.ctr.mediaWriteByTag[e.tag].Add(XPLineSize)
+				p.ctr.cur.mediaWriteBytes.Add(XPLineSize)
+				p.ctr.cur.mediaWriteByTag[e.tag].Add(XPLineSize)
+				p.ctr.cur.mediaWriteByScope[e.scope].Add(XPLineSize)
 			}
 			d.setResident(xp, false)
 			delete(dm.ent, xp)

@@ -16,6 +16,11 @@ type Pool struct {
 	devs []*device
 	ctr  counters
 
+	// devHook is the installed device tracer (SetDeviceTracer), nil
+	// when tracing is off. Kept as an atomic pointer so the evict paths
+	// pay one pointer load when uninstalled.
+	devHook atomic.Pointer[DeviceTracer]
+
 	auxMu sync.Mutex
 	aux   map[string]any
 
@@ -68,15 +73,71 @@ func (p *Pool) Sockets() int { return len(p.devs) }
 // DeviceBytes returns the capacity of each socket's device.
 func (p *Pool) DeviceBytes() int64 { return p.cfg.DeviceBytes }
 
-// Stats snapshots the hardware counters.
+// Stats snapshots the hardware counters (since pool creation or the
+// last ResetStats). See ResetStats for the concurrency contract.
 func (p *Pool) Stats() Stats { return p.ctr.snapshot() }
 
-// ResetStats zeroes the hardware counters (e.g. after a warm-up phase).
+// ResetStats rebaselines the hardware counters (e.g. after a warm-up
+// phase): subsequent Stats calls report only traffic accumulated after
+// the reset, including the per-DIMM XPBuffer tallies (hits, misses,
+// per-scope and per-tag media attribution), which share the same
+// counter set and baseline.
+//
+// Race contract: the live counters are monotone and never zeroed;
+// ResetStats atomically captures them as a new baseline that Stats
+// subtracts. A Stats call concurrent with ResetStats observes each
+// counter against either the old or the new baseline — individual
+// values never tear or underflow (deltas clamp at zero) — but
+// cross-counter identities (e.g. per-scope buckets summing exactly to
+// MediaWriteBytes) are only guaranteed when no writers or resets are
+// in flight, i.e. at quiescence after DrainXPBuffers.
 func (p *Pool) ResetStats() { p.ctr.reset() }
 
 // AddUserBytes declares n bytes of application payload written, the
 // denominator of the amplification metrics.
-func (p *Pool) AddUserBytes(n uint64) { p.ctr.userWriteBytes.Add(n) }
+func (p *Pool) AddUserBytes(n uint64) { p.ctr.cur.userWriteBytes.Add(n) }
+
+// Observe is the stable observability read surface: the current
+// counter snapshot with its derived metrics (String,
+// AmplificationFactor, ScopeMediaBytes, ...). internal/obs wraps it
+// into the flattened JSON form served over HTTP and rendered by
+// cclstat; the device model cannot import that package, so the raw
+// snapshot is the hand-off point.
+func (p *Pool) Observe() Stats { return p.Stats() }
+
+// DeviceEvent identifies a device-level occurrence reported through the
+// tracer hook installed with SetDeviceTracer.
+type DeviceEvent uint8
+
+const (
+	// DevCacheEvict: the modeled CPU cache wrote back a dirty line the
+	// program never flushed (capacity eviction).
+	DevCacheEvict DeviceEvent = iota
+	// DevXPBufEvict: an XPBuffer evicted a dirty XPLine to media (the
+	// write amplification event the paper is about).
+	DevXPBufEvict
+	// DevCrash: Pool.Crash rolled volatile state back to the persistent
+	// image. The line argument is 0.
+	DevCrash
+)
+
+// DeviceTracer receives device-level events: the event kind, the socket
+// it occurred on, and the XPLine index involved. Callbacks run on the
+// accessing thread's goroutine, outside internal locks, but still on
+// the hot path: implementations must be fast, must not block, and must
+// not call back into the pool.
+type DeviceTracer func(ev DeviceEvent, socket int, xpline uint64)
+
+// SetDeviceTracer installs f as the device-event hook (nil uninstalls).
+// The device model cannot depend on the observability layer, so this is
+// the seam internal/obs plugs its ring-buffer tracer into.
+func (p *Pool) SetDeviceTracer(f DeviceTracer) {
+	if f == nil {
+		p.devHook.Store(nil)
+		return
+	}
+	p.devHook.Store(&f)
+}
 
 // PowerFailure is the panic value thrown when an armed fault trigger
 // fires (FailAfterFlushes). Test harnesses recover it, call Crash, and
@@ -111,6 +172,9 @@ func (p *Pool) Crash() {
 	}
 	for _, d := range p.devs {
 		d.crash()
+	}
+	if h := p.devHook.Load(); h != nil {
+		(*h)(DevCrash, 0, 0)
 	}
 	if p.cfg.StrictPersist {
 		// Threads do not survive a power failure: their pending flush

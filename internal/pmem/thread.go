@@ -24,6 +24,7 @@ type Thread struct {
 	pool    *Pool
 	socket  int
 	tag     Tag
+	scope   Scope
 	vt      int64
 	pending []pendingFlush
 
@@ -72,6 +73,27 @@ func (t *Thread) SetTag(tag Tag) Tag {
 	return old
 }
 
+// PushScope sets the component-attribution scope (see Scope), returning
+// the previous one. Callers restore it with PopScope, typically:
+//
+//	prev := t.PushScope(pmem.ScopeWAL)
+//	defer t.PopScope(prev)
+//
+// Scope is thread-local state like the tag: it travels with the Thread,
+// not the goroutine, so a handle handed to a worker keeps attributing
+// by whatever the code currently running on it pushed.
+func (t *Thread) PushScope(s Scope) Scope {
+	old := t.scope
+	t.scope = s
+	return old
+}
+
+// PopScope restores a scope previously returned by PushScope.
+func (t *Thread) PopScope(s Scope) { t.scope = s }
+
+// Scope returns the thread's current attribution scope.
+func (t *Thread) Scope() Scope { return t.scope }
+
 // SyncClock advances the thread's clock to at least v. Used when worker
 // threads rendezvous (e.g. a GC epoch flip) so virtual time stays
 // coherent across threads.
@@ -84,7 +106,7 @@ func (t *Thread) SyncClock(v int64) {
 func (t *Thread) dev(a Addr) *device {
 	d := t.pool.devs[a.Socket()]
 	if a.Socket() != t.socket {
-		t.pool.ctr.remoteAccesses.Add(1)
+		t.pool.ctr.cur.remoteAccesses.Add(1)
 		t.vt += t.pool.cfg.Cost.RemoteAccess
 	}
 	return d

@@ -186,11 +186,17 @@ func (l *Log) Append(t *pmem.Thread, e Entry) (pmem.Addr, error) {
 	l.bytes += EntrySize
 	l.mu.Unlock()
 
+	// Attribution: log bytes are ScopeWAL no matter who appends — a
+	// foreground upsert, GC copying survivors into an I-log, recovery —
+	// so per-scope breakdowns always show log traffic as log traffic
+	// (the documented exception to innermost-scope-wins).
 	prev := t.SetTag(pmem.TagWAL)
+	prevScope := t.PushScope(pmem.ScopeWAL)
 	t.Store(addr, e.Key)
 	t.Store(addr.Add(8), e.Value)
 	t.Store(addr.Add(16), e.Timestamp)
 	t.Persist(addr, EntrySize)
+	t.PopScope(prevScope)
 	t.SetTag(prev)
 	return addr, nil
 }
