@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cclbtree/internal/core"
@@ -17,14 +18,28 @@ import (
 )
 
 func main() {
-	sockets := flag.Int("sockets", 2, "sockets the image was saved with")
-	deviceMB := flag.Int("device-mb", 32, "device size per socket in MiB")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ccldump [-sockets N] [-device-mb M] <image-file>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: loads the image, inspects, prints the
+// report, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("ccldump", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	sockets := fl.Int("sockets", 2, "sockets the image was saved with")
+	deviceMB := fl.Int("device-mb", 32, "device size per socket in MiB")
+	fl.Usage = func() {
+		fmt.Fprintln(stderr, "usage: ccldump [-sockets N] [-device-mb M] <image-file>")
+		fl.PrintDefaults()
 	}
-	path := flag.Arg(0)
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	if fl.NArg() != 1 {
+		fl.Usage()
+		return 2
+	}
+	path := fl.Arg(0)
 
 	pool := pmem.NewPool(pmem.Config{
 		Sockets:     *sockets,
@@ -32,21 +47,22 @@ func main() {
 	})
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	defer f.Close()
 	for s := 0; s < pool.Sockets(); s++ {
 		if err := pool.LoadPersistent(s, f); err != nil {
-			fmt.Fprintf(os.Stderr, "load socket %d: %v\n", s, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "load socket %d: %v\n", s, err)
+			return 1
 		}
 	}
 	rep, err := core.Inspect(pool)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	fmt.Printf("image %s\n", path)
-	rep.Fprint(os.Stdout)
+	fmt.Fprintf(stdout, "image %s\n", path)
+	rep.Fprint(stdout)
+	return 0
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cclbtree"
+	"cclbtree/internal/pmem"
+)
+
+// TestDumpSavedImage is the end-to-end smoke test: build a small tree,
+// save its persistent image the way examples/kvstore does, and check
+// the dump reports a consistent chain. The pool shape must match the
+// CLI defaults (-sockets 2 -device-mb 32) for the load to line up.
+func TestDumpSavedImage(t *testing.T) {
+	pool := pmem.NewPool(pmem.Config{Sockets: 2, DeviceBytes: 32 << 20})
+	db, err := cclbtree.NewOnPool(pool, cclbtree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session(0)
+	for k := uint64(1); k <= 500; k++ {
+		if err := s.Put(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	path := filepath.Join(t.TempDir(), "tree.pm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sck := 0; sck < pool.Sockets(); sck++ {
+		if err := pool.SavePersistent(sck, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"image " + path, "tree mode", "leaf-chain order : OK"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dump output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestUsageErrors pins the CLI error contract: 2 on usage problems,
+// 1 on a missing image.
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Errorf("no-args stderr missing usage: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.pm")}, &out, &errb); code != 1 {
+		t.Errorf("missing image: exit %d, want 1", code)
+	}
+}

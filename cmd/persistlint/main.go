@@ -1,34 +1,34 @@
 // Command persistlint statically checks the repository's persistent
 // memory discipline (see internal/analysis/persist): every PM store
-// must be flushed and fenced before the function returns, flushes must
-// be fenced, flushing under eADR-only branches is dead code, and
-// *pmem.Thread handles must not cross goroutine boundaries.
+// must be flushed and fenced on every path to return, flushes must be
+// fenced, flushing under eADR-only branches is dead code, PM pointers
+// must not be published over unfenced data, lock acquisition must
+// follow the declared order, and *pmem.Thread handles must not cross
+// goroutine boundaries.
 //
 // Usage:
 //
-//	persistlint [-json] [-tests] [packages...]
+//	persistlint [-json] [-tests] [-stats] [packages...]
 //
 // Package patterns are directories; a trailing /... recurses. With no
 // arguments it checks ./... from the current directory. Exit status is
 // 0 when no findings, 1 when findings were reported, 2 on usage or
-// parse errors.
+// parse errors. -stats prints analysis self-diagnostics (functions,
+// CFG nodes, summaries, per-rule counts) to stderr.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"cclbtree/internal/analysis/persist"
-)
-
-var (
-	jsonOut  = flag.Bool("json", false, "emit one JSON object per finding (stable across PRs for CI diffing)")
-	withTest = flag.Bool("tests", false, "also analyze _test.go files")
 )
 
 // jsonFinding is the -json wire form: one object per line, keyed for
@@ -43,32 +43,45 @@ type jsonFinding struct {
 }
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: persistlint [-json] [-tests] [packages...]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: parses flags, analyzes, prints, and
+// returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("persistlint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	jsonOut := fl.Bool("json", false, "emit one JSON object per finding (stable across PRs for CI diffing)")
+	withTest := fl.Bool("tests", false, "also analyze _test.go files")
+	stats := fl.Bool("stats", false, "print analysis self-diagnostics to stderr")
+	fl.Usage = func() {
+		fmt.Fprintf(stderr, "usage: persistlint [-json] [-tests] [-stats] [packages...]\n")
+		fl.PrintDefaults()
 	}
-	flag.Parse()
-	patterns := flag.Args()
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fl.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	dirs, err := resolve(patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "persistlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "persistlint: %v\n", err)
+		return 2
 	}
 
 	an := persist.NewAnalyzer()
 	for _, d := range dirs {
 		if err := an.AddDir(d, *withTest); err != nil {
-			fmt.Fprintf(os.Stderr, "persistlint: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "persistlint: %v\n", err)
+			return 2
 		}
 	}
 	findings := an.Run()
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		for _, f := range findings {
 			_ = enc.Encode(jsonFinding{
 				File:    filepath.ToSlash(f.Pos.Filename),
@@ -81,14 +94,44 @@ func main() {
 		}
 	} else {
 		for _, f := range findings {
-			fmt.Println(f)
+			fmt.Fprintln(stdout, f)
 		}
+	}
+	if *stats {
+		printStats(stderr, an.Stats(), findings)
 	}
 	if len(findings) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "persistlint: %d finding(s)\n", len(findings))
+			fmt.Fprintf(stderr, "persistlint: %d finding(s)\n", len(findings))
 		}
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// printStats emits the self-diagnostic block: CI logs should show what
+// the analysis covered, not just its silence.
+func printStats(w io.Writer, s persist.Stats, findings []persist.Finding) {
+	fmt.Fprintf(w, "persistlint stats:\n")
+	fmt.Fprintf(w, "  files analyzed      %6d\n", s.Files)
+	fmt.Fprintf(w, "  functions analyzed  %6d\n", s.Functions)
+	fmt.Fprintf(w, "  cfg nodes built     %6d\n", s.CFGNodes)
+	fmt.Fprintf(w, "  discharge summaries %6d\n", s.DischargeSummaries)
+	fmt.Fprintf(w, "  lock summaries      %6d\n", s.LockSummaries)
+	byCode := map[string]int{}
+	for _, f := range findings {
+		byCode[f.Code]++
+	}
+	codes := make([]string, 0, len(byCode))
+	for c := range byCode {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "  findings %s      %6d\n", c, byCode[c])
+	}
+	if len(byCode) == 0 {
+		fmt.Fprintf(w, "  findings                 0\n")
 	}
 }
 

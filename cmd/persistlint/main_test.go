@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanSrc = `package p
+
+import "cclbtree/internal/pmem"
+
+func ok(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Persist(a, 8)
+}
+`
+
+const leakySrc = `package p
+
+import "cclbtree/internal/pmem"
+
+func leakStore(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+}
+
+func leakFlush(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+}
+`
+
+// writeDir materializes a one-package directory for the CLI to scan.
+func writeDir(t *testing.T, name, src string) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "p")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestExitCodes pins the CLI contract: 0 clean, 1 findings, 2 usage or
+// parse errors.
+func TestExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+
+	clean := writeDir(t, "clean.go", cleanSrc)
+	if code := run([]string{clean}, &out, &errb); code != 0 {
+		t.Errorf("clean dir: exit %d, want 0 (stderr: %s)", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	leaky := writeDir(t, "leaky.go", leakySrc)
+	if code := run([]string{leaky}, &out, &errb); code != 1 {
+		t.Errorf("leaky dir: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "PL001") || !strings.Contains(out.String(), "PL002") {
+		t.Errorf("leaky dir output missing PL001/PL002:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("leaky dir stderr missing summary line: %s", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "no-such-dir")}, &out, &errb); code != 2 {
+		t.Errorf("missing dir: exit %d, want 2", code)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+
+	out.Reset()
+	errb.Reset()
+	broken := writeDir(t, "broken.go", "package p\nfunc {")
+	if code := run([]string{broken}, &out, &errb); code != 2 {
+		t.Errorf("parse error: exit %d, want 2", code)
+	}
+}
+
+// TestJSONShape checks the -json wire form: one object per line with
+// the stable key set CI diffs against.
+func TestJSONShape(t *testing.T) {
+	var out, errb bytes.Buffer
+	leaky := writeDir(t, "leaky.go", leakySrc)
+	if code := run([]string{"-json", leaky}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSON lines, got %d:\n%s", len(lines), out.String())
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		for _, k := range []string{"file", "line", "col", "code", "func", "message"} {
+			if _, ok := m[k]; !ok {
+				t.Errorf("JSON line missing key %q: %s", k, line)
+			}
+		}
+	}
+	// -json keeps stdout machine-clean: no summary line anywhere.
+	if strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("-json should suppress the stderr summary, got: %s", errb.String())
+	}
+}
+
+// TestDeterministicOutput runs the same analysis twice and demands
+// byte-identical output: CI diffs depend on stable ordering.
+func TestDeterministicOutput(t *testing.T) {
+	leaky := writeDir(t, "leaky.go", leakySrc)
+	var first string
+	for i := 0; i < 3; i++ {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-json", leaky}, &out, &errb); code != 1 {
+			t.Fatalf("run %d: exit %d, want 1", i, code)
+		}
+		if i == 0 {
+			first = out.String()
+		} else if out.String() != first {
+			t.Fatalf("run %d output differs:\n%s\nvs\n%s", i, out.String(), first)
+		}
+	}
+}
+
+// TestStatsFlag checks -stats prints the self-diagnostic block to
+// stderr without disturbing stdout findings.
+func TestStatsFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	leaky := writeDir(t, "leaky.go", leakySrc)
+	if code := run([]string{"-stats", leaky}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	se := errb.String()
+	for _, want := range []string{"persistlint stats:", "functions analyzed", "cfg nodes built", "findings PL001"} {
+		if !strings.Contains(se, want) {
+			t.Errorf("-stats stderr missing %q:\n%s", want, se)
+		}
+	}
+	if strings.Contains(out.String(), "stats") {
+		t.Errorf("stats leaked to stdout:\n%s", out.String())
+	}
+}

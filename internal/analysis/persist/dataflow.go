@@ -1,0 +1,312 @@
+package persist
+
+// dataflow.go runs two forward may-analyses over a function's CFG.
+//
+// Obligations: a Store/WriteRange opens a flush obligation on its
+// thread; a Flush discharges stores and opens a fence obligation; a
+// Fence discharges flushes; Persist discharges both. The analysis is
+// path-sensitive at the branching level — join is set union — so an
+// obligation still open on ANY path reaching the function exit is a
+// finding (PL001/PL002), which makes early returns, divergent
+// branches, and loop back edges sound where the old position-ordered
+// check was not. Obligations are per thread key and address-
+// insensitive (any Flush on the thread discharges its stores), which
+// matches how the batched leaf-flush code is written.
+//
+// Held locks: an acquire of a declared class while any held class has
+// equal or higher rank is a PL006 inversion. Deferred unlocks are
+// ignored — a lock held to return cannot invert anything after the
+// last acquire.
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Obligation kinds.
+const (
+	obStore = iota // awaiting Flush/Persist → PL001 if it survives
+	obFlush        // awaiting Fence/Persist → PL002 if it survives
+)
+
+// obl is one open obligation. Seeds used for interprocedural summaries
+// carry negative origins and are never reported.
+type obl struct {
+	origin token.Pos
+	key    string
+	kind   int
+	method string // Store/WriteRange/Flush, for the message
+}
+
+type oblSet map[obl]struct{}
+
+func (s oblSet) clone() oblSet {
+	out := make(oblSet, len(s))
+	for o := range s {
+		out[o] = struct{}{}
+	}
+	return out
+}
+
+// addAll unions src into dst, reporting whether dst grew.
+func (dst oblSet) addAll(src oblSet) bool {
+	grew := false
+	for o := range src {
+		if _, ok := dst[o]; !ok {
+			dst[o] = struct{}{}
+			grew = true
+		}
+	}
+	return grew
+}
+
+func (s oblSet) killKey(key string, kind int) {
+	for o := range s {
+		if o.key == key && o.kind == kind {
+			delete(s, o)
+		}
+	}
+}
+
+// applyObl is the transfer function for one event. report, when
+// non-nil, receives PL005 publish-before-persist hits.
+func (fa *funcAnalysis) applyObl(s oblSet, e event, report func(code string, pos token.Pos, msg string)) {
+	switch e.kind {
+	case evStore:
+		if e.publish && report != nil {
+			for o := range s {
+				if o.key == e.key {
+					report(CodePublishBeforePersist, e.pos, fmt.Sprintf(
+						"%s.Store publishes a PM pointer while an earlier %s on %s is not yet fenced: a crash exposes reachable-but-unpersisted data; fence the data before the publish", e.key, o.method, e.key))
+					break
+				}
+			}
+		}
+		s[obl{origin: e.pos, key: e.key, kind: obStore, method: e.method}] = struct{}{}
+	case evFlush:
+		s.killKey(e.key, obStore)
+		s[obl{origin: e.pos, key: e.key, kind: obFlush, method: "Flush"}] = struct{}{}
+	case evFence:
+		s.killKey(e.key, obFlush)
+	case evPersist:
+		s.killKey(e.key, obStore)
+		s.killKey(e.key, obFlush)
+	case evEADR:
+		// Inside the eADR persistence domain stores are durable at
+		// retirement: nothing on this path needs flushing.
+		for o := range s {
+			delete(s, o)
+		}
+	case evCall:
+		sum, ok := fa.an.summaries[e.callee]
+		if !ok {
+			return
+		}
+		for _, k := range e.threadArgs {
+			if sum.coversFlush {
+				s.killKey(k, obFlush)
+				if sum.coversStore {
+					s.killKey(k, obStore)
+				}
+			}
+		}
+	}
+}
+
+// oblFixpoint computes the set of obligations possibly open on entry
+// to each node, starting from seeds at the function entry.
+func (fa *funcAnalysis) oblFixpoint(g *cfg, seeds oblSet) []oblSet {
+	in := make([]oblSet, len(g.nodes))
+	for i := range in {
+		in[i] = oblSet{}
+	}
+	in[g.entry.id] = seeds.clone()
+
+	// Worklist from the entry: a node runs when first reached and again
+	// whenever its in-set grows. Unreachable nodes (dead code after a
+	// return or terminator call) are never processed, so their events
+	// cannot leak obligations into the exit.
+	reached := make([]bool, len(g.nodes))
+	queued := make([]bool, len(g.nodes))
+	work := []*cfgNode{g.entry}
+	reached[g.entry.id] = true
+	queued[g.entry.id] = true
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n.id] = false
+		out := in[n.id].clone()
+		for _, e := range n.events {
+			fa.applyObl(out, e, nil)
+		}
+		for _, succ := range n.succs {
+			grew := in[succ.id].addAll(out)
+			if (grew || !reached[succ.id]) && !queued[succ.id] {
+				reached[succ.id] = true
+				queued[succ.id] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// exitResidue applies a node's own events plus the deferred events
+// (LIFO) to its entry set, yielding what is still open at return.
+func (fa *funcAnalysis) exitResidue(g *cfg, in []oblSet) oblSet {
+	s := in[g.exit.id].clone()
+	for i := len(g.deferred) - 1; i >= 0; i-- {
+		fa.applyObl(s, g.deferred[i], nil)
+	}
+	return s
+}
+
+// checkObligations reports PL001/PL002 for obligations open at exit
+// and PL005 for publishes that overtake pending obligations.
+func (fa *funcAnalysis) checkObligations(g *cfg, emit func(code string, pos token.Pos, msg string)) {
+	in := fa.oblFixpoint(g, oblSet{})
+
+	// PL005: replay each node's events against its entry set.
+	seen := map[token.Pos]bool{}
+	report := func(code string, pos token.Pos, msg string) {
+		if !seen[pos] {
+			seen[pos] = true
+			emit(code, pos, msg)
+		}
+	}
+	for _, n := range g.nodes {
+		s := in[n.id].clone()
+		for _, e := range n.events {
+			fa.applyObl(s, e, report)
+		}
+	}
+
+	// PL001/PL002: residue at exit, reported at the origin site.
+	residue := fa.exitResidue(g, in)
+	var open []obl
+	for o := range residue {
+		if o.origin.IsValid() {
+			open = append(open, o)
+		}
+	}
+	sort.Slice(open, func(i, j int) bool { return open[i].origin < open[j].origin })
+	for _, o := range open {
+		switch o.kind {
+		case obStore:
+			emit(CodeStoreNoPersist, o.origin, fmt.Sprintf(
+				"%s.%s to PM with a path to return with no %s.Flush/Persist: the store is volatile under ADR", o.key, o.method, o.key))
+		case obFlush:
+			emit(CodeFlushNoFence, o.origin, fmt.Sprintf(
+				"%s.Flush with a path to return with no %s.Fence/Persist: the clwb never retires", o.key, o.key))
+		}
+	}
+}
+
+// --- lock-order analysis ------------------------------------------------
+
+// heldSet maps lock class → position of the (earliest) live acquire.
+type heldSet map[string]token.Pos
+
+func (s heldSet) clone() heldSet {
+	out := make(heldSet, len(s))
+	for c, p := range s {
+		out[c] = p
+	}
+	return out
+}
+
+func (dst heldSet) addAll(src heldSet) bool {
+	grew := false
+	for c, p := range src {
+		if q, ok := dst[c]; !ok || p < q {
+			if !ok {
+				grew = true
+			} else if p < q {
+				grew = true
+			}
+			dst[c] = p
+		}
+	}
+	return grew
+}
+
+// applyLock is the lock transfer function. check, when non-nil,
+// receives (acquiring class, its position, held set) for PL006.
+func (fa *funcAnalysis) applyLock(s heldSet, e event, check func(class string, pos token.Pos, held heldSet)) {
+	switch e.kind {
+	case evLock:
+		if check != nil {
+			check(e.class, e.pos, s)
+		}
+		if _, ok := s[e.class]; !ok {
+			s[e.class] = e.pos
+		}
+	case evUnlock:
+		delete(s, e.class)
+	case evCall:
+		if check == nil {
+			return
+		}
+		// One-level interprocedural: classes the callee acquires
+		// directly must also respect the order against what we hold.
+		for _, class := range fa.an.lockSums[e.callee] {
+			check(class, e.pos, s)
+		}
+	}
+}
+
+// checkLockOrder reports PL006 for acquires (direct or through a
+// called function's summary) that violate the declared partial order.
+func (fa *funcAnalysis) checkLockOrder(g *cfg, emit func(code string, pos token.Pos, msg string)) {
+	in := make([]heldSet, len(g.nodes))
+	for i := range in {
+		in[i] = heldSet{}
+	}
+	reached := make([]bool, len(g.nodes))
+	queued := make([]bool, len(g.nodes))
+	work := []*cfgNode{g.entry}
+	reached[g.entry.id] = true
+	queued[g.entry.id] = true
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n.id] = false
+		out := in[n.id].clone()
+		for _, e := range n.events {
+			fa.applyLock(out, e, nil)
+		}
+		for _, succ := range n.succs {
+			grew := in[succ.id].addAll(out)
+			if (grew || !reached[succ.id]) && !queued[succ.id] {
+				reached[succ.id] = true
+				queued[succ.id] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	seen := map[token.Pos]bool{}
+	check := func(class string, pos token.Pos, held heldSet) {
+		if seen[pos] {
+			return
+		}
+		var worst string
+		for h := range held {
+			if lockRank[h] >= lockRank[class] && (worst == "" || lockRank[h] > lockRank[worst] || (lockRank[h] == lockRank[worst] && h < worst)) {
+				worst = h
+			}
+		}
+		if worst != "" {
+			seen[pos] = true
+			emit(CodeLockOrder, pos, fmt.Sprintf(
+				"acquiring %s while holding %s inverts the declared lock order %s", class, worst, lockOrderDecl))
+		}
+	}
+	for _, n := range g.nodes {
+		s := in[n.id].clone()
+		for _, e := range n.events {
+			fa.applyLock(s, e, check)
+		}
+	}
+}

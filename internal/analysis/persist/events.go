@@ -1,0 +1,202 @@
+package persist
+
+// events.go lowers AST fragments into the event stream the dataflow
+// analyses consume: thread-API calls (Store/WriteRange/Flush/Fence/
+// Persist), lock acquires/releases on declared classes, and plain
+// calls that may discharge obligations through an interprocedural
+// summary. Function literals are not lowered in place — their bodies
+// run elsewhere (or never), so they are registered as sub-analyses.
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// extract lowers one expression or statement into events, in source
+// order. Non-deferred FuncLit bodies are skipped here and queued on
+// b.subs for separate analysis.
+func (b *cfgBuilder) extract(root ast.Node) []event {
+	var out []event
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			b.subs = append(b.subs, lit)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if e, ok := b.fa.callEvent(call); ok {
+			out = append(out, e)
+		}
+		return true
+	})
+	sort.SliceStable(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// extractDeferred lowers a deferred call into the events that run at
+// function exit. `defer t.Persist(...)` yields the call's own event;
+// `defer func() { ... }()` yields every event in the literal's body
+// (it runs exactly once, at return, on the deferring goroutine).
+func (b *cfgBuilder) extractDeferred(call *ast.CallExpr) []event {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return b.extract(lit.Body)
+	}
+	if e, ok := b.fa.callEvent(call); ok {
+		return []event{e}
+	}
+	return nil
+}
+
+// callEvent classifies one call expression.
+func (fa *funcAnalysis) callEvent(call *ast.CallExpr) (event, bool) {
+	if key, method, ok := fa.threadCall(call); ok {
+		e := event{pos: call.Pos(), key: key, method: method}
+		switch method {
+		case "Store":
+			e.kind = evStore
+			if len(call.Args) >= 2 {
+				e.publish = fa.isPublishValue(call.Args[1])
+			}
+		case "WriteRange":
+			e.kind = evStore
+		case "Flush":
+			e.kind = evFlush
+		case "Fence":
+			e.kind = evFence
+		case "Persist":
+			e.kind = evPersist
+		default:
+			return event{}, false
+		}
+		return e, true
+	}
+	if class, acquire, ok := fa.lockCall(call); ok {
+		kind := evUnlock
+		if acquire {
+			kind = evLock
+		}
+		return event{pos: call.Pos(), kind: kind, class: class}, true
+	}
+	// Plain call: a summary site if we know the callee's bare name.
+	name := calleeName(call)
+	if name == "" {
+		return event{}, false
+	}
+	e := event{pos: call.Pos(), kind: evCall, callee: name}
+	for _, arg := range call.Args {
+		if fa.isThreadExpr(arg) {
+			e.threadArgs = append(e.threadArgs, renderExpr(arg))
+		}
+	}
+	return e, true
+}
+
+// calleeName returns the bare name of the called function or method
+// ("" for indirect calls through non-selector expressions).
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// --- PL005 publish detection -------------------------------------------
+
+// isPublishValue reports whether a stored value contains uint64(X)
+// where X is a PM address: writing such a word into PM publishes a
+// pointer that makes other PM data reachable (a next-link, a root, a
+// directory slot). Ordering demands that data be fenced first.
+func (fa *funcAnalysis) isPublishValue(v ast.Expr) bool {
+	found := false
+	ast.Inspect(v, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "uint64" && fa.isAddrExpr(call.Args[0]) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isAddrType reports whether the type expression denotes pmem.Addr
+// (or Addr inside package pmem). Addr is a value type, never starred.
+func (fi *fileInfo) isAddrType(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		return ok && fi.pmemName != "" && id.Name == fi.pmemName && x.Sel.Name == "Addr"
+	case *ast.Ident:
+		return fi.inPmem && x.Name == "Addr"
+	}
+	return false
+}
+
+// isAddrExpr reports whether e syntactically denotes a pmem.Addr: a
+// known addr identifier or field, a MakeAddr call, an .Add offset on an
+// addr, or an explicit pmem.Addr conversion.
+func (fa *funcAnalysis) isAddrExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return fa.isAddrExpr(x.X)
+	case *ast.Ident:
+		return fa.addrs[x.Name]
+	case *ast.SelectorExpr:
+		return fa.an.addrFields[x.Sel.Name]
+	case *ast.CallExpr:
+		switch f := x.Fun.(type) {
+		case *ast.Ident:
+			if f.Name == "MakeAddr" && fa.fi.inPmem {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if f.Sel.Name == "MakeAddr" {
+				return true
+			}
+			if f.Sel.Name == "Add" && fa.isAddrExpr(f.X) {
+				return true
+			}
+		}
+		if fa.fi.isAddrType(x.Fun) && len(x.Args) == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAddrVars seeds the addr-identifier set from parameters and
+// from single-value assignments whose right side is an addr expression.
+func (fa *funcAnalysis) collectAddrVars() {
+	fa.addrs = map[string]bool{}
+	for _, fld := range fa.fn.Type.Params.List {
+		if fa.fi.isAddrType(fld.Type) {
+			for _, n := range fld.Names {
+				fa.addrs[n.Name] = true
+			}
+		}
+	}
+	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, isIdent := as.Lhs[i].(*ast.Ident)
+			if !isIdent || id.Name == "_" {
+				continue
+			}
+			if fa.isAddrExpr(rhs) {
+				fa.addrs[id.Name] = true
+			}
+		}
+		return true
+	})
+}

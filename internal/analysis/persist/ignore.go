@@ -6,15 +6,19 @@ import (
 	"strings"
 )
 
-// directive is one parsed //persistlint:ignore comment.
+// directive is one parsed //persistlint:ignore comment. Directives are
+// shared by pointer so suppression can mark them used; a reasoned
+// directive that suppresses nothing by the end of the run is itself a
+// defect (PL007 — the analysis got stronger, the excuse went stale).
 type directive struct {
 	pos    token.Position
 	code   string // "PL001" or a comma list split into codes
 	codes  []string
 	reason string
+	used   bool // suppressed at least one finding this run
 }
 
-func (d directive) matches(code string) bool {
+func (d *directive) matches(code string) bool {
 	for _, c := range d.codes {
 		if c == code || c == "*" {
 			return true
@@ -26,15 +30,15 @@ func (d directive) matches(code string) bool {
 // parseDirectiveComment recognizes "//persistlint:ignore CODE[,CODE] reason".
 // A leading space after // is tolerated; the reason is everything after
 // the code list.
-func parseDirectiveComment(fset *token.FileSet, c *ast.Comment) (directive, bool) {
+func parseDirectiveComment(fset *token.FileSet, c *ast.Comment) (*directive, bool) {
 	text := strings.TrimPrefix(c.Text, "//")
 	text = strings.TrimSpace(text)
 	if !strings.HasPrefix(text, "persistlint:ignore") {
-		return directive{}, false
+		return nil, false
 	}
 	rest := strings.TrimSpace(strings.TrimPrefix(text, "persistlint:ignore"))
 	code, reason, _ := strings.Cut(rest, " ")
-	d := directive{
+	d := &directive{
 		pos:    fset.Position(c.Pos()),
 		code:   code,
 		reason: strings.TrimSpace(reason),
@@ -45,15 +49,15 @@ func parseDirectiveComment(fset *token.FileSet, c *ast.Comment) (directive, bool
 		}
 	}
 	if len(d.codes) == 0 {
-		return directive{}, false
+		return nil, false
 	}
 	return d, true
 }
 
 // parseDirectives indexes every ignore directive in the file by the
 // line it sits on.
-func parseDirectives(fset *token.FileSet, f *ast.File) map[int][]directive {
-	out := map[int][]directive{}
+func parseDirectives(fset *token.FileSet, f *ast.File) map[int][]*directive {
+	out := map[int][]*directive{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			if d, ok := parseDirectiveComment(fset, c); ok {
@@ -64,11 +68,13 @@ func parseDirectives(fset *token.FileSet, f *ast.File) map[int][]directive {
 	return out
 }
 
-// directiveMatches reports whether any directive in the list covers the
+// directiveMatches finds the first directive in the list covering the
 // code with a non-empty reason (reasonless directives never suppress).
-func directiveMatches(dirs []directive, code string) bool {
+// The match is recorded on the directive so stale ones can be reported.
+func directiveMatches(dirs []*directive, code string) bool {
 	for _, d := range dirs {
 		if d.reason != "" && d.matches(code) {
+			d.used = true
 			return true
 		}
 	}

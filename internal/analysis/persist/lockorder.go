@@ -1,0 +1,152 @@
+package persist
+
+// lockorder.go declares the partial acquisition order for the
+// concurrency layer's mutexes (PL006) and resolves a mutex expression
+// to its lock class.
+//
+// The declared order mirrors internal/core's locking design:
+//
+//	stw → workersMu → {gcMu, inner.mu, chunkdir.mu}
+//
+// stw (the stop-the-world RWMutex) is the outermost: foreground
+// operations hold it in read mode for their whole critical section and
+// the naive GC holds it in write mode, so nothing acquired while
+// holding an inner lock may wait on it. workersMu (the worker
+// registry) nests inside stw; the leaf-level mutexes — gcMu, the inner
+// DRAM tree's mu and the chunk directory's mu — are innermost and
+// unordered among themselves (rank ties are still violations: holding
+// one while taking another at the same rank is an inversion waiting
+// for the symmetric path).
+//
+// A lock acquire is a Lock/RLock call on an expression whose class is
+// recognized; classes with unique field names (stw, workersMu, gcMu)
+// match anywhere, while the ambiguous name "mu" resolves through the
+// static type of its owner: the method receiver's type, a parameter's
+// type, or a struct field whose declared type is one of the known
+// owners (Tree.inner *innerTree, Tree.dir *chunkDir). bufferNode's
+// tryLock/unlock version lock uses different method names and is not a
+// class.
+
+import "go/ast"
+
+// lockRank is the declared partial order; acquiring a class while
+// holding one of equal or higher rank is PL006.
+var lockRank = map[string]int{
+	"stw":         0,
+	"workersMu":   1,
+	"gcMu":        2,
+	"inner.mu":    2,
+	"chunkdir.mu": 2,
+}
+
+// lockOrderDecl is the order as printed in findings.
+const lockOrderDecl = "stw -> workersMu -> {gcMu, inner.mu, chunkdir.mu}"
+
+// uniqueLockFields are mutex field names unambiguous on their own.
+var uniqueLockFields = map[string]string{
+	"stw":       "stw",
+	"workersMu": "workersMu",
+	"gcMu":      "gcMu",
+}
+
+// muOwnerClass maps the type that owns an ambiguous "mu" field to the
+// field's lock class.
+var muOwnerClass = map[string]string{
+	"innerTree": "inner.mu",
+	"chunkDir":  "chunkdir.mu",
+}
+
+// lockMethods classifies the sync.Mutex/RWMutex method names.
+var lockMethods = map[string]bool{"Lock": true, "RLock": true}
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// typeBaseName returns the rightmost identifier of a (possibly starred
+// or package-qualified) type expression: *core.innerTree → innerTree.
+func typeBaseName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.StarExpr:
+		return typeBaseName(x.X)
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return typeBaseName(x.X)
+	}
+	return ""
+}
+
+// collectLockOwnerTypes records per-function identifiers (receiver and
+// parameters) whose type is a known mu-owner, keyed by identifier name.
+func (fa *funcAnalysis) collectLockOwnerTypes() {
+	fa.muOwners = map[string]string{}
+	seed := func(fields []*ast.Field) {
+		for _, fld := range fields {
+			base := typeBaseName(fld.Type)
+			cls, ok := muOwnerClass[base]
+			if !ok {
+				continue
+			}
+			for _, n := range fld.Names {
+				fa.muOwners[n.Name] = cls
+			}
+		}
+	}
+	if fa.fn.Recv != nil {
+		seed(fa.fn.Recv.List)
+	}
+	seed(fa.fn.Type.Params.List)
+}
+
+// lockClass resolves the expression a Lock/RLock/Unlock/RUnlock method
+// is called on to a declared lock class ("" if unrecognized).
+func (fa *funcAnalysis) lockClass(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return fa.lockClass(x.X)
+	case *ast.Ident:
+		if cls, ok := uniqueLockFields[x.Name]; ok {
+			return cls
+		}
+	case *ast.SelectorExpr:
+		if cls, ok := uniqueLockFields[x.Sel.Name]; ok {
+			return cls
+		}
+		if x.Sel.Name != "mu" {
+			return ""
+		}
+		// owner.mu: resolve the owner's type.
+		switch owner := x.X.(type) {
+		case *ast.Ident:
+			if cls, ok := fa.muOwners[owner.Name]; ok {
+				return cls
+			}
+		case *ast.SelectorExpr:
+			// field access like tr.inner.mu / tr.dir.mu: the field's
+			// declared type was collected globally.
+			if tn, ok := fa.an.lockOwnerFields[owner.Sel.Name]; ok {
+				return muOwnerClass[tn]
+			}
+		}
+	}
+	return ""
+}
+
+// lockCall decomposes a call into (class, acquire) when it is a
+// Lock/RLock/Unlock/RUnlock on a classed mutex.
+func (fa *funcAnalysis) lockCall(call *ast.CallExpr) (class string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", false, false
+	}
+	isLock := lockMethods[sel.Sel.Name]
+	isUnlock := unlockMethods[sel.Sel.Name]
+	if !isLock && !isUnlock {
+		return "", false, false
+	}
+	cls := fa.lockClass(sel.X)
+	if cls == "" {
+		return "", false, false
+	}
+	return cls, isLock, true
+}

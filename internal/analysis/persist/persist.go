@@ -10,32 +10,110 @@
 // go/types, no external dependencies): it resolves "thread expressions"
 // — values it can see are *pmem.Thread handles — from parameter
 // declarations, struct fields declared *pmem.Thread anywhere in the
-// analyzed set, and assignments from NewThread/Thread calls, then
-// checks four rules:
+// analyzed set, and assignments from NewThread/Thread calls. The
+// persistence rules run over a hand-rolled control-flow graph with a
+// must-persist dataflow: obligations (store→flush, flush→fence) are
+// propagated per CFG node with union join, so a finding means an
+// obligation is still open on SOME path reaching a return — early
+// returns, divergent branches, and loop back edges are analyzed
+// soundly instead of by source position. One-level interprocedural
+// summaries credit helpers that take a *pmem.Thread parameter and
+// discharge it on every path (wal's Append, the tree's writeWholeLeaf)
+// at their call sites.
 //
-//	PL001  a Store/WriteRange with no Flush or Persist on the same
-//	       thread later in the function (store may never persist)
-//	PL002  a Flush with no Fence or Persist on the same thread later
-//	       in the function (the clwb is queued but never retired)
-//	PL003  a Flush/Persist inside an eADR-only branch (dead code:
-//	       stores are already durable in the eADR domain)
-//	PL004  a *pmem.Thread or *obs.Handle crossing a goroutine boundary
-//	       (captured by a go-closure, passed as a go-call argument, or
-//	       sent on a channel); both types are documented single-owner
-//	       (the obs handle's sharded counters are written without
-//	       synchronization on the owning goroutine)
+// # Rule catalog
 //
-// Rules PL001/PL002 are deliberately function-local and linear: a
-// helper that stores and hands the persist obligation to its caller is
-// a finding, to be acknowledged with an ignore directive explaining the
-// contract. Suppression:
+// PL001 — a Store/WriteRange with a path to return on which no Flush
+// or Persist on the same thread intervenes: the store may never
+// persist. The canonical failing shape is the early return a
+// position-ordered linter cannot see:
+//
+//	t.Store(a, 1)
+//	if full {
+//		return // PL001: the store escapes unpersisted here
+//	}
+//	t.Persist(a, 8)
+//
+// Fix: discharge on every path — t.Persist(a, 8) before the branch,
+// or on the early path too.
+//
+// PL002 — a Flush with a path to return on which no Fence or Persist
+// on the same thread intervenes: the clwb is queued but never retired.
+//
+//	t.Store(a, 1)
+//	t.Flush(a, 8) // PL002: no fence on the !sync path
+//	if sync {
+//		t.Fence()
+//	}
+//
+// Fix: fence unconditionally, or use t.Persist(a, 8).
+//
+// PL003 — a Flush/Persist only reachable inside an eADR-only branch.
+// In the eADR persistence domain stores are durable at retirement, so
+// the flush is dead code that suggests a misunderstood mode split:
+//
+//	if mode == pmem.EADR {
+//		t.Flush(a, 8) // PL003: no-op under eADR
+//		t.Fence()
+//	}
+//
+// Fix: invert the condition (flush under ADR), or delete the branch.
+//
+// PL004 — a *pmem.Thread or *obs.Handle crossing a goroutine boundary
+// (captured by a go-closure, passed as a go-call argument, or sent on
+// a channel). Both types are documented single-owner:
+//
+//	go func() { t.Persist(a, 8) }() // PL004: t crosses goroutines
+//
+// Fix: have the goroutine own its handle — pool.NewThread(socket)
+// inside the closure.
+//
+// PL005 — a Store that publishes a PM pointer (a value containing
+// uint64(addr)) while earlier writes on the same thread are not yet
+// fenced: a crash between the publish and the fence recovers a
+// pointer to unpersisted bytes (the split-ordering bug the tree's
+// logless leaf split is built around):
+//
+//	t.Store(newLeaf, img)
+//	t.Store(meta, uint64(newLeaf)) // PL005: newLeaf image unfenced
+//	t.Persist(meta, 8)
+//
+// Fix: t.Persist(newLeaf, 8) before the publish.
+//
+// PL006 — a lock acquire (direct, or one call level deep through a
+// summary) that inverts the declared partial order
+//
+//	stw → workersMu → {gcMu, inner.mu, chunkdir.mu}
+//
+// Locks of equal rank are unordered among themselves, so holding one
+// while taking another is also reported, as is re-acquiring a held
+// lock:
+//
+//	tr.workersMu.Lock()
+//	tr.stw.Lock() // PL006: the symmetric path deadlocks
+//
+// Fix: release before acquiring up-order, or take the locks in
+// declared order.
+//
+// PL007 — a reasoned //persistlint:ignore directive that suppressed
+// nothing this run: the analysis outgrew the excuse and the directive
+// now only hides future regressions.
+//
+//	//persistlint:ignore PL001 caller persists this // PL007: stale
+//	t.Store(a, 1)
+//	t.Persist(a, 8)
+//
+// Fix: delete the directive. PL007 is itself not suppressible.
+//
+// Suppression:
 //
 //	//persistlint:ignore PL001 caller persists the whole leaf image
 //
 // on the finding's line, the line above it, or in the enclosing
 // function's doc comment (which suppresses that code for the whole
 // function). A directive without a reason does not suppress and is
-// itself reported (PL000).
+// itself reported (PL000); a directive that suppresses nothing is
+// reported as stale (PL007, not suppressible).
 package persist
 
 import (
@@ -49,14 +127,17 @@ import (
 	"strings"
 )
 
-// Category codes. PL000 is reserved for defects in the directives
-// themselves.
+// Category codes. PL000 and PL007 are reserved for defects in the
+// directives themselves.
 const (
-	CodeBadDirective   = "PL000"
-	CodeStoreNoPersist = "PL001"
-	CodeFlushNoFence   = "PL002"
-	CodeDeadFlush      = "PL003"
-	CodeThreadEscape   = "PL004"
+	CodeBadDirective         = "PL000"
+	CodeStoreNoPersist       = "PL001"
+	CodeFlushNoFence         = "PL002"
+	CodeDeadFlush            = "PL003"
+	CodeThreadEscape         = "PL004"
+	CodePublishBeforePersist = "PL005"
+	CodeLockOrder            = "PL006"
+	CodeStaleIgnore          = "PL007"
 )
 
 // pmemImportPath identifies the modeled-PM package; any import path
@@ -79,6 +160,16 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s (in %s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Code, f.Msg, f.Func)
 }
 
+// Stats summarizes the analysis run, for -stats self-diagnostics: CI
+// logs should show coverage, not just silence.
+type Stats struct {
+	Files              int // source files parsed
+	Functions          int // function bodies analyzed (literals included)
+	CFGNodes           int // control-flow graph nodes built
+	DischargeSummaries int // callee names with a discharge summary
+	LockSummaries      int // callee names with a lock-acquire summary
+}
+
 // Analyzer accumulates parsed files, then runs the rules over all of
 // them; struct-field thread declarations are collected globally first
 // so method bodies in one package recognize fields declared in another.
@@ -92,6 +183,20 @@ type Analyzer struct {
 	threadFields map[string]bool
 	// handleFields is the same for struct fields declared *obs.Handle.
 	handleFields map[string]bool
+	// addrFields is the same for fields declared pmem.Addr (PL005's
+	// notion of "a PM pointer lives here").
+	addrFields map[string]bool
+	// lockOwnerFields maps field names declared with a mu-owning type
+	// ("inner" → "innerTree", "dir" → "chunkDir") for resolving the
+	// ambiguous field name "mu" through a selector chain.
+	lockOwnerFields map[string]string
+
+	// summaries and lockSums are the one-level interprocedural results,
+	// keyed by bare callee name (see summary.go).
+	summaries map[string]summary
+	lockSums  map[string][]string
+
+	stats Stats
 }
 
 type fileInfo struct {
@@ -101,17 +206,26 @@ type fileInfo struct {
 	obsName  string // local import name of internal/obs ("" if absent)
 	inPmem   bool   // file belongs to package pmem itself
 	inObs    bool   // file belongs to package obs itself
-	ignores  map[int][]directive
+	ignores  map[int][]*directive
 }
 
 // NewAnalyzer returns an empty analyzer.
 func NewAnalyzer() *Analyzer {
-	return &Analyzer{fset: token.NewFileSet(), threadFields: map[string]bool{}, handleFields: map[string]bool{}}
+	return &Analyzer{
+		fset:            token.NewFileSet(),
+		threadFields:    map[string]bool{},
+		handleFields:    map[string]bool{},
+		addrFields:      map[string]bool{},
+		lockOwnerFields: map[string]string{},
+	}
 }
 
 // Fset exposes the analyzer's file set (positions in Findings resolve
 // against it).
 func (a *Analyzer) Fset() *token.FileSet { return a.fset }
+
+// Stats reports self-diagnostics for the most recent Run.
+func (a *Analyzer) Stats() Stats { return a.stats }
 
 // AddFile parses one source file (src may be nil to read from disk).
 func (a *Analyzer) AddFile(path string, src []byte) error {
@@ -169,16 +283,19 @@ func (a *Analyzer) AddDir(dir string, includeTests bool) error {
 	return nil
 }
 
-// Run executes all rules and returns unsuppressed findings in position
-// order.
+// Run executes all rules and returns unsuppressed findings in a
+// deterministic order (position, then code, then message).
 func (a *Analyzer) Run() []Finding {
+	a.stats = Stats{Files: len(a.files)}
 	for _, fi := range a.files {
 		a.collectThreadFields(fi)
 	}
+	a.computeSummaries()
 	var out []Finding
 	for _, fi := range a.files {
 		out = append(out, a.checkFile(fi)...)
 	}
+	out = append(out, a.checkStaleDirectives()...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -186,8 +303,39 @@ func (a *Analyzer) Run() []Finding {
 		if out[i].Pos.Line != out[j].Pos.Line {
 			return out[i].Pos.Line < out[j].Pos.Line
 		}
-		return out[i].Pos.Column < out[j].Pos.Column
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
+		if out[i].Code != out[j].Code {
+			return out[i].Code < out[j].Code
+		}
+		return out[i].Msg < out[j].Msg
 	})
+	return out
+}
+
+// checkStaleDirectives reports PL007 for every reasoned directive that
+// suppressed nothing. Must run after every file has been checked (a
+// directive may be consumed by any finding in its scope). Reasonless
+// directives are PL000, not PL007. Not suppressible: the remedy is
+// deleting the line, not excusing it.
+func (a *Analyzer) checkStaleDirectives() []Finding {
+	var out []Finding
+	for _, fi := range a.files {
+		for _, dirs := range fi.ignores {
+			for _, d := range dirs {
+				if d.reason == "" || d.used {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:  d.pos,
+					Code: CodeStaleIgnore,
+					Func: "-",
+					Msg:  fmt.Sprintf("persistlint:ignore %s suppresses nothing under the current analysis; delete the stale directive", d.code),
+				})
+			}
+		}
+	}
 	return out
 }
 
@@ -225,8 +373,8 @@ func (fi *fileInfo) isHandleType(e ast.Expr) bool {
 	return false
 }
 
-// collectThreadFields records struct field names declared *pmem.Thread
-// or *obs.Handle.
+// collectThreadFields records struct field names declared
+// *pmem.Thread, *obs.Handle, pmem.Addr, or a mu-owning lock type.
 func (a *Analyzer) collectThreadFields(fi *fileInfo) {
 	ast.Inspect(fi.f, func(n ast.Node) bool {
 		st, ok := n.(*ast.StructType)
@@ -243,6 +391,16 @@ func (a *Analyzer) collectThreadFields(fi *fileInfo) {
 				for _, name := range fld.Names {
 					a.handleFields[name.Name] = true
 				}
+			case fi.isAddrType(fld.Type):
+				for _, name := range fld.Names {
+					a.addrFields[name.Name] = true
+				}
+			default:
+				if base := typeBaseName(fld.Type); muOwnerClass[base] != "" {
+					for _, name := range fld.Names {
+						a.lockOwnerFields[name.Name] = base
+					}
+				}
 			}
 		}
 		return true
@@ -257,8 +415,7 @@ func (a *Analyzer) checkFile(fi *fileInfo) []Finding {
 		if !ok || fd.Body == nil {
 			continue
 		}
-		fa := &funcAnalysis{an: a, fi: fi, fn: fd, threads: map[string]bool{}, handles: map[string]bool{}}
-		fa.collectThreadVars()
+		fa := newFuncAnalysis(a, fi, fd)
 		out = append(out, fa.run()...)
 	}
 	// Report malformed directives (missing reason) once per site.
@@ -277,26 +434,95 @@ func (a *Analyzer) checkFile(fi *fileInfo) []Finding {
 	return out
 }
 
-// funcAnalysis is the per-function state shared by the rules.
+// funcAnalysis is the per-function state shared by the rules. For a
+// function literal it shares the declaration's environment (threads,
+// addrs, lock owners) extended with the literal's own parameters.
 type funcAnalysis struct {
-	an      *Analyzer
-	fi      *fileInfo
-	fn      *ast.FuncDecl
-	threads map[string]bool // local identifiers known to hold *pmem.Thread
-	handles map[string]bool // local identifiers known to hold *obs.Handle
+	an    *Analyzer
+	fi    *fileInfo
+	fn    *ast.FuncDecl  // enclosing declaration (doc-scope suppression)
+	body  *ast.BlockStmt // the body under analysis (decl or literal)
+	fname string         // display name, e.g. "(*Worker).upsert.func1"
+
+	threads  map[string]bool   // identifiers known to hold *pmem.Thread
+	handles  map[string]bool   // identifiers known to hold *obs.Handle
+	addrs    map[string]bool   // identifiers known to hold pmem.Addr
+	muOwners map[string]string // identifiers whose type owns a "mu" field → class
 }
 
-func (fa *funcAnalysis) name() string {
-	fd := fa.fn
+// newFuncAnalysis builds the analysis state for one declared function.
+func newFuncAnalysis(a *Analyzer, fi *fileInfo, fd *ast.FuncDecl) *funcAnalysis {
+	fa := &funcAnalysis{an: a, fi: fi, fn: fd, body: fd.Body, threads: map[string]bool{}, handles: map[string]bool{}}
 	if fd.Recv == nil || len(fd.Recv.List) == 0 {
-		return fd.Name.Name
+		fa.fname = fd.Name.Name
+	} else {
+		fa.fname = "(" + renderExpr(fd.Recv.List[0].Type) + ")." + fd.Name.Name
 	}
-	return "(" + renderExpr(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+	fa.collectThreadVars()
+	fa.collectAddrVars()
+	fa.collectLockOwnerTypes()
+	return fa
 }
+
+// forLit derives the analysis state for the idx-th function literal of
+// this body: same environment, plus the literal's typed parameters.
+func (fa *funcAnalysis) forLit(lit *ast.FuncLit, idx int) *funcAnalysis {
+	sub := &funcAnalysis{
+		an: fa.an, fi: fa.fi, fn: fa.fn,
+		body:     lit.Body,
+		fname:    fmt.Sprintf("%s.func%d", fa.fname, idx+1),
+		threads:  copyBoolMap(fa.threads),
+		handles:  copyBoolMap(fa.handles),
+		addrs:    copyBoolMap(fa.addrs),
+		muOwners: copyStringMap(fa.muOwners),
+	}
+	for _, fld := range lit.Type.Params.List {
+		switch {
+		case fa.fi.isThreadType(fld.Type):
+			for _, n := range fld.Names {
+				sub.threads[n.Name] = true
+			}
+		case fa.fi.isHandleType(fld.Type):
+			for _, n := range fld.Names {
+				sub.handles[n.Name] = true
+			}
+		case fa.fi.isAddrType(fld.Type):
+			for _, n := range fld.Names {
+				sub.addrs[n.Name] = true
+			}
+		default:
+			if cls, ok := muOwnerClass[typeBaseName(fld.Type)]; ok {
+				for _, n := range fld.Names {
+					sub.muOwners[n.Name] = cls
+				}
+			}
+		}
+	}
+	return sub
+}
+
+func copyBoolMap(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyStringMap(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (fa *funcAnalysis) name() string { return fa.fname }
 
 // collectThreadVars seeds the thread-identifier set from the parameter
 // list and from assignments whose right side is a thread expression or
-// a NewThread()/Thread() call.
+// a NewThread()/Thread() call. The whole declaration body is scanned,
+// closures included, so literals inherit the environment.
 func (fa *funcAnalysis) collectThreadVars() {
 	for _, fld := range fa.fn.Type.Params.List {
 		if fa.fi.isThreadType(fld.Type) {
@@ -421,15 +647,18 @@ func (fa *funcAnalysis) threadCall(call *ast.CallExpr) (key, method string, ok b
 	return renderExpr(sel.X), sel.Sel.Name, true
 }
 
-// suppressed checks the three suppression scopes for a finding.
+// suppressed checks the three suppression scopes for a finding and
+// marks the consumed directive (PL007 reports the never-consumed ones).
 func (fa *funcAnalysis) suppressed(code string, line int) bool {
 	if directiveMatches(fa.fi.ignores[line], code) || directiveMatches(fa.fi.ignores[line-1], code) {
 		return true
 	}
-	// Function-scope: directive in the func doc comment.
+	// Function-scope: directive in the func doc comment. Looked up
+	// through the file index so usage marks stick to the shared
+	// directive instances.
 	if fa.fn.Doc != nil {
 		for _, c := range fa.fn.Doc.List {
-			if d, ok := parseDirectiveComment(fa.an.fset, c); ok && d.reason != "" && d.matches(code) {
+			if directiveMatches(fa.fi.ignores[fa.an.fset.Position(c.Pos()).Line], code) {
 				return true
 			}
 		}

@@ -2,6 +2,9 @@ package persist
 
 import (
 	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -94,6 +97,111 @@ func TestGolden(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestLinearAnalysisMissesEarlyReturn documents why the analyzer is
+// CFG-based. The pre-CFG implementation ordered a function's thread-API
+// calls by source position and discharged a Store if ANY later
+// Flush/Persist on the same thread existed. That rule is blind to
+// control flow: in
+//
+//	t.Store(a, 1)
+//	if full { return } // the store escapes unpersisted here
+//	t.Persist(a, 8)
+//
+// the Persist sits later in the source, so the linear rule stays
+// silent — yet the early-return path leaks the store. This test
+// reimplements the linear rule in miniature, confirms it misses the
+// case, and confirms the CFG dataflow catches it.
+func TestLinearAnalysisMissesEarlyReturn(t *testing.T) {
+	const fn = "earlyReturnLeavesStoreOpen"
+	path := filepath.Join("testdata", "cfgpaths.go")
+
+	// The retired linear rule: position order, any later discharge wins.
+	linearLeaks := func() int {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fn {
+				continue
+			}
+			type tcall struct{ key, method string }
+			var calls []tcall
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						if id, ok := sel.X.(*ast.Ident); ok {
+							calls = append(calls, tcall{id.Name, sel.Sel.Name})
+						}
+					}
+				}
+				return true
+			})
+			leaks := 0
+			for i, c := range calls {
+				if c.method != "Store" {
+					continue
+				}
+				covered := false
+				for _, later := range calls[i+1:] {
+					if later.key == c.key && (later.method == "Flush" || later.method == "Persist") {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					leaks++
+				}
+			}
+			return leaks
+		}
+		t.Fatalf("function %s not found in %s", fn, path)
+		return -1
+	}
+
+	if got := linearLeaks(); got != 0 {
+		t.Fatalf("premise broken: the linear rule now flags %d leak(s) in %s", got, fn)
+	}
+
+	an := NewAnalyzer()
+	if err := an.AddFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range an.Run() {
+		if f.Code == CodeStoreNoPersist && f.Func == fn {
+			return // the CFG analysis sees the early-return path
+		}
+	}
+	t.Fatalf("CFG analysis did not flag %s", fn)
+}
+
+// TestStats checks the self-diagnostic counters a -stats run prints:
+// an analysis that parsed files and built CFGs must say so.
+func TestStats(t *testing.T) {
+	an := NewAnalyzer()
+	for _, name := range []string{"cfgpaths.go", "summaries.go", "locks.go"} {
+		if err := an.AddFile(filepath.Join("testdata", name), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	an.Run()
+	s := an.Stats()
+	if s.Files != 3 {
+		t.Errorf("Files = %d, want 3", s.Files)
+	}
+	if s.Functions == 0 || s.CFGNodes == 0 {
+		t.Errorf("Functions = %d, CFGNodes = %d, want both > 0", s.Functions, s.CFGNodes)
+	}
+	if s.DischargeSummaries == 0 {
+		t.Errorf("DischargeSummaries = 0, want > 0 (summaries.go defines helpers)")
+	}
+	if s.LockSummaries == 0 {
+		t.Errorf("LockSummaries = 0, want > 0 (locks.go acquires locks)")
 	}
 }
 

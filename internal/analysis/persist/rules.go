@@ -6,22 +6,6 @@ import (
 	"go/token"
 )
 
-// event kinds for the PL001/PL002 linear coverage check.
-const (
-	evStore = iota
-	evFlush
-	evFence
-	evPersist
-)
-
-type pmEvent struct {
-	pos      token.Pos
-	key      string // rendered thread expression ("t", "w.t", ...)
-	method   string
-	kind     int
-	deferred bool // inside a defer: runs at return, covers everything
-}
-
 // span is a half-open source range [from, to).
 type span struct{ from, to token.Pos }
 
@@ -36,148 +20,70 @@ func inSpans(spans []span, p token.Pos) bool {
 	return false
 }
 
-// run executes all four rules on one function body.
+// run executes all rules on one function declaration.
 func (fa *funcAnalysis) run() []Finding {
-	deferSpans := fa.collectDeferSpans()
-	eadrSpans := fa.collectEADRSpans()
-	events := fa.collectEvents(deferSpans)
-
 	var out []Finding
+	fa.runCFG(fa.body, &out)
+
 	emit := func(code string, pos token.Pos, msg string) {
 		if f, ok := fa.finding(code, pos, msg); ok {
 			out = append(out, f)
 		}
 	}
-
-	// PL001/PL002: linear reachability approximation — an obligation at
-	// position p is met by a discharging call on the same thread at a
-	// later position (or in a defer, which runs at every return).
-	covered := func(e pmEvent, kinds ...int) bool {
-		for _, o := range events {
-			if o.key != e.key || (!o.deferred && o.pos <= e.pos) {
-				continue
-			}
-			for _, k := range kinds {
-				if o.kind == k {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	for _, e := range events {
-		switch e.kind {
-		case evStore:
-			if !covered(e, evFlush, evPersist) {
-				emit(CodeStoreNoPersist, e.pos, fmt.Sprintf(
-					"%s.%s to PM with no later %s.Flush/Persist before return: the store is volatile under ADR", e.key, e.method, e.key))
-			}
-		case evFlush:
-			if !covered(e, evFence, evPersist) {
-				emit(CodeFlushNoFence, e.pos, fmt.Sprintf(
-					"%s.Flush with no later %s.Fence/Persist before return: the clwb never retires", e.key, e.key))
-			}
-		}
-		// PL003: flushing where only eADR can execute is dead code.
-		if (e.kind == evFlush || e.kind == evPersist) && inSpans(eadrSpans, e.pos) {
-			emit(CodeDeadFlush, e.pos, fmt.Sprintf(
-				"%s.%s under an eADR-only branch is a no-op (eADR stores are already durable)", e.key, e.method))
-		}
-	}
-
+	fa.checkEADR(emit)
 	out = append(out, fa.checkEscapes()...)
 	return out
 }
 
-// collectDeferSpans returns the source ranges of defer statements.
-func (fa *funcAnalysis) collectDeferSpans() []span {
-	var spans []span
-	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
-		if d, ok := n.(*ast.DeferStmt); ok {
-			spans = append(spans, span{d.Pos(), d.End()})
+// runCFG builds the control-flow graph for one body, runs the
+// path-sensitive rules (PL001/PL002/PL005 obligations, PL006 lock
+// order), then recurses into the function literals the body contains —
+// each literal is a function of its own (its body may run on another
+// goroutine, later, or never), analyzed with the enclosing function's
+// thread and address environment plus its own parameters.
+func (fa *funcAnalysis) runCFG(body *ast.BlockStmt, out *[]Finding) {
+	g, subs := fa.buildCFG(body)
+	fa.an.stats.Functions++
+	fa.an.stats.CFGNodes += len(g.nodes)
+
+	emit := func(code string, pos token.Pos, msg string) {
+		if f, ok := fa.finding(code, pos, msg); ok {
+			*out = append(*out, f)
 		}
-		return true
-	})
-	return spans
+	}
+	fa.checkObligations(g, emit)
+	fa.checkLockOrder(g, emit)
+
+	for i, lit := range subs {
+		sub := fa.forLit(lit, i)
+		sub.runCFG(lit.Body, out)
+	}
 }
 
-// collectEvents gathers every Thread API call relevant to PL001–PL003.
-func (fa *funcAnalysis) collectEvents(deferSpans []span) []pmEvent {
-	var events []pmEvent
-	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
+// checkEADR implements PL003: a Flush/Persist that can only execute on
+// an eADR-only branch writes back nothing — dead code that usually
+// signals inverted mode logic. This is a whole-body span check (the
+// finding is about where the call sits, not about path joins).
+func (fa *funcAnalysis) checkEADR(emit func(code string, pos token.Pos, msg string)) {
+	spans := fa.collectEADRSpans()
+	if len(spans) == 0 {
+		return
+	}
+	ast.Inspect(fa.body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
 		key, method, ok := fa.threadCall(call)
-		if !ok {
+		if !ok || (method != "Flush" && method != "Persist") {
 			return true
 		}
-		var kind int
-		switch method {
-		case "Store", "WriteRange":
-			kind = evStore
-		case "Flush":
-			kind = evFlush
-		case "Fence":
-			kind = evFence
-		case "Persist":
-			kind = evPersist
-		default:
-			return true
+		if inSpans(spans, call.Pos()) {
+			emit(CodeDeadFlush, call.Pos(), fmt.Sprintf(
+				"%s.%s under an eADR-only branch is a no-op (eADR stores are already durable)", key, method))
 		}
-		events = append(events, pmEvent{
-			pos:      call.Pos(),
-			key:      key,
-			method:   method,
-			kind:     kind,
-			deferred: inSpans(deferSpans, call.Pos()),
-		})
 		return true
 	})
-	return events
-}
-
-// isEADRRef matches a reference to the EADR mode constant (pmem.EADR,
-// or plain EADR inside package pmem).
-func isEADRRef(e ast.Expr) bool {
-	switch x := e.(type) {
-	case *ast.Ident:
-		return x.Name == "EADR"
-	case *ast.SelectorExpr:
-		return x.Sel.Name == "EADR"
-	case *ast.ParenExpr:
-		return isEADRRef(x.X)
-	}
-	return false
-}
-
-// condImpliesEADR reports whether the condition being true implies the
-// platform mode is eADR (x == EADR, possibly under &&).
-func condImpliesEADR(e ast.Expr) bool {
-	switch x := e.(type) {
-	case *ast.ParenExpr:
-		return condImpliesEADR(x.X)
-	case *ast.BinaryExpr:
-		switch x.Op {
-		case token.EQL:
-			return isEADRRef(x.X) || isEADRRef(x.Y)
-		case token.LAND:
-			return condImpliesEADR(x.X) || condImpliesEADR(x.Y)
-		}
-	}
-	return false
-}
-
-// condIsNotEADR matches x != EADR (whose else-branch is eADR-only).
-func condIsNotEADR(e ast.Expr) bool {
-	switch x := e.(type) {
-	case *ast.ParenExpr:
-		return condIsNotEADR(x.X)
-	case *ast.BinaryExpr:
-		return x.Op == token.NEQ && (isEADRRef(x.X) || isEADRRef(x.Y))
-	}
-	return false
 }
 
 // collectEADRSpans returns the ranges of statements that only execute
@@ -185,13 +91,13 @@ func condIsNotEADR(e ast.Expr) bool {
 // `if mode != EADR`, and `case EADR:` clauses.
 func (fa *funcAnalysis) collectEADRSpans() []span {
 	var spans []span
-	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
+	ast.Inspect(fa.body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.IfStmt:
 			if condImpliesEADR(x.Cond) {
 				spans = append(spans, span{x.Body.Pos(), x.Body.End()})
 			}
-			if condIsNotEADR(x.Cond) && x.Else != nil {
+			if condExcludesEADR(x.Cond) && x.Else != nil {
 				spans = append(spans, span{x.Else.Pos(), x.Else.End()})
 			}
 		case *ast.SwitchStmt:
@@ -248,7 +154,7 @@ func (fa *funcAnalysis) checkEscapes() []Finding {
 		}
 		return "", false
 	}
-	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
+	ast.Inspect(fa.body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.GoStmt:
 			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {

@@ -1,0 +1,133 @@
+package persist
+
+// summary.go computes one-level interprocedural summaries.
+//
+// Discharge summaries: a function that takes a *pmem.Thread parameter
+// and, on every path to a normal return, Flushes (coversStore) and
+// Fences (coversFlush) on that parameter discharges the caller's open
+// obligations at the call site — wal's Log.Append and the tree's
+// writeWholeLeaf are the motivating cases. The summary is computed by
+// seeding the obligation dataflow with a synthetic store and flush
+// obligation per thread parameter (negative origins, never reported)
+// and testing whether the seeds are dead at exit. Summaries are merged
+// by bare callee name — the analyzer is syntactic and cannot resolve
+// which Append a call site means — with AND semantics: every function
+// of that name must cover for call sites to be credited. Summaries are
+// strictly one level: while they are being computed the summary table
+// is empty, so a summary never credits another callee's discharge.
+//
+// Lock summaries: the set of declared lock classes a function body
+// acquires directly (closures included — they may run synchronously).
+// At a call site, each summarized class is checked against the
+// caller's held set, extending PL006 one call level deep.
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// summary is the merged discharge behavior of all functions sharing a
+// bare name.
+type summary struct {
+	coversStore bool // Flush or Persist on every thread param, all paths
+	coversFlush bool // Fence or Persist on every thread param, all paths
+}
+
+// computeSummaries fills an.summaries and an.lockSums from every
+// function declaration in the analyzed set. Must run after
+// collectThreadFields (thread/addr field resolution) and before the
+// rule pass.
+func (a *Analyzer) computeSummaries() {
+	sums := map[string]summary{}
+	locks := map[string][]string{}
+	for _, fi := range a.files {
+		for _, decl := range fi.f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.mergeLockSummary(locks, fi, fd)
+			a.mergeDischargeSummary(sums, fi, fd)
+		}
+	}
+	a.summaries = sums
+	a.lockSums = locks
+	a.stats.DischargeSummaries = len(sums)
+	a.stats.LockSummaries = len(locks)
+}
+
+// mergeDischargeSummary computes and merges the discharge summary for
+// one function, if it takes thread parameters.
+func (a *Analyzer) mergeDischargeSummary(sums map[string]summary, fi *fileInfo, fd *ast.FuncDecl) {
+	var params []string
+	for _, fld := range fd.Type.Params.List {
+		if fi.isThreadType(fld.Type) {
+			for _, n := range fld.Names {
+				params = append(params, n.Name)
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	fa := newFuncAnalysis(a, fi, fd)
+	g, _ := fa.buildCFG(fd.Body)
+
+	seeds := oblSet{}
+	for i, p := range params {
+		seeds[obl{origin: token.Pos(-(2*i + 1)), key: p, kind: obStore, method: "Store"}] = struct{}{}
+		seeds[obl{origin: token.Pos(-(2*i + 2)), key: p, kind: obFlush, method: "Flush"}] = struct{}{}
+	}
+	in := fa.oblFixpoint(g, seeds)
+	residue := fa.exitResidue(g, in)
+
+	s := summary{coversStore: true, coversFlush: true}
+	for o := range residue {
+		if o.origin > 0 {
+			continue // the function's own obligations, reported elsewhere
+		}
+		switch o.kind {
+		case obStore:
+			s.coversStore = false
+		case obFlush:
+			s.coversFlush = false
+		}
+	}
+	name := fd.Name.Name
+	if prev, ok := sums[name]; ok {
+		s.coversStore = s.coversStore && prev.coversStore
+		s.coversFlush = s.coversFlush && prev.coversFlush
+	}
+	sums[name] = s
+}
+
+// mergeLockSummary records the lock classes fd acquires directly,
+// union-merged across functions sharing the bare name.
+func (a *Analyzer) mergeLockSummary(locks map[string][]string, fi *fileInfo, fd *ast.FuncDecl) {
+	fa := newFuncAnalysis(a, fi, fd)
+	classes := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if class, acquire, ok := fa.lockCall(call); ok && acquire {
+			classes[class] = true
+		}
+		return true
+	})
+	if len(classes) == 0 {
+		return
+	}
+	name := fd.Name.Name
+	for _, c := range locks[name] {
+		classes[c] = true
+	}
+	merged := make([]string, 0, len(classes))
+	for c := range classes {
+		merged = append(merged, c)
+	}
+	sort.Strings(merged)
+	locks[name] = merged
+}

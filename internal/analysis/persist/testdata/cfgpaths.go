@@ -1,0 +1,133 @@
+// Path-sensitivity cases: the CFG dataflow must flag an obligation
+// that stays open on ANY path to a return — early returns, divergent
+// branches, breaks, continues, and loop-carried persists — and must
+// stay quiet when every path discharges.
+package testdata
+
+import "cclbtree/internal/pmem"
+
+// The canonical early-return leak: the persist exists, but the early
+// return path skips it. A position-ordered (linear) analysis sees a
+// Persist after the Store and stays silent; the CFG analysis does not.
+func earlyReturnLeavesStoreOpen(t *pmem.Thread, a pmem.Addr, full bool) {
+	t.Store(a, 1) // want "PL001"
+	if full {
+		return
+	}
+	t.Persist(a, 8)
+}
+
+func earlyReturnCovered(t *pmem.Thread, a pmem.Addr, full bool) {
+	t.Store(a, 1)
+	if full {
+		t.Persist(a, 8)
+		return
+	}
+	t.Persist(a, 8)
+}
+
+// Only the then-branch flushes: the else path returns with the store
+// open.
+func branchDivergentFlush(t *pmem.Thread, a pmem.Addr, sync bool) {
+	t.Store(a, 1) // want "PL001"
+	if sync {
+		t.Flush(a, 8)
+		t.Fence()
+	}
+}
+
+func branchBothCovered(t *pmem.Thread, a pmem.Addr, fast bool) {
+	t.Store(a, 1)
+	if fast {
+		t.Persist(a, 8)
+	} else {
+		t.Flush(a, 8)
+		t.Fence()
+	}
+}
+
+// The break path exits the loop between the store and its persist.
+func breakBeforePersist(t *pmem.Thread, a pmem.Addr, n int) {
+	for i := 0; i < n; i++ {
+		t.Store(a, uint64(i)) // want "PL001"
+		if i == 7 {
+			break
+		}
+		t.Persist(a, 8)
+	}
+}
+
+// The continue path carries the obligation over the back edge; the
+// loop can then exit with it still open.
+func continueSkipsPersist(t *pmem.Thread, a pmem.Addr, n int) {
+	for i := 0; i < n; i++ {
+		t.Store(a, uint64(i)) // want "PL001"
+		if i%2 == 0 {
+			continue
+		}
+		t.Persist(a, 8)
+	}
+}
+
+// Persist-previous-iteration: the final iteration's store is never
+// persisted after the loop exits.
+func loopCarriedPersist(t *pmem.Thread, a pmem.Addr, n int) {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			t.Persist(a, 8)
+		}
+		t.Store(a, uint64(i)) // want "PL001"
+	}
+}
+
+// Stores inside the loop, one persist after it: every loop exit passes
+// the persist, so nothing is open.
+func loopStoresPersistAfter(t *pmem.Thread, a pmem.Addr, n int) {
+	for i := 0; i < n; i++ {
+		t.Store(a, uint64(i))
+	}
+	t.Persist(a, 8)
+}
+
+// One switch arm returns without discharging.
+func switchDivergent(t *pmem.Thread, a pmem.Addr, k int) {
+	t.Store(a, 1) // want "PL001"
+	switch k {
+	case 0:
+		t.Persist(a, 8)
+	case 1:
+		return
+	default:
+		t.Persist(a, 8)
+	}
+}
+
+// The only way out of the loop is the return after the persist.
+func infiniteLoopWithReturn(t *pmem.Thread, a pmem.Addr, done func() bool) {
+	for {
+		t.Store(a, 1)
+		t.Persist(a, 8)
+		if done() {
+			return
+		}
+	}
+}
+
+// panic never returns to the caller: obligations on the panic path are
+// not leaks (the process dies with its caches).
+func storeThenPanic(t *pmem.Thread, a pmem.Addr, err error) {
+	t.Store(a, 1)
+	if err != nil {
+		panic(err)
+	}
+	t.Persist(a, 8)
+}
+
+// A flush whose fence happens only on one branch.
+func flushFenceDivergent(t *pmem.Thread, a pmem.Addr, sync bool) {
+	t.Store(a, 1)
+	t.Flush(a, 8) // want "PL002"
+	if sync {
+		t.Fence()
+	}
+}

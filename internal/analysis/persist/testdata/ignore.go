@@ -23,13 +23,13 @@ func suppressedFuncScope(t *pmem.Thread, a pmem.Addr) {
 }
 
 func wrongCodeDoesNotSuppress(t *pmem.Thread, a pmem.Addr) {
-	//persistlint:ignore PL002 a fence directive cannot excuse a missing flush
+	//persistlint:ignore PL002 a fence directive cannot excuse a missing flush // want "PL007"
 	t.Store(a, 1) // want "PL001"
 }
 
-func multiCodeDirective(t *pmem.Thread, a pmem.Addr) {
+func multiCodeDirective(t1, t2 *pmem.Thread, a pmem.Addr) {
 	//persistlint:ignore PL001,PL002 both obligations transfer to the epilogue helper
-	t.Store(a, 1)
-	//persistlint:ignore PL001,PL002 both obligations transfer to the epilogue helper
-	t.Flush(a, 8)
+	t1.Store(a, 1)
+	//persistlint:ignore PL002,PL001 both obligations transfer to the epilogue helper
+	t2.Flush(a, 8)
 }

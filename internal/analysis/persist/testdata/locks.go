@@ -1,0 +1,130 @@
+// PL006 lock-order cases against the declared partial order
+//
+//	stw -> workersMu -> {gcMu, inner.mu, chunkdir.mu}
+//
+// The structs mirror internal/core's shapes: unique field names (stw,
+// workersMu, gcMu) classify anywhere; the ambiguous "mu" resolves
+// through its owner's type (method receiver, parameter, or a field
+// declared *innerTree / *chunkDir).
+package testdata
+
+import "sync"
+
+type innerTree struct {
+	mu sync.RWMutex
+}
+
+type chunkDir struct {
+	mu sync.Mutex
+}
+
+type lockTree struct {
+	stw       sync.RWMutex
+	workersMu sync.Mutex
+	gcMu      sync.Mutex
+	inner     *innerTree
+	dir       *chunkDir
+}
+
+func lockInOrder(tr *lockTree) {
+	tr.stw.RLock()
+	tr.workersMu.Lock()
+	tr.gcMu.Lock()
+	tr.gcMu.Unlock()
+	tr.workersMu.Unlock()
+	tr.stw.RUnlock()
+}
+
+// Acquiring the outer stw while holding the registry lock inverts the
+// order: the symmetric path deadlocks.
+func lockInversion(tr *lockTree) {
+	tr.workersMu.Lock()
+	tr.stw.Lock() // want "PL006"
+	tr.stw.Unlock()
+	tr.workersMu.Unlock()
+}
+
+// "mu" resolved through the field's declared type.
+func innerThenStw(tr *lockTree) {
+	tr.inner.mu.Lock()
+	tr.stw.RLock() // want "PL006"
+	tr.stw.RUnlock()
+	tr.inner.mu.Unlock()
+}
+
+// Equal ranks are unordered among themselves: holding one while taking
+// another is an inversion waiting for the symmetric path.
+func sameRankTie(tr *lockTree) {
+	tr.gcMu.Lock()
+	tr.inner.mu.Lock() // want "PL006"
+	tr.inner.mu.Unlock()
+	tr.gcMu.Unlock()
+}
+
+// Re-acquiring a held (non-reentrant) mutex self-deadlocks.
+func selfReacquire(tr *lockTree) {
+	tr.gcMu.Lock()
+	tr.gcMu.Lock() // want "PL006"
+}
+
+// Releasing before the lower-rank acquire is legal.
+func releaseThenReacquire(tr *lockTree) {
+	tr.workersMu.Lock()
+	tr.workersMu.Unlock()
+	tr.stw.Lock()
+	tr.stw.Unlock()
+}
+
+// "mu" resolved through the method receiver's type.
+func (it *innerTree) lockSelf() {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+}
+
+// "mu" resolved through a parameter's type.
+func dirThenWorkers(d *chunkDir, tr *lockTree) {
+	d.mu.Lock()
+	tr.workersMu.Lock() // want "PL006"
+	tr.workersMu.Unlock()
+	d.mu.Unlock()
+}
+
+// One-level interprocedural: the callee's direct acquires are checked
+// against the caller's held set.
+func acquireInner(tr *lockTree) {
+	tr.inner.mu.Lock()
+	tr.inner.mu.Unlock()
+}
+
+func holdGcThenCallAcquiresInner(tr *lockTree) {
+	tr.gcMu.Lock()
+	acquireInner(tr) // want "PL006"
+	tr.gcMu.Unlock()
+}
+
+func callWithNothingHeldIsFine(tr *lockTree) {
+	acquireInner(tr)
+	tr.stw.Lock()
+	tr.stw.Unlock()
+}
+
+// A deferred unlock runs at return: the lock is held for the rest of
+// the function, so a later lower-rank acquire still inverts.
+func deferredUnlockStillHeld(tr *lockTree) {
+	tr.workersMu.Lock()
+	defer tr.workersMu.Unlock()
+	tr.stw.Lock() // want "PL006"
+	tr.stw.Unlock()
+}
+
+// Held on only one path in: still a violation on that path.
+func branchHeldInversion(tr *lockTree, gc bool) {
+	if gc {
+		tr.gcMu.Lock()
+	}
+	tr.workersMu.Lock() // want "PL006"
+	tr.workersMu.Unlock()
+	if gc {
+		tr.gcMu.Unlock()
+	}
+}

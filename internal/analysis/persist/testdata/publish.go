@@ -1,0 +1,71 @@
+// PL005 publish-before-persist: storing uint64(addr) into PM writes a
+// pointer that makes other PM data reachable (a next-link, a root, a
+// directory slot). If data written earlier on the same thread is not
+// yet fenced when the pointer lands, a crash between the two can
+// recover the pointer without the data — the split/insert ordering bug
+// the paper's §4.2 logless split is designed around.
+package testdata
+
+import "cclbtree/internal/pmem"
+
+// The split bug: the new leaf's image is still unfenced when the meta
+// word publishing it is stored.
+func splitPublishTooEarly(t *pmem.Thread, meta, newLeaf pmem.Addr) {
+	t.Store(newLeaf, 0x11)
+	t.Store(meta, uint64(newLeaf)) // want "PL005"
+	t.Persist(meta, 8)
+	t.Persist(newLeaf, 8)
+}
+
+// The correct order: persist the image, then publish.
+func splitPublishAfterPersist(t *pmem.Thread, meta, newLeaf pmem.Addr) {
+	t.Store(newLeaf, 0x11)
+	t.Persist(newLeaf, 8)
+	t.Store(meta, uint64(newLeaf))
+	t.Persist(meta, 8)
+}
+
+// Flushed but not fenced is still not durable: the clwb can be lost.
+func publishFlushedButUnfenced(t *pmem.Thread, meta, data pmem.Addr) {
+	t.Store(data, 1)
+	t.Flush(data, 8)
+	t.Store(meta, uint64(data)) // want "PL005"
+	t.Fence()
+	t.Persist(meta, 8)
+}
+
+// The obligation reaches the publish on only one path — still a bug on
+// that path.
+func publishOnBranchPath(t *pmem.Thread, meta, data pmem.Addr, dirty bool) {
+	if dirty {
+		t.Store(data, 1)
+	}
+	t.Store(meta, uint64(data)) // want "PL005"
+	t.Persist(meta, 8)
+	t.Persist(data, 8)
+}
+
+// Publishing with nothing pending is clean (mirrors chunkDir.register:
+// the directory slot is the only write in flight).
+func publishNothingPending(t *pmem.Thread, slot, chunk pmem.Addr) {
+	t.Store(slot, uint64(chunk))
+	t.Persist(slot, 8)
+}
+
+// An addr derived locally (offset chain from a parameter) is still
+// recognized as a publish.
+func publishDerivedAddr(t *pmem.Thread, base pmem.Addr) {
+	next := base.Add(16)
+	t.Store(base, 7)
+	t.Store(base.Add(8), uint64(next)) // want "PL005"
+	t.Persist(base, 24)
+}
+
+// A store of a plain value while stores are pending is PL001 territory
+// at worst, never PL005: only pointer publishes order-matter.
+func plainStoreNotAPublish(t *pmem.Thread, a, b pmem.Addr) {
+	t.Store(a, 1)
+	t.Store(b, 2)
+	t.Persist(a, 8)
+	t.Persist(b, 8)
+}

@@ -1,0 +1,32 @@
+// PL007 stale-directive cases: a reasoned ignore that suppresses
+// nothing under the current analysis is dead weight that hides future
+// regressions — it must be deleted, and the finding cannot itself be
+// suppressed.
+package testdata
+
+import "cclbtree/internal/pmem"
+
+// The store is persisted on every path: the excuse outlived the code.
+func staleLineDirective(t *pmem.Thread, a pmem.Addr) {
+	//persistlint:ignore PL001 the caller used to persist this; the code now persists locally // want "PL007"
+	t.Store(a, 1)
+	t.Persist(a, 8)
+}
+
+// staleDocDirective is fully discharging; its doc-scope excuse is dead.
+//
+//persistlint:ignore PL002 flushes were once handed to the caller's epilogue // want "PL007"
+func staleDocDirective(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+	t.Fence()
+}
+
+// A used directive next to a stale one: only the stale one fires.
+func mixedDirectives(t1, t2 *pmem.Thread, a pmem.Addr) {
+	//persistlint:ignore PL001 t1's obligation transfers to the epilogue helper
+	t1.Store(a, 1)
+	//persistlint:ignore PL002 nothing here flushes; stale by construction // want "PL007"
+	t2.Store(a, 2)
+	t2.Persist(a, 8)
+}

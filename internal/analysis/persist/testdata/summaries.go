@@ -1,0 +1,85 @@
+// One-level interprocedural summaries: a helper taking a *pmem.Thread
+// that discharges on every path credits its call sites; a helper that
+// discharges only conditionally, or only fences, does not cover a
+// store. Summaries merge by bare name with AND across same-named
+// functions.
+package testdata
+
+import "cclbtree/internal/pmem"
+
+// persistRegion persists on every path: full discharge summary.
+func persistRegion(t *pmem.Thread, a pmem.Addr) {
+	t.Persist(a, 64)
+}
+
+// fenceBatch only fences: it retires pending clwbs but cannot cover a
+// bare store.
+func fenceBatch(t *pmem.Thread) {
+	t.Fence()
+}
+
+// maybePersist discharges only when asked: no summary credit.
+func maybePersist(t *pmem.Thread, a pmem.Addr, sync bool) {
+	if sync {
+		t.Persist(a, 8)
+	}
+}
+
+func callerCoveredByHelper(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	persistRegion(t, a)
+}
+
+func callerFlushThenHelperFence(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+	fenceBatch(t)
+}
+
+func callerFenceHelperDoesNotCoverStore(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1) // want "PL001"
+	fenceBatch(t)
+}
+
+func callerConditionalHelperDoesNotCover(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1) // want "PL001"
+	maybePersist(t, a, false)
+}
+
+// walLog mirrors the WAL's Append(t, e) shape: a method whose thread
+// parameter is fully persisted before return.
+type walLog struct{ head pmem.Addr }
+
+func (l *walLog) Append(t *pmem.Thread, v uint64) {
+	t.Store(l.head, v)
+	t.Persist(l.head, 8)
+}
+
+type logWorker struct {
+	t   *pmem.Thread
+	log *walLog
+}
+
+func (w *logWorker) appendDischargesField(a pmem.Addr) {
+	w.t.Store(a, 1)
+	w.log.Append(w.t, 2)
+}
+
+// Two functions share the bare name viaSink; one of them does not
+// discharge, so the merged summary must not credit call sites (the
+// syntactic analyzer cannot tell which one a call resolves to).
+type sinkA struct{}
+type sinkB struct{}
+
+func (sinkA) viaSink(t *pmem.Thread, a pmem.Addr) {
+	t.Persist(a, 8)
+}
+
+func (sinkB) viaSink(t *pmem.Thread, a pmem.Addr) {
+	_, _ = t, a // intentionally non-discharging twin for the summary-merge case
+}
+
+func callerAmbiguousSink(t *pmem.Thread, a pmem.Addr, s sinkA) {
+	t.Store(a, 1) // want "PL001"
+	s.viaSink(t, a)
+}

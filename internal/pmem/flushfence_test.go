@@ -75,6 +75,7 @@ func TestRedirtiedAfterClwb(t *testing.T) {
 	a := MakeAddr(0, 4096)
 	th.Store(a, 1)
 	th.Flush(a, 8) // snapshot captures value 1
+	//persistlint:ignore PL001 deliberate re-dirty between clwb and sfence; the crash rolls it back
 	th.Store(a, 2) // re-dirty the same line before the fence
 	th.Fence()
 	d := p.devs[0]

@@ -53,6 +53,7 @@ func TestPack48Overflow(t *testing.T) {
 	MakeAddr(0, 1<<44).Pack48()
 }
 
+//persistlint:ignore PL001 volatile store/load roundtrip; durability is not under test
 func TestStoreLoadRoundtrip(t *testing.T) {
 	p := testPool(t, nil)
 	th := p.NewThread(0)
@@ -72,6 +73,7 @@ func TestStoreLoadRoundtrip(t *testing.T) {
 	}
 }
 
+//persistlint:ignore PL001 volatile range roundtrip; durability is not under test
 func TestRangeRoundtrip(t *testing.T) {
 	p := testPool(t, nil)
 	th := p.NewThread(0)
@@ -96,6 +98,7 @@ func TestCrashRollsBackUnflushedStores(t *testing.T) {
 	a := MakeAddr(0, 2048)
 	th.Store(a, 1)
 	th.Persist(a, 8)
+	//persistlint:ignore PL001 deliberately unflushed: the crash below must roll it back
 	th.Store(a, 2) // never flushed
 	p.Crash()
 	th2 := p.NewThread(0)
@@ -128,6 +131,7 @@ func TestFlushWithoutFenceNotDurable(t *testing.T) {
 	th.Store(a, 1)
 	th.Persist(a, 8)
 	th.Store(a, 2)
+	//persistlint:ignore PL002 deliberately unfenced: the crash below must discard the clwb snapshot
 	th.Flush(a, 8) // no fence
 	p.Crash()
 	if got := p.NewThread(0).Load(a); got != 1 {
@@ -142,6 +146,7 @@ func TestStoreAfterFlushBeforeFence(t *testing.T) {
 	a := MakeAddr(0, 2048)
 	th.Store(a, 1)
 	th.Flush(a, 8)
+	//persistlint:ignore PL001 deliberately unflushed: sfence must persist the flush-time snapshot only
 	th.Store(a, 2) // after clwb, before sfence
 	th.Fence()
 	p.Crash()
@@ -154,6 +159,7 @@ func TestEADRStoresSurviveCrash(t *testing.T) {
 	p := testPool(t, func(c *Config) { c.Mode = EADR })
 	th := p.NewThread(0)
 	a := MakeAddr(0, 2048)
+	//persistlint:ignore PL001 the pool runs in eADR mode: stores are durable without flushing
 	th.Store(a, 42) // no flush at all
 	p.Crash()
 	if got := p.NewThread(0).Load(a); got != 42 {
@@ -351,6 +357,7 @@ func TestCacheCapacityEviction(t *testing.T) {
 	th := p.NewThread(0)
 	// Dirty far more lines than the cache holds without ever flushing.
 	for i := 0; i < 1024; i++ {
+		//persistlint:ignore PL001 capacity-pressure test: evictions persist a subset, the crash rolls back the rest
 		th.Store(MakeAddr(0, uint64(i*CachelineSize)), uint64(i))
 	}
 	s := p.Stats()
@@ -386,6 +393,7 @@ func TestConcurrentDisjointAccess(t *testing.T) {
 			for i := 0; i < per; i++ {
 				off := base + uint64(rng.Intn(8192))*8
 				a := MakeAddr(w%p.Sockets(), off)
+				//persistlint:ignore PL001 only every 4th store is persisted; the test measures flush traffic, not durability
 				th.Store(a, uint64(i))
 				if i%4 == 0 {
 					th.Persist(a, 8)
@@ -405,6 +413,7 @@ func TestSaveLoadPersistent(t *testing.T) {
 	th := p.NewThread(0)
 	th.Store(MakeAddr(0, 0), 11)
 	th.Persist(MakeAddr(0, 0), 8)
+	//persistlint:ignore PL001 deliberately unflushed: the saved image must not contain it
 	th.Store(MakeAddr(0, 8), 22) // not flushed: must not be in the image
 	var buf bytes.Buffer
 	if err := p.SavePersistent(0, &buf); err != nil {

@@ -38,8 +38,10 @@ func mustPanic(t *testing.T, want string, f func()) {
 func TestStrictUnalignedAccessPanics(t *testing.T) {
 	p := strictPool(t)
 	th := p.NewThread(0)
+	//persistlint:ignore PL001 strict mode panics on the unaligned access before any return
 	mustPanic(t, "unaligned", func() { th.Store(MakeAddr(0, 4097), 1) })
 	mustPanic(t, "unaligned", func() { th.Load(MakeAddr(0, 12)) })
+	//persistlint:ignore PL001 strict mode panics on the unaligned access before any return
 	mustPanic(t, "unaligned", func() { th.WriteRange(MakeAddr(0, 9), []uint64{1}) })
 	mustPanic(t, "unaligned", func() { th.ReadRange(MakeAddr(0, 9), make([]uint64, 1)) })
 	// Aligned access still works, and nested strict ops (Persist →
@@ -53,11 +55,13 @@ func TestStrictNonStrictUnaffected(t *testing.T) {
 	th := p.NewThread(0)
 	// Unaligned offsets truncate silently in default mode (historical
 	// behavior, relied on by nothing but kept cheap): no panic.
+	//persistlint:ignore PL001 default-mode smoke test: the store truncates silently, durability irrelevant
 	th.Store(MakeAddr(0, 4097), 1)
 	th.Release() // no-op
 	p.Close()    // no-op
 }
 
+//persistlint:ignore PL004 cross-goroutine misuse is the subject under test; strict mode polices it at runtime
 func TestStrictConcurrentUsePanics(t *testing.T) {
 	p := strictPool(t)
 	th := p.NewThread(0)
@@ -113,6 +117,7 @@ func TestStrictCloseDirtyLinePanics(t *testing.T) {
 
 	p := strictPool(t)
 	th := p.NewThread(0)
+	//persistlint:ignore PL001 the dirty line is the subject: Close must panic on it
 	th.Store(a, 1)
 	mustPanic(t, "dirty cacheline", func() { p.Close() })
 
@@ -128,6 +133,7 @@ func TestStrictCloseDirtyLinePanics(t *testing.T) {
 	p3 := strictPool(t)
 	th3 := p3.NewThread(0)
 	p3.DeclareVolatile(a, CachelineSize)
+	//persistlint:ignore PL001 the region is declared volatile; Close exempts its lines
 	th3.Store(a, 1)
 	p3.Close()
 }
@@ -137,6 +143,7 @@ func TestStrictClosePendingFlushPanics(t *testing.T) {
 	th := p.NewThread(0)
 	a := MakeAddr(0, 4096)
 	th.Store(a, 1)
+	//persistlint:ignore PL002 the pending flush is the subject: Close must panic on it
 	th.Flush(a, 8)
 	mustPanic(t, "pending flush", func() { p.Close() })
 }
@@ -146,6 +153,7 @@ func TestStrictCrashDiscardsThreads(t *testing.T) {
 	th := p.NewThread(0)
 	a := MakeAddr(0, 4096)
 	th.Store(a, 1)
+	//persistlint:ignore PL002 pending at crash time: the crash discards it with the caches
 	th.Flush(a, 8) // pending at crash time: lost with the caches
 	p.Crash()
 	// The crash invalidated every outstanding Thread; the pool itself

@@ -60,6 +60,7 @@ func TestEADREvictionsCarryDirtyLines(t *testing.T) {
 	th := p.NewThread(0)
 	const n = 4096
 	for i := 0; i < n; i++ {
+		//persistlint:ignore PL001 the pool runs in eADR mode: stores are durable without flushing
 		th.Store(MakeAddr(0, uint64(i*CachelineSize)), uint64(i+1))
 	}
 	s := p.Stats()

@@ -1,13 +1,21 @@
 #!/usr/bin/env sh
 # CI gate: a superset of the tier-1 verify (`go build ./... && go test
-# ./...`, see ROADMAP.md). Adds vet, the persistence-discipline linter,
-# and a race pass over the packages that exercise shared PM state.
+# ./...`, see ROADMAP.md). Adds gofmt, vet, the persistence-discipline
+# linter (test files included), and a race pass over the packages that
+# exercise shared PM state.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
-go run ./cmd/persistlint ./...
+go run ./cmd/persistlint -tests -stats ./...
 go test ./...
 go test -race -short ./internal/core/... ./internal/pmem/... ./internal/obs/...
