@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunClean exercises the CLI end to end with one tiny clean run.
+func TestRunClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-seed", "11", "-duration", "0", "-threads", "2", "-mode", "adr",
+		"-rounds", "2", "-ops", "100", "-out", t.TempDir(),
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "run(s) clean") {
+		t.Fatalf("missing summary: %s", out.String())
+	}
+}
+
+// TestRunFailureWritesArtifactAndReplays plants the skip-fence bug,
+// expects exit 1 plus an artifact, then replays the artifact and
+// expects the same failure.
+func TestRunFailureWritesArtifactAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-seed", "1", "-duration", "0", "-threads", "1", "-mode", "adr",
+		"-gc", "off", "-rounds", "2", "-ops", "120", "-keys", "256",
+		"-out", dir, "-unsafe-skip-wal-fence",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1), stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "VIOLATION") || !strings.Contains(errb.String(), "reproduce with") {
+		t.Fatalf("missing violation/repro output: %s", errb.String())
+	}
+	path := filepath.Join(dir, "torture-seed1.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-replay", path, "-out", t.TempDir()}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("replay exit %d (want 1), stderr: %s", code, errb.String())
+	}
+}
+
+// TestRunBadFlags covers the error paths.
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "nvdimm"}, &out, &errb); code != 2 {
+		t.Fatalf("bad -mode: exit %d (want 2)", code)
+	}
+	if code := run([]string{"-replay", "/does/not/exist.json"}, &out, &errb); code != 2 {
+		t.Fatalf("bad -replay: exit %d (want 2)", code)
+	}
+}

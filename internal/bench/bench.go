@@ -97,6 +97,12 @@ func (s Scale) withDefaults() Scale {
 // explicit flushes — carry dirty lines to media.
 const benchCacheLines = 4096
 
+// benchDeviceBytes is the modeled per-socket device size. A variable,
+// not a constant, so the -short smoke test can shrink it: zeroing two
+// 256 MB devices per (index, thread-count) run is the dominant cost of
+// tiny smoke workloads.
+var benchDeviceBytes int64 = 256 << 20
+
 // NewPool builds the standard benchmark platform: two sockets, four
 // DIMMs each, crash tracking off (perf experiments never crash; the
 // recovery experiment builds its own pool).
@@ -104,7 +110,7 @@ func NewPool() *pmem.Pool {
 	return pmem.NewPool(pmem.Config{
 		Sockets:              2,
 		DIMMsPerSocket:       4,
-		DeviceBytes:          256 << 20,
+		DeviceBytes:          benchDeviceBytes,
 		CacheLines:           benchCacheLines,
 		DisableCrashTracking: true,
 	})
@@ -500,7 +506,7 @@ func newPoolLead(lead int64) *pmem.Pool {
 	return pmem.NewPool(pmem.Config{
 		Sockets:              2,
 		DIMMsPerSocket:       4,
-		DeviceBytes:          256 << 20,
+		DeviceBytes:          benchDeviceBytes,
 		DisableCrashTracking: true,
 		Cost:                 c,
 	})

@@ -106,7 +106,7 @@ func Fig16(s Scale) ([]*Table, error) {
 			pool := pmem.NewPool(pmem.Config{
 				Sockets:        2,
 				DIMMsPerSocket: 4,
-				DeviceBytes:    256 << 20,
+				DeviceBytes:    benchDeviceBytes,
 				CacheLines:     benchCacheLines,
 				Mode:           pmem.EADR,
 			})
@@ -151,7 +151,7 @@ func Fig17(s Scale) ([]*Table, error) {
 			pool := pmem.NewPool(pmem.Config{
 				Sockets:        2,
 				DIMMsPerSocket: 4,
-				DeviceBytes:    512 << 20,
+				DeviceBytes:    2 * benchDeviceBytes,
 			})
 			tr, err := core.New(pool, core.Options{ChunkBytes: 256 << 10})
 			if err != nil {

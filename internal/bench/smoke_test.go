@@ -3,10 +3,22 @@ package bench
 import "testing"
 
 func smokeScale() Scale {
+	// -short still smokes every experiment, just at a scale that keeps
+	// the whole package within the repo's <30s short-suite budget.
+	if testing.Short() {
+		return Scale{Warm: 400, Ops: 400, Threads: []int{2}, MainThreads: 2, ScanLen: 20, Seed: 1}
+	}
 	return Scale{Warm: 5000, Ops: 5000, Threads: []int{2, 8}, MainThreads: 8, ScanLen: 20, Seed: 1}
 }
 
 func TestSmokeAllExperiments(t *testing.T) {
+	if testing.Short() {
+		// Zeroing full-size modeled devices per (index, thread-count)
+		// run dwarfs the tiny smoke workload; shrink them for -short.
+		old := benchDeviceBytes
+		benchDeviceBytes = 16 << 20
+		defer func() { benchDeviceBytes = old }()
+	}
 	for _, e := range All() {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"cclbtree/internal/pmem"
+)
+
+// TestRecoveryClockResumesAboveImage pins the multi-crash lost-update
+// bug the torture harness first exposed: Open used to restart the ORDO
+// clock at zero, so post-recovery appends carried ticks *smaller* than
+// the stale-but-intact records left on recycled WAL chunks. At the next
+// crash, max-timestamp dedup picked the residue and resurrected an
+// overwritten value.
+//
+// The scenario needs a same-key residue record beyond the second run's
+// append watermark: run 1 appends four records ending with k1=A; run 2
+// overwrites only the first chunk slots, so k1=A survives at slot 3
+// with its old (high) tick while the fresh k1=B carries a resumed tick.
+// With the clock floor, B's tick outranks A's and recovery keeps B.
+func TestRecoveryClockResumesAboveImage(t *testing.T) {
+	modes := map[string]pmem.Mode{"ADR": pmem.ADR, "eADR": pmem.EADR}
+	for name, mode := range modes {
+		t.Run(name, func(t *testing.T) {
+			pool := pmem.NewPool(pmem.Config{
+				Sockets: 1, DIMMsPerSocket: 1, DeviceBytes: 2 << 20,
+				Mode: mode, StrictPersist: true,
+			})
+			tr, err := New(pool, fuzzOpts(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := tr.NewWorker(0)
+			const k1 = 7
+			for _, kv := range [][2]uint64{{100, 1}, {101, 1}, {102, 1}, {k1, 0xA}} {
+				if err := w.Upsert(kv[0], kv[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tr.Freeze()
+			pool.Crash()
+
+			tr2, _, err := Open(pool, Options{}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2 := tr2.NewWorker(0)
+			if err := w2.Upsert(200, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.Upsert(k1, 0xB); err != nil {
+				t.Fatal(err)
+			}
+			tr2.Freeze()
+			pool.Crash()
+
+			tr3, _, err := Open(pool, Options{}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := tr3.NewWorker(0).Lookup(k1)
+			if !ok || got != 0xB {
+				t.Fatalf("after crash-recover-overwrite-crash, key %d = %#x (ok=%v); "+
+					"the completed overwrite 0xB was lost to stale WAL residue", k1, got, ok)
+			}
+			tr3.Freeze()
+		})
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+
+	"cclbtree/internal/pmem"
+)
+
+// CorruptError reports malformed persisted state found while recovering
+// a tree: an address that points outside the pool, a cyclic or unsorted
+// leaf list, a blob with an impossible length. Recovery returns it
+// (wrapped in Open's error) instead of panicking, so callers — and the
+// fuzzers that feed recovery arbitrary device images — can distinguish
+// "this pool does not hold a valid tree" from a programming error.
+type CorruptError struct {
+	Struct string    // which on-PM structure ("superblock", "leaf list", "blob", ...)
+	Addr   pmem.Addr // where, when address-specific (NilAddr otherwise)
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Addr.IsNil() {
+		return fmt.Sprintf("core: corrupt %s: %s", e.Struct, e.Detail)
+	}
+	return fmt.Sprintf("core: corrupt %s at %v: %s", e.Struct, e.Addr, e.Detail)
+}
+
+func corruptf(what string, a pmem.Addr, format string, args ...any) error {
+	return &CorruptError{Struct: what, Addr: a, Detail: fmt.Sprintf(format, args...)}
+}

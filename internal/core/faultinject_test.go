@@ -17,20 +17,46 @@ import (
 //     batch, before returning), and
 //  2. the in-flight operation is atomic: its key reads as either the
 //     previous state or the new one, never garbage.
+//
+// The sweep runs in both persistence domains (ADR rolls back unfenced
+// flushes at Crash; eADR keeps every store) and both with and without
+// background GC. GC-enabled sweeps use the sticky FailWhen trigger: the
+// fault may fire first on the GC goroutine (which recovers and exits),
+// and stickiness guarantees the workload thread dies at its own next
+// flush instead of completing operations on a dead machine.
 func TestCrashAtEveryFlushBoundary(t *testing.T) {
-	// First, count the workload's flushes.
-	total := countFlushes(t)
-	if total < 100 {
-		t.Fatalf("workload too small: %d flushes", total)
+	cases := []struct {
+		name string
+		mode pmem.Mode
+		gc   GCPolicy
+	}{
+		{"adr-gcoff", pmem.ADR, GCOff},
+		{"eadr-gcoff", pmem.EADR, GCOff},
+		{"adr-gc", pmem.ADR, GCLocalityAware},
+		{"eadr-gc", pmem.EADR, GCLocalityAware},
 	}
-	// Sweep a sample of crash points (every boundary below 200, then a
-	// spread); a full sweep is O(total²) work.
-	step := 1
-	if total > 400 {
-		step = total / 400
-	}
-	for point := int64(1); point <= int64(total); point += int64(step) {
-		runCrashPoint(t, point)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// First, count the workload's flushes (with GC on the count
+			// varies run to run; it only bounds the sweep range).
+			total := countFlushes(t, c.mode, c.gc)
+			if total < 100 {
+				t.Fatalf("workload too small: %d flushes", total)
+			}
+			// Sweep a sample of crash points; a full per-boundary sweep
+			// is O(total²) work, so cap the number of points per config.
+			points := 200
+			if testing.Short() {
+				points = 50
+			}
+			step := 1
+			if total > points {
+				step = total / points
+			}
+			for point := int64(1); point <= int64(total); point += int64(step) {
+				runCrashPoint(t, c.mode, c.gc, point)
+			}
+		})
 	}
 }
 
@@ -52,29 +78,27 @@ func workloadOps(w *Worker, done func(op int, key, val uint64, del bool)) {
 	}
 }
 
-func countFlushes(t *testing.T) int {
+func countFlushes(t *testing.T, mode pmem.Mode, gc GCPolicy) int {
 	t.Helper()
-	pool := newTestPool(nil)
-	tr, err := New(pool, Options{ChunkBytes: 8 << 10, GC: GCOff})
+	pool := newTestPool(func(c *pmem.Config) { c.Mode = mode })
+	tr, err := New(pool, Options{ChunkBytes: 8 << 10, GC: gc})
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := pool.Stats().XPBufWriteBytes
+	// FlushCalls counts every Flush/Persist call in both domains (eADR
+	// moves no data but still counts), matching FaultPoint.Seq numbering.
+	base := pool.FlushCalls()
 	w := tr.NewWorker(0)
 	workloadOps(w, func(int, uint64, uint64, bool) {})
 	tr.Freeze()
-	// Each dirty-line flush moves 64 B to the XPBuffer; clean flushes
-	// are skipped but also don't trip the fault trigger meaningfully.
-	return int((pool.Stats().XPBufWriteBytes - base) / pmem.CachelineSize)
+	return int(pool.FlushCalls() - base)
 }
 
-func runCrashPoint(t *testing.T, point int64) {
+func runCrashPoint(t *testing.T, mode pmem.Mode, gc GCPolicy, point int64) {
 	t.Helper()
-	// GC off: the fault trigger must fire on THIS goroutine (the
-	// background GC thread has no recover and would crash the binary);
-	// mid-GC power failures are covered by TestCrashMidGC.
-	pool := newTestPool(nil)
-	tr, err := New(pool, Options{ChunkBytes: 8 << 10, GC: GCOff})
+	pool := newTestPool(func(c *pmem.Config) { c.Mode = mode })
+	opts := Options{ChunkBytes: 8 << 10, GC: gc}
+	tr, err := New(pool, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +120,10 @@ func runCrashPoint(t *testing.T, point int64) {
 		}()
 		rng := rand.New(rand.NewSource(99))
 		const space = 300
-		pool.FailAfterFlushes(point)
+		// Seq is global since pool creation; count the point relative to
+		// here so it matches countFlushes' delta.
+		target := pool.FlushCalls() + point
+		pool.FailWhen(func(fp pmem.FaultPoint) bool { return fp.Seq == target })
 		for op := 0; op < 2500; op++ {
 			k := uint64(rng.Intn(space) + 1)
 			if rng.Intn(6) == 0 {
@@ -113,7 +140,11 @@ func runCrashPoint(t *testing.T, point int64) {
 		}
 		return false
 	}()
-	pool.FailAfterFlushes(0)
+	// Join background GC before losing power: the fault may have fired
+	// there (the GC goroutine recovers and exits), or — when the point
+	// lies beyond this run's flush count — GC may still be running.
+	tr.Freeze()
+	pool.FailWhen(nil)
 	if !crashed {
 		// The fault point lies beyond this workload's flush count
 		// (flush counts can vary slightly run to run); nothing to do.
@@ -128,10 +159,11 @@ func runCrashPoint(t *testing.T, point int64) {
 	}
 
 	pool.Crash()
-	tr2, _, err := Open(pool, Options{}, 1)
+	tr2, _, err := Open(pool, opts, 1)
 	if err != nil {
 		t.Fatalf("point %d: recovery failed after %d ops: %v", point, completed, err)
 	}
+	defer tr2.Freeze()
 	w2 := tr2.NewWorker(0)
 	for k, v := range ref {
 		if k == inKey {

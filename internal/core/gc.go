@@ -37,6 +37,19 @@ func (tr *Tree) startGC() {
 	go func() {
 		defer close(done)
 		defer tr.gcRunning.Store(false)
+		// An armed fault (pmem.FailWhen / FailAfterFlushes) can fire on
+		// the GC thread's flushes. Swallow exactly that panic: the
+		// simulated machine lost power, the round simply stops where it
+		// was, and the crash harness proceeds to Pool.Crash + recovery.
+		// Runs before the other defers (LIFO), so done still closes and
+		// gcRunning still clears — Freeze() keeps working mid-crash.
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(pmem.PowerFailure); !ok {
+					panic(r)
+				}
+			}
+		}()
 		if tr.opts.GC == GCNaive {
 			tr.runNaiveGC()
 		} else {
@@ -122,6 +135,7 @@ func (tr *Tree) runLocalityGC() {
 		}
 		v, ok := n.tryLock()
 		if !ok {
+			tr.crashAbort()
 			runtime.Gosched()
 			continue
 		}

@@ -86,6 +86,11 @@ type Options struct {
 	// capture eviction events. A nil (or disabled) tracer costs one
 	// atomic load per event site.
 	Tracer *obs.Tracer
+	// UnsafeSkipWALFence makes every worker's WAL appends skip the
+	// sfence (see wal.Log.UnsafeSkipFence): a deliberate durability bug
+	// used exclusively to prove the torture oracle catches real
+	// violations. Never set it outside oracle self-tests.
+	UnsafeSkipWALFence bool
 }
 
 const (

@@ -14,11 +14,15 @@ import (
 
 // RecoveryStats describes one recovery run (Fig 17).
 type RecoveryStats struct {
-	Leaves               int64
-	ChunksScanned        int
-	EntriesSeen          int
-	EntriesReplayed      int
-	EntriesStale         int
+	Leaves          int64
+	ChunksScanned   int
+	EntriesSeen     int
+	EntriesReplayed int
+	EntriesStale    int
+	// EntriesDropped counts scanned records rejected as garbage (invalid
+	// key/value words, out-of-range blob pointers): residue on recycled
+	// chunks that slipped past the WAL check code, or plain corruption.
+	EntriesDropped       int
 	EmptyLeavesReclaimed int
 	// VirtualNS is the modeled recovery time: the sequential leaf-list
 	// walk plus the slowest parallel replay worker.
@@ -28,9 +32,20 @@ type RecoveryStats struct {
 // Open recovers a CCL-BTree from a pool that holds a previously created
 // tree — after Pool.Crash, or after LoadPersistent in a new process.
 // It implements the §3.3 failure recovery: rebuild the DRAM inner and
-// buffer layers by walking the persistent leaf list, replay WAL entries
-// newer than their leaf's timestamp, and reset leaf timestamps.
-// threads sets the parallelism of the replay and reset phases.
+// buffer layers by walking the persistent leaf list, then replay WAL
+// entries newer than their leaf's timestamp. threads sets the
+// parallelism of the scan and replay phases.
+//
+// Deviation from §3.3 step 3: the paper resets leaf timestamps after
+// replay because real rdtsc restarts at reboot, which would leave old
+// stamps gating every post-reboot entry. This implementation instead
+// resumes the ORDO domain above everything stamped in the image
+// (Clock.AdvanceTo below), which makes the reset unnecessary — and, on
+// this design's non-zeroed recycled chunks, actively wrong: zeroed
+// leaf timestamps un-gate stale-but-intact log residue, and a crash
+// after a later recovery would replay values that trigger writes (never
+// logged, leaf-only) had long superseded. The torture harness's
+// crash-recover-crash rounds catch exactly that resurrection.
 func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, error) {
 	if threads < 1 {
 		threads = 1
@@ -50,6 +65,20 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	dirSlots := int(sbw[3])
 	chunkBytes := int(sbw[4])
 	varKV := sbw[5]&1 != 0
+
+	// Everything below the magic word is untrusted until validated: a
+	// torn or corrupted image must surface as *CorruptError, never as an
+	// out-of-range panic or an endless walk.
+	if !pool.ValidRange(headLeaf, LeafBytes) || headLeaf.Offset()%LeafBytes != 0 {
+		return nil, nil, corruptf("superblock", headLeaf, "head leaf address invalid")
+	}
+	if dirSlots <= 0 || !pool.ValidRange(dirAddr, int64(dirSlots)*pmem.WordSize) ||
+		dirAddr.Offset()%pmem.WordSize != 0 {
+		return nil, nil, corruptf("superblock", dirAddr, "chunk directory (%d slots) invalid", dirSlots)
+	}
+	if chunkBytes <= 0 || chunkBytes%pmem.XPLineSize != 0 || int64(chunkBytes) > pool.DeviceBytes() {
+		return nil, nil, corruptf("superblock", pmem.NilAddr, "chunk size %d invalid", chunkBytes)
+	}
 
 	opts.ChunkBytes = chunkBytes
 	opts.VarKV = varKV
@@ -72,18 +101,60 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	tr.initObs()
 
 	st := &RecoveryStats{}
+	// maxTick tracks the highest ORDO tick durably stamped anywhere in
+	// the image (WAL entries and leaf flush timestamps). The new tree's
+	// clock must resume above it: ticks restart at zero otherwise, and
+	// any stale record left on a recycled chunk — a fully intact entry
+	// from before the crash — would outrank every post-recovery append
+	// at the NEXT crash, resurrecting overwritten values.
+	maxTick := uint64(0)
+	noteTick := func(ts uint64) {
+		if ts > maxTick {
+			maxTick = ts
+		}
+	}
 	maxEnd := make([]uint64, pool.Sockets())
 	track := func(a pmem.Addr, size int64) {
 		if end := a.Offset() + uint64(size); end > maxEnd[a.Socket()] {
 			maxEnd[a.Socket()] = end
 		}
 	}
-	trackWord := func(w uint64) {
-		if IsBlobWord(w) {
-			a := blobAddr(w)
-			n := int64(t0.Load(a))
-			track(a, 8*(1+(n+7)/8))
+	// trackWord validates an indirection pointer before chasing it and
+	// extends the allocator high-water mark over the blob it names.
+	trackWord := func(w uint64) error {
+		if !IsBlobWord(w) {
+			return nil
 		}
+		a := blobAddr(w)
+		if !pool.ValidRange(a, pmem.WordSize) || a.Offset()%pmem.WordSize != 0 {
+			return corruptf("blob", a, "pointer invalid")
+		}
+		n := int64(t0.Load(a))
+		if n < 0 || n > blobArenaChunk {
+			return corruptf("blob", a, "length %d impossible", n)
+		}
+		size := 8 * (1 + (n+7)/8)
+		if !pool.ValidRange(a, size) {
+			return corruptf("blob", a, "%d-byte blob runs off the device", n)
+		}
+		track(a, size)
+		return nil
+	}
+	// keyOK/valOK check that a stored word is possible in this tree's
+	// mode — the superblock's VarKV flag is itself untrusted, and a
+	// flipped flag would otherwise make recovery (and every later
+	// lookup) chase plain integers as blob pointers or vice versa.
+	keyOK := func(w uint64) bool {
+		if opts.VarKV {
+			return IsBlobWord(w)
+		}
+		return w >= 1 && w <= MaxValue
+	}
+	valOK := func(w uint64) bool {
+		if w == Tombstone || IsBlobWord(w) {
+			return true // tombstones and out-of-band blobs occur in both modes
+		}
+		return !opts.VarKV && w <= MaxValue
 	}
 	track(dirAddr, int64(dirSlots*pmem.WordSize))
 
@@ -92,6 +163,9 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	// non-head leaves are unlinked and reclaimed on the way.
 	chunks := readChunkDir(t0, dirAddr, dirSlots)
 	for _, c := range chunks {
+		if !pool.ValidRange(c, int64(chunkBytes)) || c.Offset()%pmem.XPLineSize != 0 {
+			return nil, nil, corruptf("chunk directory", c, "chunk address invalid")
+		}
 		track(c, int64(chunkBytes))
 	}
 	st.ChunksScanned = len(chunks)
@@ -101,12 +175,29 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	var emptyLeaves []pmem.Addr
 	var prevNode *bufferNode
 	prevLeaf := pmem.NilAddr
+	seen := map[pmem.Addr]bool{headLeaf: true}
 	cur := headLeaf
 	for !cur.IsNil() {
 		var img leafImage
 		readLeaf(t0, cur, &img)
 		track(cur, LeafBytes)
+		// Leaf flush timestamps come from the same clock that stamps WAL
+		// entries, so they share its bound; anything larger is corruption
+		// (and would poison the resumed clock below).
+		if img.ts() > wal.MaxTick {
+			return nil, nil, corruptf("leaf", cur, "flush timestamp %#x impossible", img.ts())
+		}
+		noteTick(img.ts())
 		next := img.next()
+		if !next.IsNil() {
+			if !pool.ValidRange(next, LeafBytes) || next.Offset()%LeafBytes != 0 {
+				return nil, nil, corruptf("leaf list", next, "next pointer invalid")
+			}
+			if seen[next] {
+				return nil, nil, corruptf("leaf list", next, "cycle detected")
+			}
+			seen[next] = true
+		}
 		if img.bitmap() == 0 && cur != headLeaf {
 			// Unlink: predecessor's meta gets our successor, one
 			// atomic word. The leaf is reclaimed afterwards.
@@ -120,6 +211,20 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 			cur = next
 			continue
 		}
+		for i := 0; i < LeafSlots; i++ {
+			if !img.slotValid(i) {
+				continue
+			}
+			if !keyOK(img.key(i)) || !valOK(img.val(i)) {
+				return nil, nil, corruptf("leaf", cur, "slot %d words impossible in this mode", i)
+			}
+			if err := trackWord(img.key(i)); err != nil {
+				return nil, nil, err
+			}
+			if err := trackWord(img.val(i)); err != nil {
+				return nil, nil, err
+			}
+		}
 		lowKey := uint64(0)
 		if cur != headLeaf {
 			first := true
@@ -127,20 +232,17 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 				if !img.slotValid(i) {
 					continue
 				}
-				trackWord(img.key(i))
-				trackWord(img.val(i))
 				if first || tr.compare(t0, img.key(i), lowKey) < 0 {
 					lowKey = img.key(i)
 					first = false
 				}
 			}
-		} else {
-			for i := 0; i < LeafSlots; i++ {
-				if img.slotValid(i) {
-					trackWord(img.key(i))
-					trackWord(img.val(i))
-				}
-			}
+		}
+		// Leaves must be ordered: low keys strictly increase along the
+		// chain. A violation would send the replay router in circles
+		// (findBuffer routes by key order, rangeOK checks chain order).
+		if prevNode != nil && tr.compare(t0, lowKey, prevNode.lowKey) <= 0 {
+			return nil, nil, corruptf("leaf list", cur, "low keys out of order")
 		}
 		n := newBufferNode(cur, lowKey, opts.Nbatch)
 		if prevNode != nil {
@@ -195,11 +297,20 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 		return hashKeyBytes(readBlob(t0, kw))
 	}
 	sameKey := func(a, b uint64) bool { return tr.compare(t0, a, b) == 0 }
+	// entryOK rejects records whose words cannot have come from a real
+	// append in this tree's mode. Unlike structural corruption, a bad log
+	// record is dropped rather than fatal: recycled chunks legitimately
+	// hold residue, and recovery's job is to replay what is provably
+	// intact.
+	entryOK := func(e wal.Entry) bool { return keyOK(e.Key) && valOK(e.Value) }
 	for _, lst := range entryLists {
 		for _, e := range lst {
 			st.EntriesSeen++
-			trackWord(e.Key)
-			trackWord(e.Value)
+			if !entryOK(e) || trackWord(e.Key) != nil || trackWord(e.Value) != nil {
+				st.EntriesDropped++
+				continue
+			}
+			noteTick(e.Timestamp)
 			h := keyHash(e.Key)
 			bucket := newest[h]
 			found := false
@@ -222,6 +333,10 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	for _, bucket := range newest {
 		candidates = append(candidates, bucket...)
 	}
+	// Resume the tick domain past the image (plus the uncertainty
+	// boundary, so post-recovery ticks are *definitely* after pre-crash
+	// ones) before the replay workers start stamping.
+	tr.clock.AdvanceTo(maxTick + opts.OrdoBoundary)
 	// Route each candidate and compare with its leaf's pre-crash
 	// timestamp, in parallel (read-only).
 	replayLists := make([][]KV, threads)
@@ -271,35 +386,25 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 		workers[i].t.PushScope(pmem.ScopeRecovery)
 	}
 	var wg sync.WaitGroup
+	replayErrs := make([]error, threads)
 	for i, w := range workers {
 		wg.Add(1)
 		go func(i int, w *Worker) {
 			defer wg.Done()
 			for j := i; j < len(replay); j += threads {
-				w.replayApply(replay[j])
-			}
-			// Reset timestamps (§3.3 step 3) on this worker's share.
-			for j := i; j < len(nodes); j += threads {
-				n := nodes[j]
-				for {
-					v, ok := n.tryLock()
-					if !ok {
-						runtime.Gosched()
-						continue
-					}
-					if !n.dead() {
-						pt := w.t.SetTag(pmem.TagLeaf)
-						w.t.Store(n.leaf.Add(8*leafTSWord), 0)
-						w.t.Persist(n.leaf.Add(8*leafTSWord), pmem.WordSize)
-						w.t.SetTag(pt)
-					}
-					n.unlock(v)
-					break
+				if err := w.replayApply(replay[j]); err != nil {
+					replayErrs[i] = err
+					return
 				}
 			}
 		}(i, w)
 	}
 	wg.Wait()
+	for _, err := range replayErrs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 
 	// Logs are now redundant: every surviving entry is durable in a
 	// leaf. Rebuild the directory empty and recycle the chunk space.
@@ -332,7 +437,7 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 
 // replayApply routes one recovered KV to its leaf and applies it with
 // the normal crash-consistent batch insert.
-func (w *Worker) replayApply(kv KV) {
+func (w *Worker) replayApply(kv KV) error {
 	tr := w.tree
 	for {
 		n := tr.findBuffer(w.t, kv.Key)
@@ -348,8 +453,8 @@ func (w *Worker) replayApply(kv KV) {
 		_, err := w.leafBatchInsert(n, []KV{kv})
 		n.unlock(v)
 		if err != nil {
-			panic(fmt.Sprintf("core: recovery replay failed: %v", err))
+			return fmt.Errorf("core: recovery replay: %w", err)
 		}
-		return
+		return nil
 	}
 }

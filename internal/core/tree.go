@@ -192,6 +192,26 @@ func New(pool *pmem.Pool, opts Options) (*Tree, error) {
 // Pool returns the PM pool the tree lives on.
 func (tr *Tree) Pool() *pmem.Pool { return tr.pool }
 
+// Clock exposes the tree's ORDO clock. Crash harnesses use it to stamp
+// operation invocation/return times in the same timestamp domain the
+// tree's WAL entries and recovery comparisons use, so "definitely
+// before/after" questions (ordo.Clock.After) are answerable against the
+// recovered state.
+func (tr *Tree) Clock() *ordo.Clock { return tr.clock }
+
+// crashAbort re-raises the pool's sticky power failure inside retry
+// loops. A goroutine that dies mid-operation (pmem.FailWhen fired at
+// one of its flushes) can leave a buffer node's version lock held
+// forever; peers spinning on tryLock never flush, so they would never
+// observe the failure and would spin until the test times out. On the
+// modeled machine the power loss stops those CPUs too — this is that
+// stop. One atomic load, and only on the contended retry path.
+func (tr *Tree) crashAbort() {
+	if tr.pool.FaultFired() {
+		panic(pmem.PowerFailure{})
+	}
+}
+
 // Allocator exposes the PM allocator for consumption accounting.
 func (tr *Tree) Allocator() *pmalloc.Allocator { return tr.alloc }
 

@@ -65,6 +65,10 @@ func (tr *Tree) NewWorker(socket int) *Worker {
 	}
 	w.logs[0] = wal.NewLog(tr.walman, socket)
 	w.logs[1] = wal.NewLog(tr.walman, socket)
+	if tr.opts.UnsafeSkipWALFence {
+		w.logs[0].UnsafeSkipFence = true
+		w.logs[1].UnsafeSkipFence = true
+	}
 	w.blobs = blobArena{alloc: tr.alloc, socket: socket}
 	if tr.met != nil {
 		w.mh = tr.met.m.NewHandle()
@@ -162,6 +166,7 @@ func (w *Worker) upsertWord(key, value uint64) error {
 		n := tr.findBuffer(w.t, key)
 		v, ok := n.tryLock()
 		if !ok {
+			tr.crashAbort()
 			tr.ctr.retries.Add(1)
 			w.t.Rewind(attemptVT)
 			w.t.Advance(conflictPenaltyNS)
@@ -313,6 +318,7 @@ func (w *Worker) lookupWord(key uint64) (uint64, bool) {
 		if val, found, ok := w.lookupAttempt(key); ok {
 			return val, found
 		}
+		tr.crashAbort()
 		tr.ctr.retries.Add(1)
 		w.t.Rewind(attemptVT)
 		w.t.Advance(conflictPenaltyNS)
@@ -388,6 +394,7 @@ func (w *Worker) Scan(start uint64, max int, out []KV) int {
 		attemptVT := w.t.Now()
 		ver, ok := n.beginRead()
 		if !ok {
+			tr.crashAbort()
 			tr.ctr.retries.Add(1)
 			w.t.Rewind(attemptVT)
 			w.t.Advance(conflictPenaltyNS)

@@ -45,6 +45,21 @@ func (c *Clock) Now(socket int) uint64 {
 // Boundary returns the ORDO uncertainty window.
 func (c *Clock) Boundary() uint64 { return c.boundary }
 
+// AdvanceTo raises the clock so that every future Now, on any socket,
+// returns a timestamp strictly greater than ts. Recovery uses it to
+// resume the tick domain above everything durably stamped in the
+// pre-crash image: a clock restarted from zero would hand out ticks
+// that old WAL residue outranks, silently shadowing post-recovery
+// writes at the next crash.
+func (c *Clock) AdvanceTo(ts uint64) {
+	for {
+		cur := c.counter.Load()
+		if cur >= ts || c.counter.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
 // After reports whether timestamp a is definitely after b, i.e. their
 // gap exceeds the uncertainty boundary. Within the boundary the order is
 // unknown and callers must treat the events as concurrent.

@@ -25,6 +25,7 @@ type Pool struct {
 	aux   map[string]any
 
 	failAfter atomic.Int64
+	faultState
 
 	// Strict-mode bookkeeping (see strict.go): live threads to audit at
 	// Close, declared-volatile regions exempt from the dirty-line check.
@@ -72,6 +73,22 @@ func (p *Pool) Sockets() int { return len(p.devs) }
 
 // DeviceBytes returns the capacity of each socket's device.
 func (p *Pool) DeviceBytes() int64 { return p.cfg.DeviceBytes }
+
+// ValidRange reports whether [a, a+n) lies entirely inside one socket's
+// device. Recovery code applies it to every address read back from
+// persistent (possibly corrupt) state before dereferencing — an
+// out-of-range access would otherwise panic rather than surface as a
+// typed corruption error.
+func (p *Pool) ValidRange(a Addr, n int64) bool {
+	if a.IsNil() || n < 0 {
+		return false
+	}
+	if a.Socket() >= len(p.devs) { // Socket() is non-negative by construction
+		return false
+	}
+	off := a.Offset()
+	return off < uint64(p.cfg.DeviceBytes) && uint64(n) <= uint64(p.cfg.DeviceBytes)-off
+}
 
 // Stats snapshots the hardware counters (since pool creation or the
 // last ResetStats). See ResetStats for the concurrency contract.
@@ -148,7 +165,11 @@ func (PowerFailure) Error() string { return "pmem: simulated power failure" }
 
 // FailAfterFlushes arms a fault: the n-th subsequent Flush panics with
 // PowerFailure, modeling power loss at an arbitrary instruction
-// boundary inside an operation. n ≤ 0 disarms.
+// boundary inside an operation. n ≤ 0 disarms. The trigger fires once;
+// for the sticky every-thread-dies semantics a concurrent harness
+// needs, use FailWhen. Flush calls count in eADR mode too (they move no
+// data there, but crash sweeps need the same fault sites in both
+// modes).
 func (p *Pool) FailAfterFlushes(n int64) {
 	p.failAfter.Store(n)
 }

@@ -246,10 +246,14 @@ func (t *Thread) Flush(a Addr, n int) {
 }
 
 func (t *Thread) flush(a Addr, n int) {
+	// Fault triggers run (and FlushCalls counts) before the eADR
+	// early-return so crash harnesses see identical fault sites in both
+	// modes; a triggered failure must never persist the line being
+	// flushed.
+	t.checkFault(a)
 	if t.pool.cfg.Mode == EADR {
 		return // no flushing needed; stores are already in the domain
 	}
-	t.pool.checkPowerFailure()
 	d := t.dev(a)
 	c := &t.pool.cfg.Cost
 	idx := a.Offset() / WordSize

@@ -1,0 +1,94 @@
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"cclbtree/internal/pmem"
+)
+
+// A Plan decides where in a round the power fails. Two families:
+//
+//   - seq plans fire on the Nth flush of the round, N drawn uniformly
+//     from the previous round's observed flush count — unbiased
+//     coverage of every fault site;
+//   - scope plans fire on the Nth flush carrying a specific
+//     attribution scope, aiming the failure into structurally
+//     interesting windows: mid-WAL-append, mid-split, mid-GC,
+//     mid-batch-flush, mid-metadata-update. Attribution comes from the
+//     same Scope tags the observability layer uses, so the adversarial
+//     placement needs no knowledge of core's internals.
+//
+// A plan that never matches (scope traffic absent, N beyond the
+// round's flushes) yields a clean quiescent round: the workload
+// completes, the machine is crashed at rest, and the oracle still
+// checks that everything completed is durable.
+type Plan struct {
+	Kind  string     `json:"kind"` // "seq", "scope" or "calibrate"
+	Scope pmem.Scope `json:"scope,omitempty"`
+	N     int64      `json:"n"` // fire on the Nth matching flush (1-based)
+}
+
+func (p Plan) String() string {
+	switch p.Kind {
+	case "scope":
+		return fmt.Sprintf("scope[%s]#%d", scopeName(p.Scope), p.N)
+	case "seq":
+		return fmt.Sprintf("seq#%d", p.N)
+	}
+	return p.Kind
+}
+
+func scopeName(s pmem.Scope) string {
+	names := pmem.ScopeNames()
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("scope%d", int(s))
+}
+
+// predicate compiles the plan into a pmem.FailWhen trigger. The count
+// is relative to arming, not to the pool's global flush ordinal, so
+// plans compose across rounds.
+func (p Plan) predicate() func(pmem.FaultPoint) bool {
+	if p.Kind == "calibrate" {
+		return nil
+	}
+	var matched atomic.Int64
+	n := p.N
+	if p.Kind == "scope" {
+		scope := p.Scope
+		return func(fp pmem.FaultPoint) bool {
+			return fp.Scope == scope && matched.Add(1) == n
+		}
+	}
+	return func(fp pmem.FaultPoint) bool {
+		return matched.Add(1) == n
+	}
+}
+
+// adversarialScopes are the windows worth aiming at, in rotation.
+var adversarialScopes = []pmem.Scope{
+	pmem.ScopeWAL,
+	pmem.ScopeSplit,
+	pmem.ScopeGC,
+	pmem.ScopeLeafBuf,
+	pmem.ScopeMeta,
+}
+
+// planForRound picks round r's crash plan. Round 0 always calibrates
+// (full workload, quiescent crash) to measure the flush budget that
+// seq plans draw from; after that, seq and scope plans alternate.
+func planForRound(rng *rand.Rand, r int, flushBudget int64) Plan {
+	if r == 0 || flushBudget <= 0 {
+		return Plan{Kind: "calibrate"}
+	}
+	if r%2 == 1 {
+		return Plan{Kind: "seq", N: 1 + rng.Int63n(flushBudget)}
+	}
+	scope := adversarialScopes[(r/2-1+len(adversarialScopes))%len(adversarialScopes)]
+	// Small N lands inside the first few occurrences of the scope's
+	// window; scopes fire far less often than raw flushes.
+	return Plan{Kind: "scope", Scope: scope, N: 1 + rng.Int63n(16)}
+}

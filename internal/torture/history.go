@@ -1,0 +1,85 @@
+package torture
+
+// OpKind identifies one workload operation.
+type OpKind uint8
+
+const (
+	OpUpsert OpKind = iota
+	OpDelete
+	OpLookup
+	OpScan
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpUpsert:
+		return "upsert"
+	case OpDelete:
+		return "delete"
+	case OpLookup:
+		return "lookup"
+	case OpScan:
+		return "scan"
+	}
+	return "?"
+}
+
+// Op is one recorded operation in a worker's history. Invoke and Return
+// are ORDO ticks from the tree's clock — the same timestamp domain the
+// WAL stamps entries with, so "definitely before the crash" can be
+// decided with the clock's uncertainty boundary rather than wall time.
+type Op struct {
+	Worker int    `json:"worker"`
+	Seq    int    `json:"seq"`
+	Kind   OpKind `json:"kind"`
+	Key    uint64 `json:"key"`
+	// Value is the written value for upserts (deletes write the
+	// tombstone, recorded as 0) and the observed value for lookups.
+	Value uint64 `json:"value"`
+	// Found is the lookup outcome (meaningless for writes).
+	Found  bool   `json:"found,omitempty"`
+	Invoke uint64 `json:"invoke"`
+	Return uint64 `json:"return,omitempty"`
+	// Done marks operations whose call returned normally; an undone op
+	// was in flight when the power failed and may land atomically or
+	// not at all.
+	Done bool `json:"done"`
+}
+
+// isWrite reports whether the op mutates its key's register (deletes
+// write the tombstone, i.e. "absent").
+func (o *Op) isWrite() bool { return o.Kind == OpUpsert || o.Kind == OpDelete }
+
+// writtenValue is the register value the op installs: the payload for
+// upserts, absent (0) for deletes.
+func (o *Op) writtenValue() uint64 {
+	if o.Kind == OpDelete {
+		return 0
+	}
+	return o.Value
+}
+
+// history is one round's merged op log plus the per-key index the
+// oracle consumes.
+type history struct {
+	ops     []Op
+	writes  map[uint64][]*Op // key -> writes, any order
+	lookups []*Op
+}
+
+func newHistory(perWorker [][]Op) *history {
+	h := &history{writes: map[uint64][]*Op{}}
+	for _, ws := range perWorker {
+		h.ops = append(h.ops, ws...)
+	}
+	for i := range h.ops {
+		op := &h.ops[i]
+		switch {
+		case op.isWrite():
+			h.writes[op.Key] = append(h.writes[op.Key], op)
+		case op.Kind == OpLookup && op.Done:
+			h.lookups = append(h.lookups, op)
+		}
+	}
+	return h
+}

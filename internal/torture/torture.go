@@ -1,0 +1,359 @@
+// Package torture is the concurrent crash-recovery harness: seeded
+// randomized workloads over the CCL-BTree with power failures injected
+// at randomized and adversarially chosen flush points, followed by
+// recovery and a durable-prefix linearizability check (oracle.go).
+//
+// One Run is a sequence of rounds against a single persistent image.
+// Each round arms a crash plan (crashplan.go), drives N worker
+// goroutines that record per-op histories with ORDO invoke/return
+// ticks (history.go), crashes the modeled machine — rolling back every
+// unfenced flush, optionally tearing pending XPLines — recovers with
+// core.Open, and checks the recovered state against the history. The
+// next round continues on the recovered tree, so the harness also
+// exercises repeated crash-recover-crash sequences (which is how the
+// recovery clock-resume bug was found).
+//
+// Determinism: the workload, per-worker op streams, and crash plans
+// derive entirely from Config.Seed, so a failing seed re-runs the same
+// schedule of writes and the same fault placement. Goroutine
+// interleaving is the one nondeterministic input; single-threaded
+// configurations replay exactly.
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"cclbtree/internal/core"
+	"cclbtree/internal/pmem"
+)
+
+// Config parameterizes one torture run. The zero value is completed by
+// withDefaults; Seed 0 is a valid (and distinct) seed.
+type Config struct {
+	Seed         int64  `json:"seed"`
+	Threads      int    `json:"threads"`
+	Rounds       int    `json:"rounds"`
+	OpsPerThread int    `json:"ops_per_thread"`
+	KeySpace     uint64 `json:"key_space"`
+	EADR         bool   `json:"eadr"`
+	GC           string `json:"gc"` // "locality", "naive", "off"
+	Torn         bool   `json:"torn"`
+	Sockets      int    `json:"sockets"`
+	DeviceBytes  int64  `json:"device_bytes"`
+	ChunkBytes   int    `json:"chunk_bytes"`
+	// UnsafeSkipWALFence plants the deliberate durability bug (WAL
+	// appends flushed but never fenced) used to prove the oracle
+	// catches real violations. Never set outside oracle self-tests.
+	UnsafeSkipWALFence bool `json:"unsafe_skip_wal_fence,omitempty"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 6
+	}
+	if c.OpsPerThread == 0 {
+		c.OpsPerThread = 400
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 256
+	}
+	if c.GC == "" {
+		c.GC = "locality"
+	}
+	if c.Sockets == 0 {
+		c.Sockets = 2
+	}
+	if c.DeviceBytes == 0 {
+		c.DeviceBytes = 16 << 20
+	}
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = 8 << 10 // small chunks so GC triggers under test-sized workloads
+	}
+	return c
+}
+
+func (c Config) gcPolicy() (core.GCPolicy, error) {
+	switch c.GC {
+	case "locality":
+		return core.GCLocalityAware, nil
+	case "naive":
+		return core.GCNaive, nil
+	case "off":
+		return core.GCOff, nil
+	}
+	return 0, fmt.Errorf("torture: unknown gc policy %q", c.GC)
+}
+
+// RoundReport summarizes one crash-recover round.
+type RoundReport struct {
+	Round     int    `json:"round"`
+	Plan      string `json:"plan"`
+	Crashed   bool   `json:"crashed"` // fault fired mid-workload (vs quiescent crash)
+	Flushes   int64  `json:"flushes"`
+	Completed int    `json:"completed"`
+	InFlight  int    `json:"in_flight"`
+	Replayed  int    `json:"replayed"`
+	Dropped   int    `json:"dropped"`
+	TornLines int    `json:"torn_lines"`
+}
+
+// Result is one Run's outcome. Violations non-empty means the oracle
+// caught a durability or atomicity violation.
+type Result struct {
+	Config       Config        `json:"config"`
+	Rounds       []RoundReport `json:"rounds"`
+	OpsCompleted int64         `json:"ops_completed"`
+	Crashes      int           `json:"crashes"`
+	Violations   []Violation   `json:"violations,omitempty"`
+}
+
+// Failed reports whether the oracle found violations.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Run executes one torture run to completion (or to the first round
+// with violations, which ends the run early — later rounds would
+// build on a state already known to be wrong).
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	gc, err := cfg.gcPolicy()
+	if err != nil {
+		return nil, err
+	}
+	mode := pmem.ADR
+	if cfg.EADR {
+		mode = pmem.EADR
+	}
+	pool := pmem.NewPool(pmem.Config{
+		Sockets:        cfg.Sockets,
+		DIMMsPerSocket: 1,
+		DeviceBytes:    cfg.DeviceBytes,
+		Mode:           mode,
+		StrictPersist:  true,
+	})
+	opts := core.Options{
+		GC:                 gc,
+		ChunkBytes:         cfg.ChunkBytes,
+		UnsafeSkipWALFence: cfg.UnsafeSkipWALFence,
+	}
+	tr, err := core.New(pool, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	master := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{Config: cfg}
+	baseline := map[uint64]uint64{}
+	everWritten := map[uint64]map[uint64]bool{}
+	var flushBudget int64
+
+	for round := 0; round < cfg.Rounds; round++ {
+		plan := planForRound(master, round, flushBudget)
+		// Per-worker op seeds are drawn from the master BEFORE any
+		// goroutine runs, so the op streams depend only on Config.Seed.
+		seeds := make([]int64, cfg.Threads)
+		for i := range seeds {
+			seeds[i] = master.Int63()
+		}
+		tearSeed := master.Int63()
+
+		flushStart := pool.FlushCalls()
+		pool.FailWhen(plan.predicate())
+
+		histories := make([][]Op, cfg.Threads)
+		workers := make([]*core.Worker, cfg.Threads)
+		for i := range workers {
+			workers[i] = tr.NewWorker(i % cfg.Sockets)
+		}
+		var wg sync.WaitGroup
+		var workerErr error
+		var errMu sync.Mutex
+		for i := 0; i < cfg.Threads; i++ {
+			wg.Add(1)
+			go func(wid int) {
+				defer wg.Done()
+				if err := runWorker(tr, workers[wid], wid, round, seeds[wid], cfg, &histories[wid]); err != nil {
+					errMu.Lock()
+					if workerErr == nil {
+						workerErr = err
+					}
+					errMu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+		if workerErr != nil {
+			return nil, fmt.Errorf("torture: round %d worker: %w", round, workerErr)
+		}
+
+		// Teardown in power-failure order: stop background activity,
+		// tear what was in flight, disarm, then lose power.
+		crashed := pool.FaultFired()
+		tr.Freeze()
+		torn := 0
+		if cfg.Torn && crashed {
+			for _, w := range workers {
+				torn += w.Thread().TearPending(tearSeed)
+			}
+		}
+		pool.FailWhen(nil)
+		pool.Crash()
+
+		rec, st, err := core.Open(pool, opts, cfg.Threads)
+		if err != nil {
+			// The harness injects no corruption, so a rejected image is
+			// itself a crash-consistency failure.
+			res.Violations = append(res.Violations, Violation{
+				Round: round, Reason: fmt.Sprintf("recovery rejected the crash image: %v", err),
+			})
+			res.Rounds = append(res.Rounds, RoundReport{Round: round, Plan: plan.String(), Crashed: crashed})
+			return res, nil
+		}
+
+		h := newHistory(histories)
+		completed, inFlight := 0, 0
+		for i := range h.ops {
+			if h.ops[i].Done {
+				completed++
+			} else {
+				inFlight++
+			}
+		}
+		res.OpsCompleted += int64(completed)
+		if crashed {
+			res.Crashes++
+		}
+		for _, op := range h.ops {
+			if op.isWrite() {
+				if everWritten[op.Key] == nil {
+					everWritten[op.Key] = map[uint64]bool{}
+				}
+				everWritten[op.Key][op.writtenValue()] = true
+			}
+		}
+
+		byLookup, byScan := snapshot(rec, cfg.KeySpace)
+		vs := checkDurablePrefix(rec.Clock(), baseline, h, byLookup, round)
+		vs = append(vs, checkReads(h, everWritten, round)...)
+		vs = append(vs, checkScanAgreement(byLookup, byScan, round)...)
+
+		res.Rounds = append(res.Rounds, RoundReport{
+			Round: round, Plan: plan.String(), Crashed: crashed,
+			Flushes:   pool.FlushCalls() - flushStart,
+			Completed: completed, InFlight: inFlight,
+			Replayed: st.EntriesReplayed, Dropped: st.EntriesDropped,
+			TornLines: torn,
+		})
+		if plan.Kind == "calibrate" || flushBudget == 0 {
+			flushBudget = pool.FlushCalls() - flushStart
+		}
+		if len(vs) > 0 {
+			res.Violations = append(res.Violations, vs...)
+			return res, nil
+		}
+		baseline = byLookup
+		tr = rec
+	}
+	tr.Freeze()
+	return res, nil
+}
+
+// runWorker drives one goroutine's share of the round's workload,
+// recording every operation. It returns a non-nil error only for real
+// tree errors (allocation failure); a simulated power failure ends the
+// loop normally with the dying op left in-flight.
+func runWorker(tr *core.Tree, w *core.Worker, wid, round int, seed int64, cfg Config, out *[]Op) error {
+	rng := rand.New(rand.NewSource(seed))
+	clock := tr.Clock()
+	socket := wid % cfg.Sockets
+	pool := tr.Pool()
+	ops := make([]Op, 0, cfg.OpsPerThread)
+	defer func() { *out = ops }()
+
+	var scanBuf [32]core.KV
+	for seq := 0; seq < cfg.OpsPerThread; seq++ {
+		if pool.FaultFired() {
+			break // the machine is dead; no new invocations
+		}
+		key := 1 + rng.Uint64()%cfg.KeySpace
+		op := Op{Worker: wid, Seq: seq, Key: key}
+		switch r := rng.Intn(100); {
+		case r < 60:
+			op.Kind = OpUpsert
+			op.Value = uniqueValue(round, wid, seq)
+		case r < 75:
+			op.Kind = OpDelete
+		case r < 95:
+			op.Kind = OpLookup
+		default:
+			op.Kind = OpScan
+		}
+
+		op.Invoke = clock.Now(socket)
+		died := false
+		err := func() (opErr error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(pmem.PowerFailure); !ok {
+						panic(r)
+					}
+					died = true
+				}
+			}()
+			switch op.Kind {
+			case OpUpsert:
+				opErr = w.Upsert(op.Key, op.Value)
+			case OpDelete:
+				opErr = w.Delete(op.Key)
+			case OpLookup:
+				op.Value, op.Found = w.Lookup(op.Key)
+			case OpScan:
+				w.Scan(op.Key, len(scanBuf), scanBuf[:])
+			}
+			return
+		}()
+		if err != nil {
+			return err
+		}
+		if !died {
+			op.Return = clock.Now(socket)
+			op.Done = true
+		}
+		ops = append(ops, op)
+		if died {
+			break
+		}
+	}
+	return nil
+}
+
+// uniqueValue makes every written value globally unique across the
+// whole run, so a recovered word identifies the exact write that
+// produced it. Stays below core.MaxValue.
+func uniqueValue(round, wid, seq int) uint64 {
+	return uint64(round+1)<<40 | uint64(wid+1)<<28 | uint64(seq+1)
+}
+
+// snapshot reads the recovered tree's full state twice — once by
+// per-key lookups, once by a range scan — for the oracle and the
+// read-path agreement check. Value maps omit absent keys.
+func snapshot(tr *core.Tree, keySpace uint64) (byLookup, byScan map[uint64]uint64) {
+	w := tr.NewWorker(0)
+	byLookup = make(map[uint64]uint64)
+	for k := uint64(1); k <= keySpace; k++ {
+		if v, ok := w.Lookup(k); ok {
+			byLookup[k] = v
+		}
+	}
+	out := make([]core.KV, keySpace+8)
+	n := w.Scan(1, len(out), out)
+	byScan = make(map[uint64]uint64, n)
+	for _, kv := range out[:n] {
+		byScan[kv.Key] = kv.Value
+	}
+	return byLookup, byScan
+}

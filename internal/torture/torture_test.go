@@ -1,0 +1,150 @@
+package torture
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestTortureShort is the tier-1 entry point: a few crash-recover
+// rounds per configuration, small enough for -short and -race runs.
+func TestTortureShort(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"adr-locality", Config{Seed: 1, Threads: 4, Rounds: 4, OpsPerThread: 250}},
+		{"adr-gc-off", Config{Seed: 2, Threads: 4, Rounds: 3, OpsPerThread: 200, GC: "off"}},
+		{"adr-naive-gc", Config{Seed: 3, Threads: 4, Rounds: 3, OpsPerThread: 200, GC: "naive"}},
+		{"eadr", Config{Seed: 4, Threads: 4, Rounds: 4, OpsPerThread: 250, EADR: true}},
+		{"adr-torn", Config{Seed: 5, Threads: 4, Rounds: 4, OpsPerThread: 250, Torn: true}},
+		{"single-thread", Config{Seed: 6, Threads: 1, Rounds: 4, OpsPerThread: 300}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Run(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				for _, v := range res.Violations {
+					t.Error(v)
+				}
+			}
+			if res.OpsCompleted == 0 {
+				t.Fatal("no operations completed")
+			}
+		})
+	}
+}
+
+// TestTortureCatchesSkippedFence proves the oracle catches a real
+// durability bug: with UnsafeSkipWALFence the WAL entry of every
+// buffered insert is flushed but never fenced, so Pool.Crash rolls it
+// back and completed upserts vanish. The acceptance budget for the
+// catch is 60 seconds; in practice the very first crash exposes it.
+func TestTortureCatchesSkippedFence(t *testing.T) {
+	start := time.Now()
+	res, err := Run(Config{
+		Seed: 42, Threads: 2, Rounds: 3, OpsPerThread: 200,
+		GC: "off", UnsafeSkipWALFence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("oracle missed the planted skip-fence durability bug")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Reason != "" && v.Key != 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("violations carry no key-level detail: %v", res.Violations)
+	}
+	if d := time.Since(start); d > 60*time.Second {
+		t.Fatalf("bug took %v to catch; budget is 60s", d)
+	}
+	t.Logf("planted bug caught in %v after %d round(s): %v",
+		time.Since(start), len(res.Rounds), res.Violations[0])
+}
+
+// TestTortureArtifactRoundTrip checks the failure artifact pipeline:
+// a failed run serializes to JSON, reads back identically, and its
+// config re-runs to the same verdict.
+func TestTortureArtifactRoundTrip(t *testing.T) {
+	// Seed 1 fails in the calibration round (quiescent crash, one
+	// thread), so the whole failing schedule is deterministic.
+	cfg := Config{Seed: 1, Threads: 1, Rounds: 2, OpsPerThread: 120,
+		GC: "off", UnsafeSkipWALFence: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("expected a failing run to build the artifact from")
+	}
+	dir := t.TempDir()
+	path, err := NewArtifact(res).Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config != res.Config {
+		t.Fatalf("config did not round-trip: %+v vs %+v", a.Config, res.Config)
+	}
+	if len(a.Violations) == 0 || a.ReproCmd == "" {
+		t.Fatal("artifact missing violations or repro command")
+	}
+	// Replay: single-threaded with the same seed is fully
+	// deterministic, so the re-run must fail the same way.
+	res2, err := Run(a.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Failed() {
+		t.Fatal("replayed config did not reproduce the failure")
+	}
+	if res2.Violations[0].Key != res.Violations[0].Key {
+		t.Fatalf("replay diverged: first violation key %#x vs %#x",
+			res2.Violations[0].Key, res.Violations[0].Key)
+	}
+}
+
+// TestTortureSoak is the long configuration — minutes of wall time —
+// gated behind an explicit opt-in (CCL_TORTURE_SOAK=seconds) on top of
+// the usual -short guard.
+func TestTortureSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	secs, _ := strconv.Atoi(os.Getenv("CCL_TORTURE_SOAK"))
+	if secs <= 0 {
+		t.Skip("set CCL_TORTURE_SOAK=<seconds> to run the soak")
+	}
+	deadline := time.Now().Add(time.Duration(secs) * time.Second)
+	seed := int64(1000)
+	for time.Now().Before(deadline) {
+		for _, eadr := range []bool{false, true} {
+			cfg := Config{Seed: seed, Threads: 8, Rounds: 6, OpsPerThread: 500,
+				EADR: eadr, Torn: !eadr}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				p, _ := NewArtifact(res).Write(filepath.Join(os.TempDir(), "ccltorture"))
+				t.Fatalf("seed %d failed (artifact %s): %v", seed, p, res.Violations[0])
+			}
+			seed++
+		}
+	}
+}

@@ -11,6 +11,20 @@
 // filters stale entries by timestamp against the leaf they belong to,
 // which is sound because any reclaimed entry's KV was flushed to a leaf
 // whose timestamp field is newer than the entry (see core's recovery).
+//
+// On PM, the timestamp word is checksum-stamped: the ORDO tick lives in
+// the upper 48 bits and a 16-bit check code over (key, value, tick) in
+// the low 16. A 24 B entry spans three 8 B words, and real hardware
+// persists words — not entries — atomically: a power failure during an
+// append (or a torn XPLine write-back, see pmem.TearPending) can leave
+// an entry whose key and value drained but whose timestamp word still
+// holds a stale record's bytes from the recycled, never-zeroed chunk.
+// Such a Frankenstein entry has a stale-but-plausible timestamp and
+// would replay garbage into the tree. The check code binds the three
+// words together: scans drop any record whose code does not match, so
+// only entries whose append fully drained are ever replayed. The
+// stamping is an on-PM encoding detail — Append takes and Entries
+// returns plain ticks.
 package wal
 
 import (
@@ -31,6 +45,43 @@ const DefaultChunkBytes = 4 << 20
 // never produced by a live append (ordo reserves it).
 type Entry struct {
 	Key, Value, Timestamp uint64
+}
+
+// MaxTick is the largest ORDO tick an entry can carry: the on-PM
+// timestamp word keeps the tick in its upper 48 bits alongside the
+// 16-bit check code.
+const MaxTick = 1<<48 - 1
+
+const tsTickShift = 16
+
+// entryCheck computes the 16-bit code binding an entry's three words
+// (FNV-1a over the 24 bytes, folded to 16 bits).
+func entryCheck(key, value, tick uint64) uint16 {
+	h := uint64(14695981039346656037)
+	for _, w := range [3]uint64{key, value, tick} {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * uint(i))) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return uint16(h ^ h>>16 ^ h>>32 ^ h>>48)
+}
+
+// EncodeTimestamp builds the on-PM timestamp word for an entry.
+func EncodeTimestamp(key, value, tick uint64) uint64 {
+	return tick<<tsTickShift | uint64(entryCheck(key, value, tick))
+}
+
+// DecodeTimestamp validates an on-PM timestamp word against its key and
+// value words, returning the tick. ok is false for unwritten space
+// (zero word) and for torn or stale-mix records whose check code does
+// not match.
+func DecodeTimestamp(key, value, word uint64) (tick uint64, ok bool) {
+	tick = word >> tsTickShift
+	if tick == 0 {
+		return 0, false
+	}
+	return tick, uint16(word) == entryCheck(key, value, tick)
 }
 
 // Manager owns the per-socket free lists of recycled log chunks and
@@ -153,6 +204,14 @@ type Log struct {
 	m      *Manager
 	socket int
 
+	// UnsafeSkipFence drops the sfence from Append, so an entry
+	// "returns durable" without being durable until some later fence
+	// happens to retire the flush. It deliberately breaks the WAL
+	// durability contract and exists ONLY so crash-testing oracles
+	// (internal/torture) can prove they catch the violation. Never set
+	// it outside such self-tests.
+	UnsafeSkipFence bool
+
 	mu      sync.Mutex
 	chunks  []pmem.Addr
 	tailOff int   // bytes used in the last chunk
@@ -170,6 +229,9 @@ func NewLog(m *Manager, socket int) *Log {
 func (l *Log) Append(t *pmem.Thread, e Entry) (pmem.Addr, error) {
 	if e.Timestamp == 0 {
 		return pmem.NilAddr, fmt.Errorf("wal: zero timestamp is reserved")
+	}
+	if e.Timestamp > MaxTick {
+		return pmem.NilAddr, fmt.Errorf("wal: timestamp %#x exceeds MaxTick", e.Timestamp)
 	}
 	l.mu.Lock()
 	if len(l.chunks) == 0 || l.tailOff+EntrySize > l.m.chunkBytes {
@@ -194,8 +256,15 @@ func (l *Log) Append(t *pmem.Thread, e Entry) (pmem.Addr, error) {
 	prevScope := t.PushScope(pmem.ScopeWAL)
 	t.Store(addr, e.Key)
 	t.Store(addr.Add(8), e.Value)
-	t.Store(addr.Add(16), e.Timestamp)
-	t.Persist(addr, EntrySize)
+	t.Store(addr.Add(16), EncodeTimestamp(e.Key, e.Value, e.Timestamp))
+	if l.UnsafeSkipFence {
+		// Deliberately broken durability for oracle self-tests: the
+		// clwb is issued but never explicitly fenced.
+		//persistlint:ignore PL002 UnsafeSkipFence is an intentional contract violation for torture-oracle validation
+		t.Flush(addr, EntrySize)
+	} else {
+		t.Persist(addr, EntrySize)
+	}
 	t.PopScope(prevScope)
 	t.SetTag(prev)
 	return addr, nil
@@ -229,7 +298,8 @@ func (l *Log) Detach() []pmem.Addr {
 }
 
 // Entries reads every record currently in the log, skipping unwritten
-// (zero-timestamp) slots. Because recycled chunks are not zeroed, the
+// slots and check-code-invalid (torn) records. Because recycled chunks
+// are not zeroed, the
 // result may include stale records from earlier generations; callers
 // filter them by comparing timestamps with the owning leaf (see §3.3's
 // latest-version rule). The log must be quiescent (no concurrent
@@ -252,33 +322,36 @@ func (l *Log) Entries(t *pmem.Thread) []Entry {
 		}
 		w := words[:limit/pmem.WordSize]
 		t.ReadRange(c, w)
-		for off := 0; off+EntrySize <= limit; off += EntrySize {
-			i := off / pmem.WordSize
-			e := Entry{Key: w[i], Value: w[i+1], Timestamp: w[i+2]}
-			if e.Timestamp == 0 {
-				continue
-			}
-			out = append(out, e)
+		out = decodeRecords(w, limit, out)
+	}
+	return out
+}
+
+// decodeRecords appends the valid entries found in the first limit bytes
+// of w (a chunk image) to out. Unwritten slots and records whose check
+// code does not bind key/value/timestamp together (torn appends, stale
+// mixes on recycled chunks) are skipped.
+func decodeRecords(w []uint64, limit int, out []Entry) []Entry {
+	for off := 0; off+EntrySize <= limit; off += EntrySize {
+		i := off / pmem.WordSize
+		tick, ok := DecodeTimestamp(w[i], w[i+1], w[i+2])
+		if !ok {
+			continue
 		}
+		out = append(out, Entry{Key: w[i], Value: w[i+1], Timestamp: tick})
 	}
 	return out
 }
 
 // ReadEntriesInChunks scans the given raw chunks (e.g. after a restart
-// when the Log object is gone) yielding nonzero-timestamp entries.
+// when the Log object is gone) yielding the valid entries (see
+// decodeRecords for what is skipped).
 func ReadEntriesInChunks(t *pmem.Thread, chunks []pmem.Addr, chunkBytes int) []Entry {
 	var out []Entry
 	w := make([]uint64, chunkBytes/pmem.WordSize)
 	for _, c := range chunks {
 		t.ReadRange(c, w)
-		for off := 0; off+EntrySize <= chunkBytes; off += EntrySize {
-			i := off / pmem.WordSize
-			e := Entry{Key: w[i], Value: w[i+1], Timestamp: w[i+2]}
-			if e.Timestamp == 0 {
-				continue
-			}
-			out = append(out, e)
-		}
+		out = decodeRecords(w, chunkBytes, out)
 	}
 	return out
 }

@@ -19,3 +19,10 @@ go vet ./...
 go run ./cmd/persistlint -tests -stats ./...
 go test ./...
 go test -race -short ./internal/core/... ./internal/pmem/... ./internal/obs/...
+go test -race -run TestTortureShort ./internal/torture
+
+# Short fuzz smokes: each target gets 10s of coverage-guided input
+# generation on top of its checked-in corpus.
+go test -run '^$' -fuzz FuzzWALRecordParse -fuzztime 10s ./internal/wal
+go test -run '^$' -fuzz FuzzRecoveryScan -fuzztime 10s ./internal/core
+go test -run '^$' -fuzz FuzzVarKVRoundTrip -fuzztime 10s ./internal/core
