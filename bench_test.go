@@ -6,13 +6,14 @@
 //
 //	go test -bench=BenchmarkFig10 -benchmem
 //	go test -bench=. -benchmem            # everything (several minutes)
-package cclbtree
+package cclbtree_test
 
 import (
 	"strconv"
 	"strings"
 	"testing"
 
+	"cclbtree"
 	"cclbtree/internal/bench"
 )
 
@@ -125,7 +126,7 @@ func BenchmarkExtensionHash(b *testing.B) { runExperiment(b, "extension-hash") }
 // BenchmarkCorePut measures the raw public-API insert path (simulated
 // PM work included), a conventional micro-benchmark for regressions.
 func BenchmarkCorePut(b *testing.B) {
-	db, err := New(Config{ChunkBytes: 256 << 10})
+	db, err := cclbtree.New(cclbtree.Config{ChunkBytes: 256 << 10})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func BenchmarkCorePut(b *testing.B) {
 
 // BenchmarkCoreGet measures the lookup path.
 func BenchmarkCoreGet(b *testing.B) {
-	db, err := New(Config{ChunkBytes: 256 << 10})
+	db, err := cclbtree.New(cclbtree.Config{ChunkBytes: 256 << 10})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func BenchmarkCoreGet(b *testing.B) {
 
 // BenchmarkCoreScan measures the range-query path.
 func BenchmarkCoreScan(b *testing.B) {
-	db, err := New(Config{ChunkBytes: 256 << 10})
+	db, err := cclbtree.New(cclbtree.Config{ChunkBytes: 256 << 10})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func BenchmarkCoreScan(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	out := make([]KV, 100)
+	out := make([]cclbtree.KV, 100)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Scan(uint64(i%n+1), out)

@@ -139,8 +139,25 @@ func OpenWithStats(pool *pmem.Pool, cfg Config, threads int) (*Tree, *RecoverySt
 // persistence to disk).
 func (t *Tree) Pool() *pmem.Pool { return t.pool }
 
-// Core exposes the internal tree for the benchmark harness.
+// Core exposes the internal tree.
+//
+// Deprecated: every capability the harnesses needed is now on the
+// public surface (Counters, ForceGC, StartGCAsync, WaitGC,
+// PeakLogBytes, Session.PutIndirect, ...). Core remains only for
+// out-of-tree experiments that poke internals directly and will be
+// removed once none are left.
 func (t *Tree) Core() *core.Tree { return t.inner }
+
+// StartGCAsync launches one log-reclamation round in the background
+// (Fig 14's explicit trigger) and returns immediately.
+func (t *Tree) StartGCAsync() { t.inner.StartGCAsync() }
+
+// WaitGC blocks until the in-flight GC round, if any, completes.
+func (t *Tree) WaitGC() { t.inner.WaitGC() }
+
+// PeakLogBytes reports the largest live WAL volume observed (Table 2's
+// "peak log size").
+func (t *Tree) PeakLogBytes() int64 { return t.inner.PeakLogBytes() }
 
 // Counters returns the tree's behavioral statistics.
 func (t *Tree) Counters() core.Counters { return t.inner.Counters() }
@@ -225,3 +242,14 @@ func (s *Session) PutLargeValue(key uint64, value []byte) error {
 func (s *Session) GetLargeValue(key uint64) ([]byte, bool) {
 	return s.w.LookupLargeValue(key)
 }
+
+// PutIndirect stores a fixed 8 B key with a pre-built indirection
+// pointer word (IsIndirect must hold). Harnesses that manage their own
+// value blobs use this to drive every index through one code path.
+func (s *Session) PutIndirect(key, pointerWord uint64) error {
+	return s.w.UpsertIndirect(key, pointerWord)
+}
+
+// IsIndirect reports whether a value word is an indirection pointer to
+// an out-of-band blob rather than an inline 8 B value.
+func IsIndirect(word uint64) bool { return core.IsBlobWord(word) }

@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rounds   = fs.Int("rounds", 6, "crash-recover rounds per run")
 		ops      = fs.Int("ops", 500, "operations per thread per round")
 		keys     = fs.Uint64("keys", 256, "key space size (small = high contention)")
+		batch    = fs.Int("batch", 0, "group writes into ApplyBatch commits of this size (0/1 = per-op writes)")
 		out      = fs.String("out", "torture-artifacts", "directory for failure artifacts")
 		replay   = fs.String("replay", "", "re-run the configuration recorded in a failure artifact")
 		skip     = fs.Bool("unsafe-skip-wal-fence", false, "plant the skip-fence durability bug (oracle self-test)")
@@ -87,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				EADR:               eadr,
 				GC:                 *gc,
 				Torn:               *torn && !eadr,
+				BatchSize:          *batch,
 				UnsafeSkipWALFence: *skip,
 			}
 			if code := oneRun(cfg, *out, stdout, stderr); code != 0 {

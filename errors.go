@@ -1,0 +1,24 @@
+package cclbtree
+
+import "cclbtree/internal/core"
+
+// Sentinel errors returned (wrapped) by the write paths. Check with
+// errors.Is; the wrapped messages carry the operation name.
+var (
+	// ErrZeroKey reports a zero fixed key or an empty variable key.
+	// Zero is reserved: it is the probe sentinel in fixed mode and an
+	// empty blob has no indirection word in VarKV mode.
+	ErrZeroKey = core.ErrZeroKey
+
+	// ErrVarKVRequired reports a variable-size operation (PutVar,
+	// DeleteVar, a byte-slice Batch op, ...) on a tree built without
+	// Config.VarKV.
+	ErrVarKVRequired = core.ErrVarKVRequired
+
+	// ErrFixedKVRequired reports a fixed 8 B operation (Put, Delete,
+	// a word Batch op, ...) on a tree built with Config.VarKV.
+	ErrFixedKVRequired = core.ErrFixedKVRequired
+
+	// ErrClosed reports a write issued after Close.
+	ErrClosed = core.ErrClosed
+)

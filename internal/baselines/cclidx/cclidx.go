@@ -1,74 +1,77 @@
 // Package cclidx adapts CCL-BTree to the common index.Index interface
-// so the benchmark harness drives it like every comparison target.
+// so the benchmark harness drives it like every comparison target. It
+// sits on the public cclbtree API — the harness exercises exactly the
+// surface users get.
 package cclidx
 
 import (
-	"cclbtree/internal/core"
+	"cclbtree"
 	"cclbtree/internal/index"
 	"cclbtree/internal/pmem"
 )
 
-// Tree wraps core.Tree as an index.Index.
+// Tree wraps a public cclbtree.Tree as an index.Index.
 type Tree struct {
-	inner *core.Tree
-	name  string
+	db   *cclbtree.Tree
+	name string
 }
 
-// Factory returns an index.Factory with the given tree options. The
+// Factory returns an index.Factory with the given tree config. The
 // name distinguishes ablation variants ("CCL-BTree", "Base", "+BNode").
-func Factory(name string, opts core.Options) index.Factory {
+func Factory(name string, cfg cclbtree.Config) index.Factory {
 	return func(pool *pmem.Pool) (index.Index, error) {
-		tr, err := core.New(pool, opts)
+		db, err := cclbtree.NewOnPool(pool, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return &Tree{inner: tr, name: name}, nil
+		return &Tree{db: db, name: name}, nil
 	}
 }
 
 // Default is the paper-default CCL-BTree factory.
-func Default() index.Factory { return Factory("CCL-BTree", core.Options{}) }
+func Default() index.Factory { return Factory("CCL-BTree", cclbtree.Config{}) }
 
-// Core exposes the wrapped tree (recovery and GC experiments).
-func (t *Tree) Core() *core.Tree { return t.inner }
+// DB exposes the wrapped public tree (counters, GC control, recovery
+// experiments).
+func (t *Tree) DB() *cclbtree.Tree { return t.db }
 
 // Name implements index.Index.
 func (t *Tree) Name() string { return t.name }
 
 // NewHandle implements index.Index.
 func (t *Tree) NewHandle(socket int) index.Handle {
-	return handle{w: t.inner.NewWorker(socket)}
+	return handle{s: t.db.Session(socket)}
 }
 
 // MemoryUsage implements index.Index.
-func (t *Tree) MemoryUsage() (int64, int64) { return t.inner.MemoryUsage() }
+func (t *Tree) MemoryUsage() (int64, int64) { return t.db.MemoryUsage() }
 
 // Close implements index.Index.
-func (t *Tree) Close() { t.inner.Freeze() }
+func (t *Tree) Close() { t.db.Close() }
 
 type handle struct {
-	w *core.Worker
+	s *cclbtree.Session
 }
 
 func (h handle) Upsert(key, value uint64) error {
-	if core.IsBlobWord(value) {
+	if cclbtree.IsIndirect(value) {
 		// Harness-built indirection pointers (Fig 15c / Fig 18).
-		return h.w.UpsertIndirect(key, value)
+		return h.s.PutIndirect(key, value)
 	}
-	return h.w.Upsert(key, value)
+	return h.s.Put(key, value)
 }
-func (h handle) Delete(key uint64) error { return h.w.Delete(key) }
+func (h handle) Delete(key uint64) error { return h.s.Delete(key) }
 func (h handle) Lookup(key uint64) (uint64, bool) {
-	return h.w.Lookup(key)
+	return h.s.Get(key)
 }
 
 func (h handle) Scan(start uint64, max int, out []index.KV) int {
-	tmp := make([]core.KV, max)
-	n := h.w.Scan(start, max, tmp)
+	tmp := make([]cclbtree.KV, max)
+	n := h.s.Scan(start, tmp)
 	for i := 0; i < n; i++ {
 		out[i] = index.KV{Key: tmp[i].Key, Value: tmp[i].Value}
 	}
 	return n
 }
 
-func (h handle) Thread() *pmem.Thread { return h.w.Thread() }
+func (h handle) Thread() *pmem.Thread { return h.s.Thread() }

@@ -3,7 +3,7 @@ package cclidx
 import (
 	"testing"
 
-	"cclbtree/internal/core"
+	"cclbtree"
 	"cclbtree/internal/index/indextest"
 )
 
@@ -12,9 +12,9 @@ func TestConformance(t *testing.T) {
 }
 
 func TestConformanceBaseAblation(t *testing.T) {
-	indextest.Run(t, Factory("Base", core.Options{Nbatch: -1}), indextest.Options{})
+	indextest.Run(t, Factory("Base", cclbtree.Config{Nbatch: -1}), indextest.Options{})
 }
 
 func TestConformanceNaiveLogging(t *testing.T) {
-	indextest.Run(t, Factory("+BNode", core.Options{NaiveLogging: true}), indextest.Options{})
+	indextest.Run(t, Factory("+BNode", cclbtree.Config{NaiveLogging: true}), indextest.Options{})
 }

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sync"
 
+	"cclbtree"
 	"cclbtree/internal/baselines/cclidx"
-	"cclbtree/internal/core"
 	"cclbtree/internal/index"
 	"cclbtree/internal/pmem"
 	"cclbtree/internal/workload"
@@ -14,9 +14,9 @@ import (
 // cclVariants are the §5.3 ablation configurations.
 func cclVariants() []index.Factory {
 	return []index.Factory{
-		cclidx.Factory("Base", core.Options{Nbatch: -1, GC: core.GCOff}),
-		cclidx.Factory("+BNode", core.Options{NaiveLogging: true, GC: core.GCOff}),
-		cclidx.Factory("+WLog", core.Options{GC: core.GCOff}),
+		cclidx.Factory("Base", cclbtree.Config{Nbatch: -1, GC: cclbtree.GCOff}),
+		cclidx.Factory("+BNode", cclbtree.Config{NaiveLogging: true, GC: cclbtree.GCOff}),
+		cclidx.Factory("+WLog", cclbtree.Config{GC: cclbtree.GCOff}),
 	}
 }
 
@@ -97,12 +97,12 @@ func Fig14(s Scale) ([]*Table, error) {
 	// triggered..."): THlog is set high so GC never self-triggers.
 	for _, cfg := range []struct {
 		name    string
-		opts    core.Options
+		opts    cclbtree.Config
 		trigger bool
 	}{
-		{"w/o GC", core.Options{GC: core.GCOff, ChunkBytes: 64 << 10}, false},
-		{"our GC", core.Options{GC: core.GCLocalityAware, ChunkBytes: 64 << 10, THlog: 1e9}, true},
-		{"naive GC", core.Options{GC: core.GCNaive, ChunkBytes: 64 << 10, THlog: 1e9}, true},
+		{"w/o GC", cclbtree.Config{GC: cclbtree.GCOff, ChunkBytes: 64 << 10}, false},
+		{"our GC", cclbtree.Config{GC: cclbtree.GCLocalityAware, ChunkBytes: 64 << 10, THlog: 1e9}, true},
+		{"naive GC", cclbtree.Config{GC: cclbtree.GCNaive, ChunkBytes: 64 << 10, THlog: 1e9}, true},
 	} {
 		pool := NewPool()
 		idx, err := cclidx.Factory("CCL-BTree", cfg.opts)(pool)
@@ -137,7 +137,7 @@ func Fig14(s Scale) ([]*Table, error) {
 		for th, h := range handles {
 			start[th] = h.Thread().Now()
 		}
-		tree := idx.(*cclidx.Tree).Core()
+		tree := idx.(*cclidx.Tree).DB()
 		for th := 0; th < threads; th++ {
 			wg.Add(1)
 			go func(th int) {
@@ -209,7 +209,7 @@ func AblationCache(s Scale) ([]*Table, error) {
 	}
 	for _, nb := range []int{1, 2, 3, 4, 5} {
 		pool := NewPool()
-		raw, err := cclidx.Factory("CCL-BTree", core.Options{Nbatch: nb, GC: core.GCOff})(pool)
+		raw, err := cclidx.Factory("CCL-BTree", cclbtree.Config{Nbatch: nb, GC: cclbtree.GCOff})(pool)
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +224,7 @@ func AblationCache(s Scale) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		c := raw.(*cclidx.Tree).Core().Counters()
+		c := raw.(*cclidx.Tree).DB().Counters()
 		hit := 0.0
 		if c.Lookups > 0 {
 			hit = 100 * float64(c.BufferHits) / float64(c.Lookups)
@@ -245,13 +245,13 @@ func AblationGC(s Scale) ([]*Table, error) {
 	}
 	for _, cfg := range []struct {
 		name string
-		gc   core.GCPolicy
+		gc   cclbtree.GCPolicy
 	}{
-		{"locality-aware", core.GCLocalityAware},
-		{"naive", core.GCNaive},
+		{"locality-aware", cclbtree.GCLocalityAware},
+		{"naive", cclbtree.GCNaive},
 	} {
 		pool := NewPool()
-		raw, err := cclidx.Factory("CCL-BTree", core.Options{GC: cfg.gc, ChunkBytes: 64 << 10, THlog: 0.05})(pool)
+		raw, err := cclidx.Factory("CCL-BTree", cclbtree.Config{GC: cfg.gc, ChunkBytes: 64 << 10, THlog: 0.05})(pool)
 		if err != nil {
 			return nil, err
 		}
@@ -265,7 +265,7 @@ func AblationGC(s Scale) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tree := raw.(*cclidx.Tree).Core()
+		tree := raw.(*cclidx.Tree).DB()
 		tree.WaitGC()
 		c := tree.Counters()
 		raw.Close()

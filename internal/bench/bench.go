@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"cclbtree"
 	"cclbtree/internal/baselines/cclidx"
 	"cclbtree/internal/baselines/dptree"
 	"cclbtree/internal/baselines/fastfair"
@@ -27,7 +28,6 @@ import (
 	"cclbtree/internal/baselines/lsm"
 	"cclbtree/internal/baselines/pactree"
 	"cclbtree/internal/baselines/utree"
-	"cclbtree/internal/core"
 	"cclbtree/internal/index"
 	"cclbtree/internal/obs"
 	"cclbtree/internal/pmalloc"
@@ -135,7 +135,7 @@ func Indexes() []index.Factory {
 // 50 M keys correspond to ~256 KB at the default 100 k scale; per-
 // thread logs must not dwarf the scaled-down device).
 func benchCCL() index.Factory {
-	return cclidx.Factory("CCL-BTree", core.Options{ChunkBytes: 256 << 10})
+	return cclidx.Factory("CCL-BTree", cclbtree.Config{ChunkBytes: 256 << 10})
 }
 
 // LogStructured returns the Table 3 lineup.

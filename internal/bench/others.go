@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
-	"cclbtree/internal/core"
+	"cclbtree"
 	"cclbtree/internal/pmem"
 	"cclbtree/internal/workload"
 )
@@ -15,15 +15,15 @@ import (
 // indirection pointers, compared by content.
 func runVarCCL(s Scale, threads, warm, ops int) (float64, error) {
 	pool := NewPool()
-	tr, err := core.New(pool, core.Options{VarKV: true})
+	db, err := cclbtree.NewOnPool(pool, cclbtree.Config{VarKV: true})
 	if err != nil {
 		return 0, err
 	}
-	defer tr.Freeze()
+	defer db.Close()
 	sizer := workload.VarSizer{Min: 8, Max: 128}
-	workers := make([]*core.Worker, threads)
+	workers := make([]*cclbtree.Session, threads)
 	for i := range workers {
-		workers[i] = tr.NewWorker(i % pool.Sockets())
+		workers[i] = db.Session(i % pool.Sockets())
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, threads)
@@ -35,7 +35,7 @@ func runVarCCL(s Scale, threads, warm, ops int) (float64, error) {
 			rng := rand.New(rand.NewSource(s.Seed + int64(th)))
 			for i := th; i < warm; i += threads {
 				k := sizer.Bytes(rng, loadKey(nil, i))
-				if err := w.UpsertVar(k, sizer.Bytes(rng, uint64(i))); err != nil {
+				if err := w.PutVar(k, sizer.Bytes(rng, uint64(i))); err != nil {
 					errs[th] = err
 					return
 				}
@@ -61,7 +61,7 @@ func runVarCCL(s Scale, threads, warm, ops int) (float64, error) {
 			for i := 0; i < perThread; i++ {
 				k := sizer.Bytes(rng, loadKey(nil, cursor))
 				cursor += threads
-				if err := w.UpsertVar(k, sizer.Bytes(rng, uint64(cursor))); err != nil {
+				if err := w.PutVar(k, sizer.Bytes(rng, uint64(cursor))); err != nil {
 					errs[th] = err
 					return
 				}
@@ -153,14 +153,14 @@ func Fig17(s Scale) ([]*Table, error) {
 				DIMMsPerSocket: 4,
 				DeviceBytes:    2 * benchDeviceBytes,
 			})
-			tr, err := core.New(pool, core.Options{ChunkBytes: 256 << 10})
+			db, err := cclbtree.NewOnPool(pool, cclbtree.Config{ChunkBytes: 256 << 10})
 			if err != nil {
 				return nil, err
 			}
 			threads := s.MainThreads
-			workers := make([]*core.Worker, threads)
+			workers := make([]*cclbtree.Session, threads)
 			for i := range workers {
-				workers[i] = tr.NewWorker(i % pool.Sockets())
+				workers[i] = db.Session(i % pool.Sockets())
 			}
 			var wg sync.WaitGroup
 			for th := 0; th < threads; th++ {
@@ -169,14 +169,14 @@ func Fig17(s Scale) ([]*Table, error) {
 					defer wg.Done()
 					w := workers[th]
 					for i := th; i < n; i += threads {
-						_ = w.Upsert(loadKey(nil, i), uint64(i+1))
+						_ = w.Put(loadKey(nil, i), uint64(i+1))
 					}
 				}(th)
 			}
 			wg.Wait()
-			tr.Freeze()
+			db.Close()
 			pool.Crash()
-			_, st, err := core.Open(pool, core.Options{}, tc)
+			_, st, err := cclbtree.OpenWithStats(pool, cclbtree.Config{}, tc)
 			if err != nil {
 				return nil, err
 			}

@@ -3,8 +3,8 @@ package bench
 import (
 	"fmt"
 
+	"cclbtree"
 	"cclbtree/internal/baselines/cclidx"
-	"cclbtree/internal/core"
 	"cclbtree/internal/index"
 	"cclbtree/internal/workload"
 )
@@ -23,7 +23,7 @@ func Table1Exp(s Scale) ([]*Table, error) {
 		Note: fmt.Sprintf("%d threads, %d warm keys", s.MainThreads, s.Warm),
 	}
 	for _, nb := range []int{1, 2, 3, 4, 5} {
-		f := cclidx.Factory("CCL-BTree", core.Options{Nbatch: nb, GC: core.GCOff})
+		f := cclidx.Factory("CCL-BTree", cclbtree.Config{Nbatch: nb, GC: cclbtree.GCOff})
 		pool := NewPool()
 		raw, err := f(pool)
 		if err != nil {
@@ -46,7 +46,7 @@ func Table1Exp(s Scale) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		c := raw.(*cclidx.Tree).Core().Counters()
+		c := raw.(*cclidx.Tree).DB().Counters()
 		dram, pm := raw.MemoryUsage()
 		raw.Close()
 		t.Rows = append(t.Rows, []string{
@@ -73,7 +73,7 @@ func Table2Exp(s Scale) ([]*Table, error) {
 		Note:   fmt.Sprintf("%d threads, insert workload", s.MainThreads),
 	}
 	for _, th := range []float64{0.10, 0.15, 0.20, 0.25, 0.30, 0.35} {
-		f := cclidx.Factory("CCL-BTree", core.Options{THlog: th, ChunkBytes: 64 << 10})
+		f := cclidx.Factory("CCL-BTree", cclbtree.Config{THlog: th, ChunkBytes: 64 << 10})
 		pool := NewPool()
 		raw, err := f(pool)
 		if err != nil {
@@ -86,7 +86,7 @@ func Table2Exp(s Scale) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tree := raw.(*cclidx.Tree).Core()
+		tree := raw.(*cclidx.Tree).DB()
 		tree.WaitGC()
 		peak := tree.PeakLogBytes()
 		raw.Close()

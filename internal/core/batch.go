@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"cclbtree/internal/obs"
+	"cclbtree/internal/wal"
+)
+
+// BatchOp is one staged write in a Worker.ApplyBatch group. In fixed
+// mode Key/Value carry the 8 B words; in VarKV mode KeyBytes (and, for
+// puts, ValueBytes) carry the pair and the words are materialized
+// during apply. Delete marks a tombstone insertion in either mode.
+type BatchOp struct {
+	Key        uint64
+	Value      uint64
+	KeyBytes   []byte
+	ValueBytes []byte
+	Delete     bool
+}
+
+// ApplyBatch applies a group of writes with one WAL group commit
+// (§3.3's per-op append + fence collapsed to one fence for the whole
+// group) and per-leaf coalescing: the ops are sorted by key, every
+// op's log record is appended under a single trailing fence, and runs
+// of ops that route to the same buffer node are applied under one lock
+// acquisition — N ops triggering a flush on one leaf cost one leaf
+// write, not N.
+//
+// Crash atomicity stays per-op, exactly the durable-prefix contract:
+// when ApplyBatch returns, every op in the group is durable; if the
+// machine dies mid-call, each op independently either survives (its
+// record is check-code-complete and newest for its key) or vanishes —
+// the group is not transactional. Validation runs before any side
+// effect, so a rejected batch leaves the tree untouched.
+func (w *Worker) ApplyBatch(ops []BatchOp) error {
+	tr := w.tree
+	if len(ops) == 0 {
+		return nil
+	}
+	for i := range ops {
+		if err := w.validateBatchOp(&ops[i]); err != nil {
+			return err
+		}
+	}
+	if tr.opts.GC == GCNaive {
+		tr.stw.RLock()
+		defer tr.stw.RUnlock()
+		w.syncStall()
+	}
+	start := w.t.Now()
+
+	// Materialize word form (VarKV ops write their key/value blobs
+	// here, before anything is logged) and account the ops.
+	kvs := make([]KV, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		if tr.opts.VarKV {
+			kw, err := w.blobs.write(w.t, op.KeyBytes)
+			if err != nil {
+				return err
+			}
+			kvs[i].Key = kw
+			if op.Delete {
+				kvs[i].Value = Tombstone
+				tr.ctr.deletes.Add(1)
+				tr.pool.AddUserBytes(uint64(len(op.KeyBytes) + 8))
+			} else {
+				vw, err := w.blobs.write(w.t, op.ValueBytes)
+				if err != nil {
+					return err
+				}
+				kvs[i].Value = vw
+				tr.ctr.upserts.Add(1)
+				tr.pool.AddUserBytes(uint64(len(op.KeyBytes) + len(op.ValueBytes)))
+			}
+		} else {
+			kvs[i] = KV{Key: op.Key, Value: op.Value}
+			if op.Delete {
+				kvs[i].Value = Tombstone
+				tr.ctr.deletes.Add(1)
+			} else {
+				tr.ctr.upserts.Add(1)
+			}
+			tr.pool.AddUserBytes(16)
+		}
+	}
+
+	// Sort by key so the ops group into per-node runs. The stable sort
+	// keeps a key's ops in submission order: the last write to a key
+	// within the batch wins, both in DRAM (applied later) and at
+	// recovery (stamped with a later ORDO tick below).
+	sort.SliceStable(kvs, func(i, j int) bool {
+		return tr.compare(w.t, kvs[i].Key, kvs[j].Key) < 0
+	})
+	w.t.Advance(int64(len(kvs)) * w.t.CostDRAM() * 2) // DRAM sort cost
+
+	// Group commit. The generation counter is read BEFORE the epoch:
+	// combined with the flip storing the epoch before bumping the
+	// generation, an unchanged epochGen at slot-publish time proves the
+	// records below went to a generation no completed-or-running GC
+	// round reclaims (see Tree.epochGen).
+	gen := tr.epochGen.Load()
+	e := tr.epoch.Load()
+	entries := make([]wal.Entry, len(kvs))
+	for i, kv := range kvs {
+		entries[i] = wal.Entry{Key: kv.Key, Value: kv.Value, Timestamp: tr.clock.Now(w.socket)}
+	}
+	if err := w.logs[e].AppendBatch(w.t, entries); err != nil {
+		return err
+	}
+	tr.logBytes.Add(int64(len(entries)) * wal.EntrySize)
+	tr.ctr.loggedWrites.Add(uint64(len(entries)))
+	tr.notePeakLog()
+
+	if err := w.applySorted(kvs, gen, e, entries[0].Timestamp); err != nil {
+		return err
+	}
+
+	tr.ctr.batchApplies.Add(1)
+	tr.ctr.batchedOps.Add(uint64(len(ops)))
+	if w.mh != nil {
+		w.recordLat(tr.met.insertLat, start)
+	}
+	tr.tracer.Emit(obs.EvBatchApply, w.id, w.t.Now(), uint64(len(ops)), uint64(len(ops)-1))
+	tr.maybeTriggerGC()
+	return nil
+}
+
+// validateBatchOp rejects malformed ops before ApplyBatch has any side
+// effect.
+func (w *Worker) validateBatchOp(op *BatchOp) error {
+	tr := w.tree
+	if tr.closed.Load() {
+		return fmt.Errorf("core: ApplyBatch: %w", ErrClosed)
+	}
+	if tr.opts.VarKV {
+		if op.KeyBytes == nil && op.Key != 0 {
+			return fmt.Errorf("core: ApplyBatch: fixed-word op: %w", ErrFixedKVRequired)
+		}
+		if len(op.KeyBytes) == 0 {
+			return fmt.Errorf("core: ApplyBatch: %w", ErrZeroKey)
+		}
+		return nil
+	}
+	if op.KeyBytes != nil || op.ValueBytes != nil {
+		return fmt.Errorf("core: ApplyBatch: byte-slice op: %w", ErrVarKVRequired)
+	}
+	if op.Key == 0 {
+		return fmt.Errorf("core: ApplyBatch: %w", ErrZeroKey)
+	}
+	if op.Key > MaxValue {
+		return fmt.Errorf("core: ApplyBatch: key %#x outside [1, MaxValue]", op.Key)
+	}
+	if !op.Delete {
+		if op.Value == Tombstone {
+			return fmt.Errorf("core: ApplyBatch: value 0 is the tombstone; set Delete")
+		}
+		if op.Value > MaxValue {
+			return fmt.Errorf("core: ApplyBatch: value %#x exceeds MaxValue", op.Value)
+		}
+	}
+	return nil
+}
+
+// applySorted walks the key-sorted batch, locking each run's buffer
+// node once and applying every op of the run under that single lock
+// acquisition. minTS is the smallest tick stamped on the group commit's
+// records.
+func (w *Worker) applySorted(kvs []KV, gen uint64, e uint32, minTS uint64) error {
+	tr := w.tree
+	i := 0
+	for i < len(kvs) {
+		attemptVT := w.t.Now()
+		n := tr.findBuffer(w.t, kvs[i].Key)
+		v, ok := n.tryLock()
+		if !ok {
+			tr.crashAbort()
+			tr.ctr.retries.Add(1)
+			w.t.Rewind(attemptVT)
+			w.t.Advance(conflictPenaltyNS)
+			runtime.Gosched()
+			continue
+		}
+		if !w.rangeOK(n, kvs[i].Key) {
+			n.unlock(v)
+			tr.ctr.retries.Add(1)
+			w.t.Rewind(attemptVT)
+			w.t.Advance(conflictPenaltyNS)
+			continue
+		}
+		applied, underfull, err := w.applyRunLocked(n, kvs[i:], gen, e, minTS)
+		n.unlock(v)
+		if err != nil {
+			return err
+		}
+		if underfull {
+			w.tryMerge(n)
+		}
+		i += applied
+	}
+	return nil
+}
+
+// ownsKey reports, under n's lock, whether key is still below the right
+// boundary of n's range. (The left boundary holds by construction: the
+// caller checked rangeOK for the run's first, smallest key.)
+func (w *Worker) ownsKey(n *bufferNode, key uint64) bool {
+	nx := n.next.Load()
+	return nx == nil || w.tree.compare(w.t, key, nx.lowKey) < 0
+}
+
+// applyRunLocked applies a maximal prefix of kvs (sorted; kvs[0] routed
+// to n) with n's lock held, and reports how many ops it consumed. Ops
+// that fall beyond a split boundary created mid-run are left for the
+// caller to re-route. underfull reports whether a flush left the leaf a
+// merge candidate.
+func (w *Worker) applyRunLocked(n *bufferNode, kvs []KV, gen uint64, e uint32, minTS uint64) (applied int, underfull bool, err error) {
+	tr := w.tree
+	relog := tr.epochGen.Load() != gen
+	// A GC round flipped the epoch after the group commit (relog
+	// above): its scan may already have passed this node — before the
+	// batch's slots were published, so without copying them — and the
+	// round reclaims the generation holding the batch's records at its
+	// end. Or (check below) this leaf was flushed after the group
+	// commit stamped its records — by another writer, a split, or an
+	// earlier run of this batch routed here before a split — so the
+	// leaf timestamp now gates the records as stale at recovery even
+	// though these ops are not in the leaf. Either way the pre-assigned
+	// records cannot back this run's slots: re-log the run into the
+	// current generation with fresh ticks under the node lock — the
+	// same logged-inside-the-lock guarantee the per-op path has. The
+	// duplicates are harmless (recovery dedups by newest timestamp),
+	// and the epoch is re-read inside the lock so the bits below claim
+	// a generation no older than where the records actually live (the
+	// protocol's benign race direction).
+	if !relog {
+		leafTS := w.t.Load(n.leaf.Add(int64(8 * leafTSWord)))
+		relog = leafTS >= minTS
+	}
+	if relog {
+		e = tr.epoch.Load()
+		end := 0
+		for end < len(kvs) && w.ownsKey(n, kvs[end].Key) {
+			end++
+		}
+		fresh, err := w.relogRun(kvs[:end], e)
+		if err != nil {
+			return 0, false, err
+		}
+		if end > 0 {
+			minTS = fresh
+		}
+	}
+	// Leaf flushes this run stamp at most minTS-1 (stampLeafTS): the
+	// entry check above guarantees the leaf's timestamp starts below
+	// minTS, and capping every stamp keeps it there, so the group's
+	// records — all ticked >= minTS — stay ahead of the leaf however
+	// many flushes or splits the run triggers. Ops absorbed INTO those
+	// flushes sit above the stamp too; recovery just replays them
+	// through the normal insert path, which newest-tick dedup makes
+	// idempotent. Without the cap every post-flush op would need its
+	// record re-logged with a fresh tick — a second fence and a second
+	// record for most ops of a split-heavy batch.
+	if minTS > 0 {
+		w.tsCap = minTS - 1
+		defer func() { w.tsCap = 0 }()
+	}
+	pos, eb, _ := unpackHdr(n.hdr.Load())
+	epoch := uint16(e)
+	valid := -1 // live count reported by the last flush; -1 = no flush
+
+	for applied < len(kvs) {
+		kv := kvs[applied]
+		if !w.ownsKey(n, kv.Key) {
+			break // a split this run moved the key to the right sibling
+		}
+
+		// In-buffer update: an unflushed slot already holds this key.
+		slot := -1
+		for i := 0; i < pos; i++ {
+			if sk := n.slotKey(i); sk != 0 && tr.compare(w.t, sk, kv.Key) == 0 {
+				slot = i
+				break
+			}
+		}
+		if slot >= 0 {
+			n.slots[2*slot+1].Store(kv.Value)
+			eb = eb&^(1<<uint(slot)) | epoch<<uint(slot)
+			applied++
+			continue
+		}
+
+		if pos < n.nbatch() {
+			// Buffered insert. The WAL record is already durable from
+			// the group commit; only the slot publish remains. Purge
+			// stale cached copies at higher indices (see upsertLocked).
+			n.setSlot(pos, kv.Key, kv.Value)
+			for i := pos + 1; i < n.nbatch(); i++ {
+				if sk := n.slotKey(i); sk != 0 && tr.compare(w.t, sk, kv.Key) == 0 {
+					n.setSlot(i, 0, 0)
+				}
+			}
+			eb = eb&^(1<<uint(pos)) | epoch<<uint(pos)
+			pos++
+			applied++
+			continue
+		}
+
+		// Coalesced trigger write (§3.3): the buffered KVs plus every
+		// remaining consecutive in-range batch op, all in one flush.
+		// This is where batching pays: N ops landing on this leaf share
+		// one leaf write instead of N, and an overflowing run packs
+		// into fresh leaves in one generalized split (splitLeaf) rather
+		// than re-splitting the same right edge every half leaf.
+		end := applied
+		for end < len(kvs) && w.ownsKey(n, kvs[end].Key) {
+			end++
+		}
+		run := kvs[applied:end]
+		tr.ctr.triggerWrites.Add(1)
+		batch := w.scratch[:0]
+		for i := 0; i < pos; i++ {
+			batch = append(batch, KV{n.slotKey(i), n.slotVal(i)})
+		}
+		batch = append(batch, run...)
+		w.scratch = batch
+		v, ferr := w.leafBatchInsert(n, batch)
+		if ferr != nil {
+			return applied, false, ferr
+		}
+		valid = v
+		// Slots stay populated as a read cache; refresh stale copies of
+		// the keys just flushed so reads cannot see older values.
+		for i := 0; i < n.nbatch(); i++ {
+			sk := n.slotKey(i)
+			if sk == 0 {
+				continue
+			}
+			for _, f := range run {
+				if tr.compare(w.t, sk, f.Key) == 0 {
+					n.slots[2*i+1].Store(f.Value)
+				}
+			}
+		}
+		pos = 0
+		applied = end
+	}
+
+	n.hdr.Store(packHdr(pos, eb, false))
+	underfull = valid >= 0 && valid < LeafSlots/2 && n != tr.head
+	return applied, underfull, nil
+}
+
+// relogRun appends fresh copies of a run's records into generation e's
+// log with one group commit, returning the smallest tick it stamped.
+// Called under the run's node lock when the GC epoch moved — or the
+// leaf was flushed — between ApplyBatch's group commit and the run's
+// slot publish.
+func (w *Worker) relogRun(kvs []KV, e uint32) (uint64, error) {
+	tr := w.tree
+	if len(kvs) == 0 {
+		return 0, nil
+	}
+	entries := make([]wal.Entry, len(kvs))
+	for i, kv := range kvs {
+		entries[i] = wal.Entry{Key: kv.Key, Value: kv.Value, Timestamp: tr.clock.Now(w.socket)}
+	}
+	if err := w.logs[e].AppendBatch(w.t, entries); err != nil {
+		return 0, err
+	}
+	tr.logBytes.Add(int64(len(entries)) * wal.EntrySize)
+	tr.ctr.loggedWrites.Add(uint64(len(entries)))
+	tr.ctr.batchRelogs.Add(uint64(len(entries)))
+	return entries[0].Timestamp, nil
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cclbtree/internal/pmem"
+)
+
+// applyOps is a test shorthand: apply ops and fail on error.
+func applyOps(t *testing.T, w *Worker, ops []BatchOp) {
+	t.Helper()
+	if err := w.ApplyBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchMatchesReference(t *testing.T) {
+	_, w := newTestTree(t, Options{}, nil)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(7))
+	const keySpace = 600
+	for round := 0; round < 120; round++ {
+		n := 1 + rng.Intn(48)
+		ops := make([]BatchOp, 0, n)
+		for i := 0; i < n; i++ {
+			k := uint64(1 + rng.Intn(keySpace))
+			if rng.Intn(5) == 0 {
+				ops = append(ops, BatchOp{Key: k, Delete: true})
+				delete(ref, k)
+			} else {
+				v := rng.Uint64()%MaxValue + 1
+				ops = append(ops, BatchOp{Key: k, Value: v})
+				ref[k] = v
+			}
+		}
+		applyOps(t, w, ops)
+	}
+	for k := uint64(1); k <= keySpace; k++ {
+		v, ok := w.Lookup(k)
+		want, wantOK := ref[k]
+		if ok != wantOK || (ok && v != want) {
+			t.Fatalf("Lookup(%d) = %d,%v; want %d,%v", k, v, ok, want, wantOK)
+		}
+	}
+	// The scan must agree too (exercises leaf contents, not just the
+	// buffer-node read path).
+	out := make([]KV, keySpace+1)
+	n := w.Scan(1, len(out), out)
+	if n != len(ref) {
+		t.Fatalf("Scan found %d entries, reference holds %d", n, len(ref))
+	}
+	for _, kv := range out[:n] {
+		if ref[kv.Key] != kv.Value {
+			t.Fatalf("Scan: key %d = %d, want %d", kv.Key, kv.Value, ref[kv.Key])
+		}
+	}
+}
+
+func TestApplyBatchSameKeyLastWins(t *testing.T) {
+	_, w := newTestTree(t, Options{}, nil)
+	applyOps(t, w, []BatchOp{
+		{Key: 10, Value: 1},
+		{Key: 10, Value: 2},
+		{Key: 11, Value: 5},
+		{Key: 10, Value: 3},
+		{Key: 11, Delete: true},
+	})
+	if v, ok := w.Lookup(10); !ok || v != 3 {
+		t.Fatalf("Lookup(10) = %d,%v; want 3,true", v, ok)
+	}
+	if _, ok := w.Lookup(11); ok {
+		t.Fatal("key 11 should have been deleted by the later op")
+	}
+}
+
+func TestApplyBatchClusteredSplits(t *testing.T) {
+	// Dense sequential batches force repeated coalesced trigger writes
+	// and leaf splits mid-run.
+	tr, w := newTestTree(t, Options{}, nil)
+	const total = 4000
+	var ops []BatchOp
+	for i := 1; i <= total; i++ {
+		ops = append(ops, BatchOp{Key: uint64(i), Value: uint64(i) * 2})
+		if len(ops) == 64 {
+			applyOps(t, w, ops)
+			ops = ops[:0]
+		}
+	}
+	applyOps(t, w, ops)
+	for i := uint64(1); i <= total; i++ {
+		if v, ok := w.Lookup(i); !ok || v != i*2 {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+	c := tr.Counters()
+	if c.BatchApplies == 0 || c.BatchedOps != total {
+		t.Fatalf("counters: applies=%d batchedOps=%d, want batchedOps=%d",
+			c.BatchApplies, c.BatchedOps, total)
+	}
+}
+
+func TestApplyBatchVarKV(t *testing.T) {
+	_, w := newTestTree(t, Options{VarKV: true}, nil)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%05d", i)) }
+	val := func(i int) []byte { return []byte(fmt.Sprintf("val-%d", i)) }
+	var ops []BatchOp
+	for i := 0; i < 300; i++ {
+		ops = append(ops, BatchOp{KeyBytes: key(i), ValueBytes: val(i)})
+		if len(ops) == 32 {
+			applyOps(t, w, ops)
+			ops = ops[:0]
+		}
+	}
+	applyOps(t, w, ops)
+	applyOps(t, w, []BatchOp{
+		{KeyBytes: key(7), ValueBytes: []byte("fresh")},
+		{KeyBytes: key(8), Delete: true},
+	})
+	if v, ok := w.LookupVar(key(7)); !ok || string(v) != "fresh" {
+		t.Fatalf("LookupVar(key-7) = %q,%v", v, ok)
+	}
+	if _, ok := w.LookupVar(key(8)); ok {
+		t.Fatal("key-8 survived batched delete")
+	}
+	if v, ok := w.LookupVar(key(250)); !ok || string(v) != "val-250" {
+		t.Fatalf("LookupVar(key-250) = %q,%v", v, ok)
+	}
+}
+
+func TestApplyBatchValidation(t *testing.T) {
+	tr, w := newTestTree(t, Options{}, nil)
+	cases := []struct {
+		name string
+		ops  []BatchOp
+		want error
+	}{
+		{"zero key", []BatchOp{{Key: 1, Value: 1}, {Key: 0, Value: 2}}, ErrZeroKey},
+		{"var op on fixed tree", []BatchOp{{KeyBytes: []byte("k"), ValueBytes: []byte("v")}}, ErrVarKVRequired},
+	}
+	for _, tc := range cases {
+		if err := w.ApplyBatch(tc.ops); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Validation failures must have no side effects: op 1 above was
+	// valid but preceded an invalid op.
+	if _, ok := w.Lookup(1); ok {
+		t.Fatal("rejected batch applied its valid prefix")
+	}
+	if c := tr.Counters(); c.Upserts != 0 || c.BatchApplies != 0 {
+		t.Fatalf("rejected batches moved counters: %+v", c)
+	}
+
+	// Tombstone value without the Delete flag.
+	if err := w.ApplyBatch([]BatchOp{{Key: 3, Value: Tombstone}}); err == nil {
+		t.Fatal("tombstone value accepted without Delete")
+	}
+
+	tr.Freeze()
+	if err := w.ApplyBatch([]BatchOp{{Key: 2, Value: 2}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after Freeze: got %v, want ErrClosed", err)
+	}
+
+	_, wv := newTestTree(t, Options{VarKV: true}, nil)
+	if err := wv.ApplyBatch([]BatchOp{{Key: 5, Value: 5}}); !errors.Is(err, ErrFixedKVRequired) {
+		t.Fatalf("fixed op on VarKV tree: got %v, want ErrFixedKVRequired", err)
+	}
+	if err := wv.ApplyBatch([]BatchOp{{KeyBytes: []byte{}}}); !errors.Is(err, ErrZeroKey) {
+		t.Fatalf("empty var key: got %v, want ErrZeroKey", err)
+	}
+}
+
+func TestApplyBatchEmptyAndNil(t *testing.T) {
+	_, w := newTestTree(t, Options{}, nil)
+	if err := w.ApplyBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ApplyBatch([]BatchOp{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyBatchSurvivesRecovery checks the group commit's durability:
+// everything applied before a crash is found after recovery.
+func TestApplyBatchSurvivesRecovery(t *testing.T) {
+	pool := newTestPool(nil)
+	tr, err := New(pool, Options{ChunkBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tr.NewWorker(0)
+	const total = 2000
+	var ops []BatchOp
+	for i := 1; i <= total; i++ {
+		ops = append(ops, BatchOp{Key: uint64(i), Value: uint64(i) + 7})
+		if len(ops) == 32 {
+			applyOps(t, w, ops)
+			ops = ops[:0]
+		}
+	}
+	applyOps(t, w, ops)
+	tr.Freeze()
+	pool.Crash()
+	tr2, _, err := Open(pool, Options{ChunkBytes: 16 << 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := tr2.NewWorker(0)
+	for i := uint64(1); i <= total; i++ {
+		if v, ok := w2.Lookup(i); !ok || v != i+7 {
+			t.Fatalf("after recovery Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+// TestApplyBatchConcurrentWithGC races batched writers against per-op
+// writers and forced GC rounds, exercising the epochGen re-log path,
+// then crashes and verifies every acknowledged write survived.
+func TestApplyBatchConcurrentWithGC(t *testing.T) {
+	pool := newTestPool(func(c *pmem.Config) { c.DeviceBytes = 64 << 20 })
+	tr, err := New(pool, Options{ChunkBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 4
+		rounds  = 60
+		batchN  = 24
+	)
+	var wg sync.WaitGroup
+	for wid := 0; wid < writers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := tr.NewWorker(wid % pool.Sockets())
+			rng := rand.New(rand.NewSource(int64(wid) * 101))
+			base := uint64(wid) * 1_000_000
+			for r := 0; r < rounds; r++ {
+				if r%3 == 2 {
+					// Interleave the per-op path on the same key range.
+					k := base + uint64(rng.Intn(rounds*batchN)) + 1
+					if err := w.Upsert(k, k); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				ops := make([]BatchOp, batchN)
+				for i := range ops {
+					k := base + uint64(r*batchN+i) + 1
+					ops[i] = BatchOp{Key: k, Value: k}
+				}
+				if err := w.ApplyBatch(ops); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(wid)
+	}
+	stop := make(chan struct{})
+	var gcWG sync.WaitGroup
+	gcWG.Add(1)
+	go func() {
+		defer gcWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.ForceGC()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	gcWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	tr.Freeze()
+	pool.Crash()
+	tr2, _, err := Open(pool, Options{ChunkBytes: 16 << 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := tr2.NewWorker(0)
+	for wid := 0; wid < writers; wid++ {
+		base := uint64(wid) * 1_000_000
+		for r := 0; r < rounds; r++ {
+			if r%3 == 2 {
+				continue // per-op upserts hit keys batches also wrote
+			}
+			for i := 0; i < batchN; i++ {
+				k := base + uint64(r*batchN+i) + 1
+				if v, ok := w2.Lookup(k); !ok || v != k {
+					t.Fatalf("worker %d key %d lost after crash: %d,%v", wid, k, v, ok)
+				}
+			}
+		}
+	}
+	c := tr2.Counters()
+	t.Logf("batchRelogs after %d forced GC interleavings: %d", c.GCRuns, c.BatchRelogs)
+}

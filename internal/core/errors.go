@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for the write paths. Every rejection at the API
+// boundary wraps one of these (fmt.Errorf with %w), so callers — and
+// the public cclbtree package, which re-exports them — can classify
+// failures with errors.Is instead of matching message strings.
+var (
+	// ErrZeroKey rejects key 0 (fixed mode) and the empty key (VarKV
+	// mode): the zero key word is the tree's -infinity routing sentinel.
+	ErrZeroKey = errors.New("zero key is reserved")
+	// ErrVarKVRequired rejects variable-size operations on a tree that
+	// stores fixed 8 B pairs.
+	ErrVarKVRequired = errors.New("operation requires Options.VarKV")
+	// ErrFixedKVRequired rejects fixed 8 B operations on a tree in
+	// VarKV mode, where every key word must be an indirection pointer.
+	ErrFixedKVRequired = errors.New("operation requires fixed 8 B mode (tree has Options.VarKV)")
+	// ErrClosed rejects writes after Freeze.
+	ErrClosed = errors.New("tree is closed")
+)
+
+// writableFixed guards the fixed-mode write entry points: the tree must
+// be open and not in VarKV mode.
+func (w *Worker) writableFixed(op string) error {
+	if w.tree.closed.Load() {
+		return fmt.Errorf("core: %s: %w", op, ErrClosed)
+	}
+	if w.tree.opts.VarKV {
+		return fmt.Errorf("core: %s: %w", op, ErrFixedKVRequired)
+	}
+	return nil
+}
+
+// writableVar guards the VarKV write entry points.
+func (w *Worker) writableVar(op string) error {
+	if w.tree.closed.Load() {
+		return fmt.Errorf("core: %s: %w", op, ErrClosed)
+	}
+	if !w.tree.opts.VarKV {
+		return fmt.Errorf("core: %s: %w", op, ErrVarKVRequired)
+	}
+	return nil
+}

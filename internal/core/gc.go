@@ -122,6 +122,12 @@ func (tr *Tree) runLocalityGC() {
 	oldE := tr.epoch.Load()
 	newE := 1 - oldE
 	tr.epoch.Store(newE)
+	// The generation counter moves strictly AFTER the epoch word: a
+	// batch writer that reads epochGen and then epoch (in that order)
+	// and sees the new generation is guaranteed to also see the new
+	// epoch, so its group commit lands in I-logs this round never
+	// reclaims. See Tree.epochGen and Worker.ApplyBatch.
+	tr.epochGen.Add(1)
 
 	for n := tr.head; n != nil; {
 		if tr.closed.Load() {

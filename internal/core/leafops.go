@@ -54,6 +54,28 @@ func (w *Worker) findLeafSlot(img *leafImage, bitmap uint16, key uint64) int {
 	return -1
 }
 
+// stampLeafTS returns the timestamp a leaf flush publishes: the current
+// ORDO tick, capped by w.tsCap (the batch path — keeping the stamp
+// below the group commit's record ticks so a mid-batch flush never
+// gates the group's still-buffered records) and floored by the leaf's
+// previous stamp. The floor keeps leaf timestamps monotone: a lower
+// re-stamp could un-gate records an earlier flush already covered,
+// and recovery's replay of a resurrected record is only provably
+// idempotent while every newer record for its key still outranks it.
+// Under-stamping is otherwise the safe direction — recovery replays a
+// few extra records through the normal insert path and newest-tick
+// dedup discards the stale ones.
+func (w *Worker) stampLeafTS(prev uint64) uint64 {
+	ts := w.tree.clock.Now(w.socket)
+	if w.tsCap != 0 && ts > w.tsCap {
+		ts = w.tsCap
+	}
+	if ts < prev {
+		ts = prev
+	}
+	return ts
+}
+
 // leafBatchInsert applies batch (in order — later entries supersede
 // earlier ones) to n's leaf with the §4.2 three-step protocol:
 //
@@ -149,7 +171,7 @@ func (w *Worker) leafBatchInsertNext(n *bufferNode, batch []KV, newNext pmem.Add
 	if overrideNext {
 		next = newNext
 	}
-	img.setTS(tr.clock.Now(w.socket))
+	img.setTS(w.stampLeafTS(img.ts()))
 	img.setMeta(packLeafMeta(cur, next))
 	for wd := 0; wd < leafHeaderLen; wd++ {
 		w.t.Store(n.leaf.Add(int64(8*wd)), img.words[wd])
@@ -165,10 +187,19 @@ func (w *Worker) leafBatchInsertNext(n *bufferNode, batch []KV, newNext pmem.Add
 	return live, nil
 }
 
-// splitLeaf is the §4.2 logless split. img is the current image of n's
-// leaf and batch the in-flight insertions. The new right sibling is
-// written and persisted in full before the single atomic meta write
-// that both shrinks the old leaf's bitmap and links the new leaf.
+// splitLeaf is the §4.2 logless split, generalized to mint as many
+// right siblings as the in-flight batch needs. img is the current image
+// of n's leaf and batch the in-flight insertions (in order — later
+// entries supersede earlier ones). Every new leaf is written and
+// persisted in full while still unreachable; one atomic meta write on
+// the old leaf then both shrinks its bitmap and links the whole new
+// chain, so a crash anywhere in between leaves the old structure
+// untouched. The per-op path never inserts more than a buffer's worth
+// at once and so always splits in two, exactly the paper's layout;
+// ApplyBatch can route an arbitrarily long sorted run at one leaf, and
+// packing the overflow into full leaves right away is what lets one
+// coalesced trigger write absorb the whole run instead of re-splitting
+// the same right edge every half-leaf of progress.
 func (w *Worker) splitLeaf(n *bufferNode, img *leafImage, batch []KV) (int, error) {
 	tr := w.tree
 	// Structural writes override a leafbuf scope but not an active task
@@ -177,10 +208,9 @@ func (w *Worker) splitLeaf(n *bufferNode, img *leafImage, batch []KV) (int, erro
 		defer w.t.PopScope(w.t.PushScope(pmem.ScopeSplit))
 	}
 
-	live := make([]KV, 0, LeafSlots)
 	type slotRef struct {
 		kv   KV
-		slot int
+		slot int // physical slot in the old leaf; -1 for batch-only keys
 	}
 	refs := make([]slotRef, 0, LeafSlots)
 	for i := 0; i < LeafSlots; i++ {
@@ -191,83 +221,122 @@ func (w *Worker) splitLeaf(n *bufferNode, img *leafImage, batch []KV) (int, erro
 	sort.Slice(refs, func(i, j int) bool {
 		return tr.compare(w.t, refs[i].kv.Key, refs[j].kv.Key) < 0
 	})
-	for _, r := range refs {
-		live = append(live, r.kv)
-	}
-	if len(live) < 2 {
-		return 0, fmt.Errorf("core: split of leaf with %d live keys (batch %d exceeds capacity)", len(live), len(batch))
-	}
-	mid := len(live) / 2
-	splitKey := live[mid].Key
 
-	var batchLeft, batchRight []KV
+	// Merge the batch over the live slots: sorted, unique, last write
+	// wins. A tombstone for an absent key vanishes here (it would not
+	// occupy a slot either); a tombstone for a live key keeps its entry
+	// so the fence-compaction rules below see it.
+	merged := make([]slotRef, len(refs))
+	copy(merged, refs)
 	for _, kv := range batch {
-		if tr.compare(w.t, kv.Key, splitKey) >= 0 {
-			batchRight = append(batchRight, kv)
-		} else {
+		j := sort.Search(len(merged), func(j int) bool {
+			return tr.compare(w.t, merged[j].kv.Key, kv.Key) >= 0
+		})
+		if j < len(merged) && tr.compare(w.t, merged[j].kv.Key, kv.Key) == 0 {
+			merged[j].kv.Value = kv.Value
+			continue
+		}
+		if kv.Value == Tombstone {
+			continue
+		}
+		merged = append(merged, slotRef{})
+		copy(merged[j+1:], merged[j:])
+		merged[j] = slotRef{kv, -1}
+	}
+	if len(merged) <= LeafSlots {
+		return 0, fmt.Errorf("core: split of leaf with %d merged keys (no overflow)", len(merged))
+	}
+	// Split at the median of the LIVE keys — the paper's geometry, which
+	// also leaves the old leaf just under half full so the post-split
+	// merge pass packs settled neighbors together. Only a nearly-empty
+	// leaf swamped by a large batch (no live median to cut at) falls
+	// back to the median of the merged set.
+	splitKey := merged[len(merged)/2].kv.Key
+	if len(refs) >= 2 {
+		splitKey = refs[len(refs)/2].kv.Key
+	}
+	mid := sort.Search(len(merged), func(j int) bool {
+		return tr.compare(w.t, merged[j].kv.Key, splitKey) >= 0
+	})
+
+	var batchLeft []KV
+	for _, kv := range batch {
+		if tr.compare(w.t, kv.Key, splitKey) < 0 {
 			batchLeft = append(batchLeft, kv)
 		}
 	}
 
-	// Build the right leaf in DRAM: moved half first, then the batch's
-	// right side applied in order (upsert/tombstone-fence semantics).
-	var rimg leafImage
-	var rbm uint16
-	place := func(kv KV, anchor bool) error {
-		for i := 0; i < LeafSlots; i++ {
-			if rbm&(1<<uint(i)) != 0 && tr.compare(w.t, rimg.key(i), kv.Key) == 0 {
-				rimg.setKV(i, rimg.key(i), kv.Value)
-				return nil
-			}
-		}
-		if kv.Value == Tombstone && !anchor {
-			// Fence compaction: the split's fresh timestamps gate any
-			// older WAL entry for this key, so dropping the fence is
-			// safe. Only the new leaf's minimum (its routing anchor)
-			// must stay physically present.
-			return nil
-		}
-		free := ^uint32(rbm) & bitmapMask
-		if free == 0 {
-			return fmt.Errorf("core: right split leaf overflow")
-		}
-		i := bits.TrailingZeros32(free)
-		rimg.setKV(i, kv.Key, kv.Value)
-		rimg.setFP(i, tr.keyFingerprint(w.t, kv.Key))
-		rbm |= 1 << uint(i)
-		return nil
-	}
-	for i, kv := range live[mid:] {
-		if err := place(kv, i == 0); err != nil {
-			return 0, err
-		}
-	}
-	for _, kv := range batchRight {
-		if err := place(kv, false); err != nil {
-			return 0, err
-		}
-	}
-	rimg.setTS(tr.clock.Now(w.socket))
-	rimg.setMeta(packLeafMeta(rbm, img.next()))
-
-	newLeaf, err := tr.newLeaf(w.t, w.socket)
-	if err != nil {
-		return 0, err
-	}
-	// Persist the entire new leaf, then publish it with one atomic
-	// meta write on the old leaf (bitmap shrinks + next repointed in
-	// the same word). A crash in between leaves the new leaf
-	// unreachable and the old one untouched.
-	tr.writeWholeLeaf(w.t, newLeaf, &rimg)
-
-	// The left leaf keeps its slots below splitKey, compacting fences
-	// except its own anchor (the leaf minimum, refs[0]).
-	leftBm := uint16(0)
-	for i, r := range refs[:mid] {
+	// Right contents: merged[mid:] with fences dropped — the split's
+	// freshly stamped leaves gate any older WAL entry for them — except
+	// the first entry, the first new leaf's routing anchor (recovery
+	// rebuilds boundaries from leaf minimums, so lowKey must stay
+	// physically present).
+	rkvs := make([]KV, 0, len(merged)-mid)
+	for i, r := range merged[mid:] {
 		if r.kv.Value == Tombstone && i != 0 {
 			continue
 		}
+		rkvs = append(rkvs, r.kv)
+	}
+
+	// Pack into as few leaves as possible. Earlier leaves fill
+	// completely (ideal for the sorted-ingest runs that produce
+	// multi-leaf splits; a later insert into a full leaf just splits it
+	// in two); the last leaf keeps at least two keys so it can.
+	numNew := (len(rkvs) + LeafSlots - 1) / LeafSlots
+	sizes := make([]int, numNew)
+	for k := range sizes {
+		sizes[k] = LeafSlots
+	}
+	sizes[numNew-1] = len(rkvs) - (numNew-1)*LeafSlots
+	if numNew > 1 && sizes[numNew-1] == 1 {
+		sizes[numNew-2]--
+		sizes[numNew-1]++
+	}
+	addrs := make([]pmem.Addr, numNew)
+	for k := range addrs {
+		a, err := tr.newLeaf(w.t, w.socket)
+		if err != nil {
+			return 0, err
+		}
+		addrs[k] = a
+	}
+	lows := make([]uint64, numNew)
+	off := 0
+	for k := 0; k < numNew; k++ {
+		chunk := rkvs[off : off+sizes[k]]
+		off += sizes[k]
+		lows[k] = chunk[0].Key
+		var rimg leafImage
+		var rbm uint16
+		for i, kv := range chunk {
+			rimg.setKV(i, kv.Key, kv.Value)
+			rimg.setFP(i, tr.keyFingerprint(w.t, kv.Key))
+			rbm |= 1 << uint(i)
+		}
+		next := img.next()
+		if k < numNew-1 {
+			next = addrs[k+1]
+		}
+		rimg.setTS(w.stampLeafTS(0))
+		rimg.setMeta(packLeafMeta(rbm, next))
+		tr.writeWholeLeaf(w.t, addrs[k], &rimg)
+	}
+
+	// The left leaf keeps its physical slots below splitKey, compacting
+	// fences except the smallest kept key (the leaf minimum, its
+	// routing anchor).
+	leftBm := uint16(0)
+	keptMin := false
+	for _, r := range refs {
+		if tr.compare(w.t, r.kv.Key, splitKey) >= 0 {
+			continue
+		}
+		if r.kv.Value == Tombstone && keptMin {
+			continue
+		}
 		leftBm |= 1 << uint(r.slot)
+		keptMin = true
 	}
 	// Publish with the old leaf's PREVIOUS timestamp: the follow-up
 	// batchLeft insertion — which carries this node's still-buffered
@@ -278,23 +347,40 @@ func (w *Worker) splitLeaf(n *bufferNode, img *leafImage, batch []KV) (int, erro
 	// everything the leaf's last completed flush covered, so dropping
 	// fences above stays safe.
 	prevTag := w.t.SetTag(pmem.TagLeaf)
-	img.setMeta(packLeafMeta(leftBm, newLeaf))
+	img.setMeta(packLeafMeta(leftBm, addrs[0]))
 	w.t.Store(n.leaf.Add(8*leafMetaWord), img.meta())
 	w.t.Persist(n.leaf.Add(8*leafMetaWord), pmem.WordSize)
 	w.t.SetTag(prevTag)
 
-	// DRAM structures: new buffer node, chain links, inner routing.
-	nb := newBufferNode(newLeaf, splitKey, tr.opts.Nbatch)
-	nb.prev.Store(n)
+	// DRAM structures: new buffer nodes, chain links, inner routing.
+	// The whole new segment is wired internally before the single
+	// n.next publish makes it reachable.
 	nx := n.next.Load()
-	nb.next.Store(nx)
-	if nx != nil {
-		nx.prev.Store(nb)
+	nbs := make([]*bufferNode, numNew)
+	for k := range nbs {
+		nbs[k] = newBufferNode(addrs[k], lows[k], tr.opts.Nbatch)
 	}
-	n.next.Store(nb)
-	tr.inner.put(w.t, splitKey, nb)
-	tr.ctr.splits.Add(1)
-	tr.tracer.Emit(obs.EvSplit, w.id, w.t.Now(), splitKey, 0)
+	for k := range nbs {
+		if k > 0 {
+			nbs[k].prev.Store(nbs[k-1])
+		} else {
+			nbs[k].prev.Store(n)
+		}
+		if k < numNew-1 {
+			nbs[k].next.Store(nbs[k+1])
+		} else {
+			nbs[k].next.Store(nx)
+		}
+	}
+	if nx != nil {
+		nx.prev.Store(nbs[numNew-1])
+	}
+	n.next.Store(nbs[0])
+	for k := range nbs {
+		tr.inner.put(w.t, lows[k], nbs[k])
+	}
+	tr.ctr.splits.Add(uint64(numNew))
+	tr.tracer.Emit(obs.EvSplit, w.id, w.t.Now(), splitKey, uint64(numNew))
 
 	// Cached slots that migrated right are out of n's range now; purge
 	// them so reads and scans cannot resurrect stale copies. (All

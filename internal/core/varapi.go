@@ -15,7 +15,7 @@ type KVBytes struct {
 
 func (w *Worker) requireVar(op string) error {
 	if !w.tree.opts.VarKV {
-		return fmt.Errorf("core: %s requires Options.VarKV", op)
+		return fmt.Errorf("core: %s: %w", op, ErrVarKVRequired)
 	}
 	return nil
 }
@@ -23,11 +23,11 @@ func (w *Worker) requireVar(op string) error {
 // UpsertVar inserts or updates a variable-size pair. key must be
 // non-empty.
 func (w *Worker) UpsertVar(key, value []byte) error {
-	if err := w.requireVar("UpsertVar"); err != nil {
+	if err := w.writableVar("UpsertVar"); err != nil {
 		return err
 	}
 	if len(key) == 0 {
-		return fmt.Errorf("core: empty key")
+		return fmt.Errorf("core: UpsertVar: %w", ErrZeroKey)
 	}
 	kw, err := w.blobs.write(w.t, key)
 	if err != nil {
@@ -58,11 +58,11 @@ func (w *Worker) LookupVar(key []byte) ([]byte, bool) {
 
 // DeleteVar inserts a tombstone for a variable-size key.
 func (w *Worker) DeleteVar(key []byte) error {
-	if err := w.requireVar("DeleteVar"); err != nil {
+	if err := w.writableVar("DeleteVar"); err != nil {
 		return err
 	}
 	if len(key) == 0 {
-		return fmt.Errorf("core: empty key")
+		return fmt.Errorf("core: DeleteVar: %w", ErrZeroKey)
 	}
 	kw, err := w.blobs.write(w.t, key)
 	if err != nil {
@@ -100,7 +100,13 @@ func (w *Worker) tempKeyWord(key []byte) uint64 {
 // pointer word (IsBlobWord must hold). Harnesses that manage their own
 // value blobs use this to drive every index through one code path.
 func (w *Worker) UpsertIndirect(key, pointerWord uint64) error {
-	if key == 0 || key > MaxValue {
+	if err := w.writableFixed("UpsertIndirect"); err != nil {
+		return err
+	}
+	if key == 0 {
+		return fmt.Errorf("core: UpsertIndirect: %w", ErrZeroKey)
+	}
+	if key > MaxValue {
 		return fmt.Errorf("core: key %#x outside [1, MaxValue]", key)
 	}
 	if !IsBlobWord(pointerWord) {
@@ -115,8 +121,11 @@ func (w *Worker) UpsertIndirect(key, pointerWord uint64) error {
 // blob — the Fig 15c configuration (8 B keys, 64–512 B values through
 // indirection pointers). Works in fixed-key mode.
 func (w *Worker) UpsertLargeValue(key uint64, value []byte) error {
+	if err := w.writableFixed("UpsertLargeValue"); err != nil {
+		return err
+	}
 	if key == 0 {
-		return fmt.Errorf("core: key 0 is reserved")
+		return fmt.Errorf("core: UpsertLargeValue: %w", ErrZeroKey)
 	}
 	vw, err := w.blobs.write(w.t, value)
 	if err != nil {

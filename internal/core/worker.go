@@ -43,6 +43,14 @@ type Worker struct {
 	scratch  []KV   // reused per-op buffer
 	probeKey []byte // current VarKV lookup/scan probe (see probeTag)
 	seenGen  uint64 // last naive-GC stall generation absorbed
+
+	// tsCap, when nonzero, caps the timestamp leaf flushes stamp (see
+	// stampLeafTS). ApplyBatch sets it to one tick below its group
+	// commit's smallest record timestamp for the duration of each run,
+	// so a flush mid-batch never gates the group's still-buffered
+	// records as stale at recovery. Zero (the per-op path, GC,
+	// recovery, merges) means stamp the current tick.
+	tsCap uint64
 }
 
 // syncStall lifts the worker's clock over the latest stop-the-world
@@ -116,7 +124,13 @@ const MaxValue = 1<<62 - 1
 // [1, MaxValue]; value must be in [1, MaxValue] (0 is the tombstone —
 // use Delete).
 func (w *Worker) Upsert(key, value uint64) error {
-	if key == 0 || key > MaxValue {
+	if err := w.writableFixed("Upsert"); err != nil {
+		return err
+	}
+	if key == 0 {
+		return fmt.Errorf("core: Upsert: %w", ErrZeroKey)
+	}
+	if key > MaxValue {
 		return fmt.Errorf("core: key %#x outside [1, MaxValue]", key)
 	}
 	if value == Tombstone {
@@ -139,8 +153,11 @@ func (w *Worker) Upsert(key, value uint64) error {
 // Delete inserts a tombstone for key (§4.2 treats deletion as an
 // insertion so it benefits from buffering and logging identically).
 func (w *Worker) Delete(key uint64) error {
+	if err := w.writableFixed("Delete"); err != nil {
+		return err
+	}
 	if key == 0 {
-		return fmt.Errorf("core: key 0 is reserved")
+		return fmt.Errorf("core: Delete: %w", ErrZeroKey)
 	}
 	w.tree.ctr.deletes.Add(1)
 	w.tree.pool.AddUserBytes(16)

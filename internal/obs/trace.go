@@ -26,13 +26,14 @@ const (
 	EvXPBufEvict // XPBuffer evicted a dirty XPLine to media
 	EvCrash
 	EvRecovery
+	EvBatchApply // ApplyBatch group commit (A = ops, B = WAL fences saved)
 	NumEventKinds
 )
 
 var eventNames = [NumEventKinds]string{
 	"insert", "lookup", "scan", "delete", "flush-batch", "split",
 	"merge", "gc-round", "cache-evict", "xpbuf-evict", "crash",
-	"recovery",
+	"recovery", "batch-apply",
 }
 
 func (k EventKind) String() string {

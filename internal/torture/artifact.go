@@ -29,6 +29,9 @@ func NewArtifact(res *Result) *Artifact {
 	if c.Torn {
 		cmd += " -torn"
 	}
+	if c.BatchSize > 1 {
+		cmd += fmt.Sprintf(" -batch %d", c.BatchSize)
+	}
 	if c.UnsafeSkipWALFence {
 		cmd += " -unsafe-skip-wal-fence"
 	}

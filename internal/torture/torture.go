@@ -43,6 +43,12 @@ type Config struct {
 	Sockets      int    `json:"sockets"`
 	DeviceBytes  int64  `json:"device_bytes"`
 	ChunkBytes   int    `json:"chunk_bytes"`
+	// BatchSize > 1 routes writes through Worker.ApplyBatch group
+	// commits of that size (reads still execute per-op). All ops of one
+	// batch share invoke/return ticks; crash atomicity stays per-op, so
+	// the durable-prefix oracle applies unchanged. 0 or 1 keeps the
+	// per-op write path.
+	BatchSize int `json:"batch_size,omitempty"`
 	// UnsafeSkipWALFence plants the deliberate durability bug (WAL
 	// appends flushed but never fenced) used to prove the oracle
 	// catches real violations. Never set outside oracle self-tests.
@@ -274,6 +280,48 @@ func runWorker(tr *core.Tree, w *core.Worker, wid, round int, seed int64, cfg Co
 	ops := make([]Op, 0, cfg.OpsPerThread)
 	defer func() { *out = ops }()
 
+	// Batched mode: writes stage here and go through one ApplyBatch
+	// group commit per cfg.BatchSize. An op is "invoked" only when its
+	// Apply starts — staged ops the crash strands before that were
+	// never issued to the tree and are not recorded.
+	batched := cfg.BatchSize > 1
+	var staged []Op
+	var stagedOps []core.BatchOp
+	applyStaged := func() error {
+		if len(staged) == 0 {
+			return nil
+		}
+		invoke := clock.Now(socket)
+		died := false
+		err := func() (opErr error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(pmem.PowerFailure); !ok {
+						panic(r)
+					}
+					died = true
+				}
+			}()
+			opErr = w.ApplyBatch(stagedOps)
+			return
+		}()
+		if err != nil {
+			return err
+		}
+		ret := clock.Now(socket)
+		for i := range staged {
+			staged[i].Invoke = invoke
+			if !died {
+				staged[i].Return = ret
+				staged[i].Done = true
+			}
+			ops = append(ops, staged[i])
+		}
+		staged = staged[:0]
+		stagedOps = stagedOps[:0]
+		return nil
+	}
+
 	var scanBuf [32]core.KV
 	for seq := 0; seq < cfg.OpsPerThread; seq++ {
 		if pool.FaultFired() {
@@ -291,6 +339,19 @@ func runWorker(tr *core.Tree, w *core.Worker, wid, round int, seed int64, cfg Co
 			op.Kind = OpLookup
 		default:
 			op.Kind = OpScan
+		}
+
+		if batched && (op.Kind == OpUpsert || op.Kind == OpDelete) {
+			staged = append(staged, op)
+			stagedOps = append(stagedOps, core.BatchOp{
+				Key: op.Key, Value: op.Value, Delete: op.Kind == OpDelete,
+			})
+			if len(staged) >= cfg.BatchSize {
+				if err := applyStaged(); err != nil {
+					return err
+				}
+			}
+			continue
 		}
 
 		op.Invoke = clock.Now(socket)
@@ -326,6 +387,13 @@ func runWorker(tr *core.Tree, w *core.Worker, wid, round int, seed int64, cfg Co
 		ops = append(ops, op)
 		if died {
 			break
+		}
+	}
+	// Flush the leftover staged group — unless the machine already died,
+	// in which case those ops were never invoked and are dropped.
+	if batched && !pool.FaultFired() {
+		if err := applyStaged(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -21,6 +21,9 @@ func TestTortureShort(t *testing.T) {
 		{"eadr", Config{Seed: 4, Threads: 4, Rounds: 4, OpsPerThread: 250, EADR: true}},
 		{"adr-torn", Config{Seed: 5, Threads: 4, Rounds: 4, OpsPerThread: 250, Torn: true}},
 		{"single-thread", Config{Seed: 6, Threads: 1, Rounds: 4, OpsPerThread: 300}},
+		{"batched", Config{Seed: 7, Threads: 4, Rounds: 4, OpsPerThread: 250, BatchSize: 16}},
+		{"batched-torn", Config{Seed: 8, Threads: 4, Rounds: 4, OpsPerThread: 250, BatchSize: 32, Torn: true}},
+		{"batched-eadr", Config{Seed: 9, Threads: 4, Rounds: 3, OpsPerThread: 200, BatchSize: 16, EADR: true}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -1,0 +1,64 @@
+package cclbtree
+
+import (
+	"iter"
+	"math"
+)
+
+// rangeChunk is how many entries each iterator page pulls per Scan.
+const rangeChunk = 128
+
+// Range returns an iterator over the live entries with key ≥ start in
+// ascending order, for use with a range-over-func loop:
+//
+//	for k, v := range s.Range(1) { ... }
+//
+// The iterator pages through the tree with Scan, so it sees a
+// per-page-consistent snapshot: entries written after iteration passes
+// their key are not revisited. Breaking out of the loop early is
+// cheap; nothing is held between pages.
+func (s *Session) Range(start uint64) iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) {
+		buf := make([]KV, rangeChunk)
+		for {
+			n := s.Scan(start, buf)
+			for _, kv := range buf[:n] {
+				if !yield(kv.Key, kv.Value) {
+					return
+				}
+			}
+			if n < rangeChunk {
+				return
+			}
+			last := buf[n-1].Key
+			if last == math.MaxUint64 {
+				return
+			}
+			start = last + 1
+		}
+	}
+}
+
+// RangeVar returns an iterator over the live variable-size entries
+// with key ≥ start in ascending byte order (requires Config.VarKV).
+// A nil start begins at the smallest key. Yielded slices are fresh
+// copies owned by the caller.
+func (s *Session) RangeVar(start []byte) iter.Seq2[[]byte, []byte] {
+	return func(yield func([]byte, []byte) bool) {
+		for {
+			page := s.ScanVar(start, rangeChunk)
+			for _, kv := range page {
+				if !yield(kv.Key, kv.Value) {
+					return
+				}
+			}
+			if len(page) < rangeChunk {
+				return
+			}
+			// Resume just past the last yielded key: its successor in
+			// byte order is the key with a zero byte appended.
+			last := page[len(page)-1].Key
+			start = append(append(make([]byte, 0, len(last)+1), last...), 0)
+		}
+	}
+}

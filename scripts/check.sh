@@ -21,6 +21,13 @@ go test ./...
 go test -race -short ./internal/core/... ./internal/pmem/... ./internal/obs/...
 go test -race -run TestTortureShort ./internal/torture
 
+# Batch-path acceptance smoke (group commit must beat per-op writes on
+# virtual-time throughput and CLI amplification) and the public godoc
+# examples covering Apply and the Range iterators.
+go test -run TestBatchSpeedup ./internal/bench
+go test -run Example .
+go test -race -run 'TestPublicBatch|TestPublicRange' .
+
 # Short fuzz smokes: each target gets 10s of coverage-guided input
 # generation on top of its checked-in corpus.
 go test -run '^$' -fuzz FuzzWALRecordParse -fuzztime 10s ./internal/wal
