@@ -3,18 +3,25 @@
 // must be flushed and fenced on every path to return, flushes must be
 // fenced, flushing under eADR-only branches is dead code, PM pointers
 // must not be published over unfenced data, lock acquisition must
-// follow the declared order, and *pmem.Thread handles must not cross
-// goroutine boundaries.
+// follow the declared order, *pmem.Thread handles must not cross
+// goroutine boundaries, atomic-disciplined fields must not be accessed
+// plainly, guarded fields must hold their lock, seqlock readers must
+// re-check, persistence work must not be provably wasted, and
+// PushScope/PopScope must balance.
 //
 // Usage:
 //
-//	persistlint [-json] [-tests] [-stats] [packages...]
+//	persistlint [-json] [-tests] [-stats] [-disable CODES | -only CODES]
+//	            [-fix [-apply]] [-budget DURATION] [packages...]
 //
 // Package patterns are directories; a trailing /... recurses. With no
 // arguments it checks ./... from the current directory. Exit status is
 // 0 when no findings, 1 when findings were reported, 2 on usage or
-// parse errors. -stats prints analysis self-diagnostics (functions,
-// CFG nodes, summaries, per-rule counts) to stderr.
+// parse errors — or when -budget is exceeded. -stats prints analysis
+// self-diagnostics (functions, CFG nodes, summaries, per-rule counts)
+// to stderr. -fix deletes the stale //persistlint:ignore directives
+// PL007 flags — and nothing else; without -apply it only prints the
+// planned edits.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"cclbtree/internal/analysis/persist"
 )
@@ -54,11 +62,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fl.Bool("json", false, "emit one JSON object per finding (stable across PRs for CI diffing)")
 	withTest := fl.Bool("tests", false, "also analyze _test.go files")
 	stats := fl.Bool("stats", false, "print analysis self-diagnostics to stderr")
+	disable := fl.String("disable", "", "comma-separated rule codes to switch off (e.g. PL008,PL011)")
+	only := fl.String("only", "", "comma-separated rule codes to run exclusively (PL000 always runs)")
+	fix := fl.Bool("fix", false, "delete stale //persistlint:ignore directives flagged by PL007 (prints planned edits; add -apply to write)")
+	apply := fl.Bool("apply", false, "with -fix, write the edits to the files in place")
+	budget := fl.Duration("budget", 0, "fail (exit 2) when parsing+analysis wall-clock exceeds this duration; 0 disables the gate")
 	fl.Usage = func() {
-		fmt.Fprintf(stderr, "usage: persistlint [-json] [-tests] [-stats] [packages...]\n")
+		fmt.Fprintf(stderr, "usage: persistlint [-json] [-tests] [-stats] [-disable CODES | -only CODES] [-fix [-apply]] [-budget DURATION] [packages...]\n")
 		fl.PrintDefaults()
 	}
 	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	if *disable != "" && *only != "" {
+		fmt.Fprintf(stderr, "persistlint: -disable and -only are mutually exclusive\n")
+		return 2
+	}
+	if *apply && !*fix {
+		fmt.Fprintf(stderr, "persistlint: -apply requires -fix\n")
+		return 2
+	}
+	disabled, err := resolveToggles(*disable, *only)
+	if err != nil {
+		fmt.Fprintf(stderr, "persistlint: %v\n", err)
 		return 2
 	}
 	patterns := fl.Args()
@@ -72,7 +98,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	start := time.Now()
 	an := persist.NewAnalyzer()
+	an.Disable(disabled...)
 	for _, d := range dirs {
 		if err := an.AddDir(d, *withTest); err != nil {
 			fmt.Fprintf(stderr, "persistlint: %v\n", err)
@@ -80,6 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	findings := an.Run()
+	elapsed := time.Since(start)
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		for _, f := range findings {
@@ -97,8 +126,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, f)
 		}
 	}
+	if *fix {
+		if err := fixStaleDirectives(findings, *apply, stderr); err != nil {
+			fmt.Fprintf(stderr, "persistlint: %v\n", err)
+			return 2
+		}
+	}
 	if *stats {
 		printStats(stderr, an.Stats(), findings)
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(stderr, "persistlint: analysis took %v, over the %v budget\n", elapsed.Round(time.Millisecond), *budget)
+		return 2
 	}
 	if len(findings) > 0 {
 		if !*jsonOut {
@@ -107,6 +146,114 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// resolveToggles turns the -disable/-only flag values into the list of
+// rule codes to switch off, validating every named code.
+func resolveToggles(disable, only string) ([]string, error) {
+	known := map[string]bool{}
+	for _, c := range persist.AllCodes() {
+		known[c] = true
+	}
+	parse := func(flagName, v string) ([]string, error) {
+		var out []string
+		for _, c := range strings.Split(v, ",") {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				continue
+			}
+			if !known[c] {
+				return nil, fmt.Errorf("-%s: unknown rule code %q (known: %s)", flagName, c, strings.Join(persist.AllCodes(), ","))
+			}
+			out = append(out, c)
+		}
+		return out, nil
+	}
+	if disable != "" {
+		return parse("disable", disable)
+	}
+	if only == "" {
+		return nil, nil
+	}
+	keep, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	kept := map[string]bool{}
+	for _, c := range keep {
+		kept[c] = true
+	}
+	var off []string
+	for _, c := range persist.AllCodes() {
+		if !kept[c] {
+			off = append(off, c)
+		}
+	}
+	return off, nil
+}
+
+// fixStaleDirectives deletes the directive comments behind PL007
+// findings: a directive alone on its line takes the whole line with
+// it, a trailing directive is trimmed off its code line. Only PL007
+// findings are touched — the fixer never edits code. Without apply it
+// prints the planned edits and leaves the files alone.
+func fixStaleDirectives(findings []persist.Finding, apply bool, stderr io.Writer) error {
+	type edit struct{ line, col int }
+	byFile := map[string][]edit{}
+	for _, f := range findings {
+		if f.Code == persist.CodeStaleIgnore {
+			byFile[f.Pos.Filename] = append(byFile[f.Pos.Filename], edit{f.Pos.Line, f.Pos.Column})
+		}
+	}
+	if len(byFile) == 0 {
+		fmt.Fprintf(stderr, "persistlint: -fix found no stale directives\n")
+		return nil
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	total := 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		lines := strings.Split(string(src), "\n")
+		deleted := map[int]bool{}
+		for _, e := range byFile[path] {
+			if e.line < 1 || e.line > len(lines) || e.col < 1 || e.col > len(lines[e.line-1])+1 {
+				return fmt.Errorf("-fix: %s:%d:%d is out of range (file changed under the run?)", path, e.line, e.col)
+			}
+			prefix := lines[e.line-1][:e.col-1]
+			if strings.TrimSpace(prefix) == "" {
+				deleted[e.line] = true
+				fmt.Fprintf(stderr, "persistlint: fix %s:%d: delete stale directive line\n", path, e.line)
+			} else {
+				lines[e.line-1] = strings.TrimRight(prefix, " \t")
+				fmt.Fprintf(stderr, "persistlint: fix %s:%d: strip trailing stale directive\n", path, e.line)
+			}
+			total++
+		}
+		if apply {
+			kept := lines[:0]
+			for i, l := range lines {
+				if !deleted[i+1] {
+					kept = append(kept, l)
+				}
+			}
+			if err := os.WriteFile(path, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if apply {
+		fmt.Fprintf(stderr, "persistlint: -fix deleted %d stale directive(s) in %d file(s)\n", total, len(files))
+	} else {
+		fmt.Fprintf(stderr, "persistlint: -fix would delete %d stale directive(s) in %d file(s); rerun with -apply to write\n", total, len(files))
+	}
+	return nil
 }
 
 // printStats emits the self-diagnostic block: CI logs should show what
@@ -118,6 +265,11 @@ func printStats(w io.Writer, s persist.Stats, findings []persist.Finding) {
 	fmt.Fprintf(w, "  cfg nodes built     %6d\n", s.CFGNodes)
 	fmt.Fprintf(w, "  discharge summaries %6d\n", s.DischargeSummaries)
 	fmt.Fprintf(w, "  lock summaries      %6d\n", s.LockSummaries)
+	fmt.Fprintf(w, "  atomic fields       %6d\n", s.AtomicFields)
+	fmt.Fprintf(w, "  guarded fields      %6d\n", s.GuardedFields)
+	fmt.Fprintf(w, "  field accesses      %6d\n", s.FieldAccesses)
+	fmt.Fprintf(w, "  seqlock reads       %6d\n", s.SeqlockReads)
+	fmt.Fprintf(w, "  scope sites         %6d\n", s.ScopeSites)
 	byCode := map[string]int{}
 	for _, f := range findings {
 		byCode[f.Code]++

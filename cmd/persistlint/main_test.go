@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -136,6 +137,179 @@ func TestDeterministicOutput(t *testing.T) {
 	}
 }
 
+// corpusDir is the analyzer's own golden corpus: the one directory
+// guaranteed to exercise every rule, PL008–PL012 included.
+const corpusDir = "../../internal/analysis/persist/testdata"
+
+// TestRuleToggleFlags pins -disable/-only: they remove exactly the
+// named rules, reject unknown codes, and refuse to be combined.
+func TestRuleToggleFlags(t *testing.T) {
+	leaky := writeDir(t, "leaky.go", leakySrc)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-disable", "PL001", leaky}, &out, &errb); code != 1 {
+		t.Fatalf("-disable PL001: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if strings.Contains(out.String(), "PL001") || !strings.Contains(out.String(), "PL002") {
+		t.Errorf("-disable PL001 output wrong:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-only", "PL001", leaky}, &out, &errb); code != 1 {
+		t.Fatalf("-only PL001: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "PL001") || strings.Contains(out.String(), "PL002") {
+		t.Errorf("-only PL001 output wrong:\n%s", out.String())
+	}
+
+	for _, args := range [][]string{
+		{"-disable", "PL999", leaky},
+		{"-only", "bogus", leaky},
+		{"-disable", "PL001", "-only", "PL002", leaky},
+		{"-apply", leaky},
+	} {
+		out.Reset()
+		errb.Reset()
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+// TestBudgetFlag: an impossible budget fails the run with exit 2, a
+// generous one changes nothing.
+func TestBudgetFlag(t *testing.T) {
+	leaky := writeDir(t, "leaky.go", leakySrc)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-budget", "1ns", leaky}, &out, &errb); code != 2 {
+		t.Errorf("-budget 1ns: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "over the") {
+		t.Errorf("-budget 1ns stderr missing breach message: %s", errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-budget", "1m", leaky}, &out, &errb); code != 1 {
+		t.Errorf("-budget 1m: exit %d, want 1", code)
+	}
+}
+
+// staleSrc carries two stale directives (one on its own line, one
+// trailing a code line) and one live finding the fixer must not touch.
+const staleSrc = `package p
+
+import "cclbtree/internal/pmem"
+
+func lineDirective(t *pmem.Thread, a pmem.Addr) {
+	//persistlint:ignore PL001 the caller used to persist this
+	t.Store(a, 1)
+	t.Persist(a, 8)
+}
+
+func trailingDirective(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Persist(a, 8) //persistlint:ignore PL002 the epilogue once fenced this
+}
+
+func leakStays(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+}
+`
+
+// fixedSrc is staleSrc after -fix -apply: directive lines deleted,
+// trailing directives stripped, code untouched.
+const fixedSrc = `package p
+
+import "cclbtree/internal/pmem"
+
+func lineDirective(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Persist(a, 8)
+}
+
+func trailingDirective(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Persist(a, 8)
+}
+
+func leakStays(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+}
+`
+
+// TestFixStaleDirectives is the golden before/after for -fix: dry run
+// by default, byte-exact edits under -apply, and nothing but PL007
+// directives removed.
+func TestFixStaleDirectives(t *testing.T) {
+	dir := writeDir(t, "stale.go", staleSrc)
+	path := filepath.Join(dir, "stale.go")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fix", dir}, &out, &errb); code != 1 {
+		t.Fatalf("-fix dry run: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "would delete 2 stale directive(s)") {
+		t.Errorf("dry run stderr missing plan: %s", errb.String())
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != staleSrc {
+		t.Fatalf("dry run modified the file:\n%s", after)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-fix", "-apply", dir}, &out, &errb); code != 1 {
+		t.Fatalf("-fix -apply: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "deleted 2 stale directive(s)") {
+		t.Errorf("apply stderr missing summary: %s", errb.String())
+	}
+	after, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != fixedSrc {
+		t.Fatalf("-fix -apply result differs from golden:\n--- got ---\n%s--- want ---\n%s", after, fixedSrc)
+	}
+
+	// The live finding survived; the stale directives are gone for good.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{dir}, &out, &errb); code != 1 {
+		t.Fatalf("post-fix run: exit %d, want 1", code)
+	}
+	if strings.Contains(out.String(), "PL007") || !strings.Contains(out.String(), "PL001") {
+		t.Errorf("post-fix findings wrong:\n%s", out.String())
+	}
+}
+
+// TestCorpusDeterminism runs the analyzer's full golden corpus — every
+// rule firing at once — through -json twice and demands byte-identical
+// output, and that each concurrency rule contributes at least one line.
+func TestCorpusDeterminism(t *testing.T) {
+	var first string
+	for i := 0; i < 2; i++ {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-json", corpusDir}, &out, &errb); code != 1 {
+			t.Fatalf("run %d: exit %d, want 1 (stderr: %s)", i, code, errb.String())
+		}
+		if i == 0 {
+			first = out.String()
+			for _, c := range []string{"PL008", "PL009", "PL010", "PL011", "PL012"} {
+				if !strings.Contains(first, c) {
+					t.Errorf("corpus JSON missing %s findings", c)
+				}
+			}
+		} else if out.String() != first {
+			t.Fatalf("run %d -json output differs:\n%s\nvs\n%s", i, out.String(), first)
+		}
+	}
+}
+
 // TestStatsFlag checks -stats prints the self-diagnostic block to
 // stderr without disturbing stdout findings.
 func TestStatsFlag(t *testing.T) {
@@ -152,5 +326,22 @@ func TestStatsFlag(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "stats") {
 		t.Errorf("stats leaked to stdout:\n%s", out.String())
+	}
+
+	// Over the golden corpus the concurrency counters are all live.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-stats", corpusDir}, &out, &errb); code != 1 {
+		t.Fatalf("corpus -stats: exit %d, want 1", code)
+	}
+	se = errb.String()
+	for _, want := range []string{"atomic fields", "guarded fields", "field accesses", "seqlock reads", "scope sites"} {
+		if !strings.Contains(se, want) {
+			t.Errorf("corpus -stats stderr missing %q:\n%s", want, se)
+		}
+		re := regexp.MustCompile(want + `\s+0\n`)
+		if re.MatchString(se) {
+			t.Errorf("corpus -stats counter %q is zero:\n%s", want, se)
+		}
 	}
 }

@@ -33,28 +33,40 @@ import (
 // Event kinds. evStore..evPersist mirror the pmem Thread API; the rest
 // are synthetic.
 const (
-	evStore   = iota // Store/WriteRange: creates a flush obligation
-	evFlush          // Flush: discharges stores, creates a fence obligation
-	evFence          // Fence: discharges flush obligations
-	evPersist        // Persist: discharges both
-	evCall           // call with *pmem.Thread arguments (summary site)
-	evLock           // acquire of a declared-order lock class
-	evUnlock         // release of a declared-order lock class
-	evEADR           // control entered an eADR-only region: all durable
+	evStore      = iota // Store/WriteRange: creates a flush obligation
+	evFlush             // Flush: discharges stores, creates a fence obligation
+	evFence             // Fence: discharges flush obligations
+	evPersist           // Persist: discharges both
+	evCall              // call with *pmem.Thread arguments (summary site)
+	evLock              // acquire of a declared-order lock class
+	evUnlock            // release of a declared-order lock class
+	evEADR              // control entered an eADR-only region: all durable
+	evScopePush         // PushScope: opens a scope-balance obligation (PL012)
+	evScopePop          // PopScope: discharges the thread's scope obligation
+	evSeqBegin          // v := x.version.Load(): opens a seqlock re-check obligation (PL010)
+	evSeqRecheck        // x.version.Load() ==/!= v (or a CAS on v): discharges it
+	evSeqValid          // v tested against a literal: the bail-on-invalid path owes no re-check
+	evAccess            // tracked struct-field access (PL008/PL009 collection)
+	evKillVar           // identifier reassigned: wasted-persist addr states mentioning it die (PL011)
 )
 
 // event is one obligation- or lock-relevant action inside a CFG node.
 type event struct {
 	pos     token.Pos
 	kind    int
-	key     string // rendered thread expression ("t", "w.t", ...)
+	key     string // rendered thread expression ("t", "w.t", ...); evSeqBegin/Recheck: "base|var"; evKillVar: identifier
 	method  string // Store/WriteRange/Flush/Fence/Persist
 	publish bool   // Store of a PM pointer (PL005 site)
+	addrKey string // evStore/evFlush/evPersist: rendered address argument ("" if value-producing)
 
 	callee     string   // evCall: bare callee name
 	threadArgs []string // evCall: thread-expression keys passed as args
 
 	class string // evLock/evUnlock: lock class name
+
+	accessField  string // evAccess: bare field name
+	accessOwner  string // evAccess: resolved owning struct type ("" unknown)
+	accessAtomic bool   // evAccess: performed through sync/atomic
 }
 
 // cfgNode is one straight-line step of the function.
@@ -181,7 +193,13 @@ func (b *cfgBuilder) buildStmt(s ast.Stmt, preds []*cfgNode) []*cfgNode {
 		return b.buildBranch(x, preds)
 
 	case *ast.DeferStmt:
-		n := b.newNode() // argument evaluation happens here
+		n := b.newNode()
+		// Argument evaluation happens now, at the defer statement — the
+		// idiom `defer t.PopScope(t.PushScope(s))` pushes here and pops
+		// at exit, so the push event must land in this node.
+		for _, arg := range x.Call.Args {
+			n.events = append(n.events, b.extract(arg)...)
+		}
 		link(preds, n)
 		b.g.deferred = append(b.g.deferred, b.extractDeferred(x.Call)...)
 		return []*cfgNode{n}
@@ -345,6 +363,13 @@ func (b *cfgBuilder) buildFor(label string, x *ast.ForStmt, preds []*cfgNode) []
 func (b *cfgBuilder) buildRange(label string, x *ast.RangeStmt, preds []*cfgNode) []*cfgNode {
 	head := b.newNode()
 	head.events = b.extract(x.X)
+	// Each iteration rebinds the loop variables, so facts keyed on them
+	// (seqlock reads, wasted-persist address states) die at the header.
+	for _, v := range []ast.Expr{x.Key, x.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			head.events = append(head.events, event{pos: x.Pos(), kind: evKillVar, key: id.Name})
+		}
+	}
 	link(preds, head)
 
 	f := &loopFrame{label: label, isLoop: true, continueTo: head}

@@ -22,12 +22,15 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 )
 
 // Obligation kinds.
 const (
 	obStore = iota // awaiting Flush/Persist → PL001 if it survives
 	obFlush        // awaiting Fence/Persist → PL002 if it survives
+	obScope        // PushScope awaiting PopScope → PL012 if it survives
+	obSeq          // seqlock version load awaiting its re-check → PL010
 )
 
 // obl is one open obligation. Seeds used for interprocedural summaries
@@ -94,9 +97,42 @@ func (fa *funcAnalysis) applyObl(s oblSet, e event, report func(code string, pos
 		s.killKey(e.key, obFlush)
 	case evEADR:
 		// Inside the eADR persistence domain stores are durable at
-		// retirement: nothing on this path needs flushing.
+		// retirement: nothing on this path needs flushing. Scope and
+		// seqlock obligations are not persistence state and survive.
 		for o := range s {
-			delete(s, o)
+			if o.kind == obStore || o.kind == obFlush {
+				delete(s, o)
+			}
+		}
+	case evScopePush:
+		s[obl{origin: e.pos, key: e.key, kind: obScope, method: "PushScope"}] = struct{}{}
+	case evScopePop:
+		s.killKey(e.key, obScope)
+	case evSeqBegin:
+		s.killKey(e.key, obSeq) // a fresh load supersedes the prior session
+		s[obl{origin: e.pos, key: e.key, kind: obSeq, method: "Load"}] = struct{}{}
+	case evSeqRecheck:
+		s.killKey(e.key, obSeq)
+	case evSeqValid:
+		// A write-in-progress test on the saved version splits the
+		// protocol: the invalid path bails without reading data and owes
+		// no re-check. Events are path-insensitive, so the test excuses
+		// both edges — the re-check's existence is still enforced
+		// syntactically by checkSeqlock.
+		for o := range s {
+			if o.kind == obSeq && strings.HasSuffix(o.key, "|"+e.key) {
+				delete(s, o)
+			}
+		}
+	case evKillVar:
+		// A seqlock session keyed on a rebound variable (loop iteration
+		// rebinding the slot or the saved version) cannot be re-checked
+		// any more — and demanding a re-check of a dead binding would be
+		// a false positive on every early loop exit.
+		for o := range s {
+			if o.kind == obSeq && keyMentionsIdent(o.key, e.key) {
+				delete(s, o)
+			}
 		}
 	case evCall:
 		sum, ok := fa.an.summaries[e.callee]
@@ -167,7 +203,8 @@ func (fa *funcAnalysis) exitResidue(g *cfg, in []oblSet) oblSet {
 func (fa *funcAnalysis) checkObligations(g *cfg, emit func(code string, pos token.Pos, msg string)) {
 	in := fa.oblFixpoint(g, oblSet{})
 
-	// PL005: replay each node's events against its entry set.
+	// PL005: replay each node's events against its entry set. The same
+	// replay records PL012 push sites for -stats.
 	seen := map[token.Pos]bool{}
 	report := func(code string, pos token.Pos, msg string) {
 		if !seen[pos] {
@@ -178,6 +215,9 @@ func (fa *funcAnalysis) checkObligations(g *cfg, emit func(code string, pos toke
 	for _, n := range g.nodes {
 		s := in[n.id].clone()
 		for _, e := range n.events {
+			if e.kind == evScopePush {
+				fa.an.scopeSites[e.pos] = true
+			}
 			fa.applyObl(s, e, report)
 		}
 	}
@@ -199,8 +239,29 @@ func (fa *funcAnalysis) checkObligations(g *cfg, emit func(code string, pos toke
 		case obFlush:
 			emit(CodeFlushNoFence, o.origin, fmt.Sprintf(
 				"%s.Flush with a path to return with no %s.Fence/Persist: the clwb never retires", o.key, o.key))
+		case obScope:
+			emit(CodeScopeBalance, o.origin, fmt.Sprintf(
+				"%s.PushScope with a path to return with no matching %s.PopScope (defers included): the thread leaks the scope to its next unrelated work", o.key, o.key))
+		case obSeq:
+			if fa.seqQualified[o.key] {
+				base, _, _ := strings.Cut(o.key, "|")
+				emit(CodeSeqlock, o.origin, fmt.Sprintf(
+					"seqlock read of %s has a path to return that never re-checks %s.Load() against the saved version: a concurrent writer can hand this path torn data", base, base))
+			}
 		}
 	}
+}
+
+// keyMentionsIdent reports whether ident appears as a full dotted or
+// bar-separated segment of a fact key ("s.seq|seq" mentions "s" and
+// "seq" but not "eq").
+func keyMentionsIdent(key, ident string) bool {
+	for _, part := range strings.FieldsFunc(key, func(r rune) bool { return r == '.' || r == '|' }) {
+		if part == ident {
+			return true
+		}
+	}
+	return false
 }
 
 // --- lock-order analysis ------------------------------------------------
@@ -256,9 +317,9 @@ func (fa *funcAnalysis) applyLock(s heldSet, e event, check func(class string, p
 	}
 }
 
-// checkLockOrder reports PL006 for acquires (direct or through a
-// called function's summary) that violate the declared partial order.
-func (fa *funcAnalysis) checkLockOrder(g *cfg, emit func(code string, pos token.Pos, msg string)) {
+// lockFixpoint computes the set of lock classes possibly held on entry
+// to each node. Shared by PL006 and the PL008/PL009 access collection.
+func (fa *funcAnalysis) lockFixpoint(g *cfg) []heldSet {
 	in := make([]heldSet, len(g.nodes))
 	for i := range in {
 		in[i] = heldSet{}
@@ -285,7 +346,12 @@ func (fa *funcAnalysis) checkLockOrder(g *cfg, emit func(code string, pos token.
 			}
 		}
 	}
+	return in
+}
 
+// checkLockOrder reports PL006 for acquires (direct or through a
+// called function's summary) that violate the declared partial order.
+func (fa *funcAnalysis) checkLockOrder(g *cfg, in []heldSet, emit func(code string, pos token.Pos, msg string)) {
 	seen := map[token.Pos]bool{}
 	check := func(class string, pos token.Pos, held heldSet) {
 		if seen[pos] {
@@ -307,6 +373,190 @@ func (fa *funcAnalysis) checkLockOrder(g *cfg, emit func(code string, pos token.
 		s := in[n.id].clone()
 		for _, e := range n.events {
 			fa.applyLock(s, e, check)
+		}
+	}
+}
+
+// --- wasted-persist must-analysis (PL011) -------------------------------
+
+// Unlike the obligation rules (may-analysis: a defect on SOME path),
+// PL011 reports only what is wasted on EVERY path: a Flush of an
+// address provably not dirtied since it was last flushed, a Persist of
+// an address provably clean since the last fence, and a Fence with
+// provably no store or flush on its thread since the previous fence.
+// The meet therefore drops any fact the joining paths disagree on, any
+// call clears everything (the callee may dirty anything), and address
+// identity is the rendered argument expression — a store to one
+// address invalidates every other tracked address, since two renderings
+// may alias.
+
+// Per-address persistence states, in progression order.
+const (
+	wpDirty   = iota // stored since its last flush
+	wpFlushed        // flushed, fence pending
+	wpClean          // flushed and fenced, not dirtied since
+)
+
+// wpState is the must-knowledge at one program point.
+type wpState struct {
+	addrs      map[string]int  // rendered address → wp* state
+	fenceClean map[string]bool // thread key → provably nothing since its last fence
+}
+
+func newWPState() *wpState {
+	return &wpState{addrs: map[string]int{}, fenceClean: map[string]bool{}}
+}
+
+func (s *wpState) clone() *wpState {
+	out := newWPState()
+	for k, v := range s.addrs {
+		out.addrs[k] = v
+	}
+	for k := range s.fenceClean {
+		out.fenceClean[k] = true
+	}
+	return out
+}
+
+// meetWith intersects src into s, reporting whether s shrank.
+func (s *wpState) meetWith(src *wpState) bool {
+	shrank := false
+	for k, v := range s.addrs {
+		if w, ok := src.addrs[k]; !ok || w != v {
+			delete(s.addrs, k)
+			shrank = true
+		}
+	}
+	for k := range s.fenceClean {
+		if !src.fenceClean[k] {
+			delete(s.fenceClean, k)
+			shrank = true
+		}
+	}
+	return shrank
+}
+
+// applyWP is the PL011 transfer function. report, when non-nil,
+// receives the wasted-work findings.
+func (fa *funcAnalysis) applyWP(s *wpState, e event, report func(code string, pos token.Pos, msg string)) {
+	clearAll := func() {
+		s.addrs = map[string]int{}
+		s.fenceClean = map[string]bool{}
+	}
+	switch e.kind {
+	case evStore:
+		if e.addrKey == "" {
+			s.addrs = map[string]int{}
+		} else {
+			for k := range s.addrs {
+				if k != e.addrKey {
+					delete(s.addrs, k) // the store may alias any of them
+				}
+			}
+			s.addrs[e.addrKey] = wpDirty
+		}
+		delete(s.fenceClean, e.key)
+	case evFlush:
+		if e.addrKey != "" {
+			if st, ok := s.addrs[e.addrKey]; ok && st != wpDirty && report != nil {
+				report(CodeWastedPersist, e.pos, fmt.Sprintf(
+					"%s.Flush(%s, ...) flushes an address provably not stored to since its last flush on every path: the clwb writes back nothing", e.key, e.addrKey))
+			}
+			s.addrs[e.addrKey] = wpFlushed
+		}
+		delete(s.fenceClean, e.key)
+	case evFence:
+		if s.fenceClean[e.key] && report != nil {
+			report(CodeWastedPersist, e.pos, fmt.Sprintf(
+				"%s.Fence with provably no %s.Store/Flush since the previous fence on every path: the sfence orders nothing", e.key, e.key))
+		}
+		for k, st := range s.addrs {
+			if st == wpFlushed {
+				s.addrs[k] = wpClean
+			}
+		}
+		s.fenceClean[e.key] = true
+	case evPersist:
+		if e.addrKey != "" {
+			if st, ok := s.addrs[e.addrKey]; ok && st == wpClean && report != nil {
+				report(CodeWastedPersist, e.pos, fmt.Sprintf(
+					"%s.Persist(%s, ...) persists an address provably clean since the last fence on every path: both the clwb and the sfence are wasted", e.key, e.addrKey))
+			}
+			s.addrs[e.addrKey] = wpClean
+		}
+		for k, st := range s.addrs {
+			if st == wpFlushed {
+				s.addrs[k] = wpClean
+			}
+		}
+		s.fenceClean[e.key] = true
+	case evCall, evEADR:
+		clearAll()
+	case evKillVar:
+		for k := range s.addrs {
+			if keyMentionsIdent(k, e.key) {
+				delete(s.addrs, k)
+			}
+		}
+	}
+}
+
+// checkWastedPersist runs the must-analysis to fixpoint, then replays
+// each node once to report. Deferred events are replayed at exit so a
+// `defer t.Persist(...)` after an inline persist of the same address is
+// caught too.
+func (fa *funcAnalysis) checkWastedPersist(g *cfg, emit func(code string, pos token.Pos, msg string)) {
+	if fa.an.disabled[CodeWastedPersist] {
+		return
+	}
+	in := make([]*wpState, len(g.nodes)) // nil = not yet reached
+	in[g.entry.id] = newWPState()
+	queued := make([]bool, len(g.nodes))
+	work := []*cfgNode{g.entry}
+	queued[g.entry.id] = true
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n.id] = false
+		out := in[n.id].clone()
+		for _, e := range n.events {
+			fa.applyWP(out, e, nil)
+		}
+		for _, succ := range n.succs {
+			changed := false
+			if in[succ.id] == nil {
+				in[succ.id] = out.clone()
+				changed = true
+			} else if in[succ.id].meetWith(out) {
+				changed = true
+			}
+			if changed && !queued[succ.id] {
+				queued[succ.id] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	seen := map[token.Pos]bool{}
+	report := func(code string, pos token.Pos, msg string) {
+		if !seen[pos] {
+			seen[pos] = true
+			emit(code, pos, msg)
+		}
+	}
+	for _, n := range g.nodes {
+		if in[n.id] == nil {
+			continue
+		}
+		s := in[n.id].clone()
+		for _, e := range n.events {
+			fa.applyWP(s, e, report)
+		}
+	}
+	if s := in[g.exit.id]; s != nil {
+		s = s.clone()
+		for i := len(g.deferred) - 1; i >= 0; i-- {
+			fa.applyWP(s, g.deferred[i], report)
 		}
 	}
 }

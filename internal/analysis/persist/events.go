@@ -9,30 +9,191 @@ package persist
 
 import (
 	"go/ast"
+	"go/token"
 	"sort"
+	"strings"
 )
 
 // extract lowers one expression or statement into events, in source
 // order. Non-deferred FuncLit bodies are skipped here and queued on
 // b.subs for separate analysis.
+//
+// Besides the thread-API and lock events, the walk records:
+//
+//   - evAccess for every selector ending in a tracked field name
+//     (PL008/PL009), with atomic context marked for x.f addressed by a
+//     functional sync/atomic call. Method selections (the Fun of a
+//     call) and the mutex chains of lock calls are not accesses.
+//   - evSeqBegin/evSeqRecheck for seqlock version loads and their
+//     re-check comparisons (PL010).
+//   - evKillVar for identifier rebindings, so facts keyed on a
+//     variable (seqlock sessions, wasted-persist address states) do
+//     not survive its reassignment.
 func (b *cfgBuilder) extract(root ast.Node) []event {
 	var out []event
+	atomicMark := map[ast.Node]bool{}
+	skipMark := map[ast.Node]bool{}
 	ast.Inspect(root, func(n ast.Node) bool {
-		if lit, ok := n.(*ast.FuncLit); ok {
-			b.subs = append(b.subs, lit)
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			b.subs = append(b.subs, x)
 			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if e, ok := b.fa.callEvent(call); ok {
-			out = append(out, e)
+		case *ast.AssignStmt:
+			out = append(out, b.fa.assignEvents(x)...)
+		case *ast.IncDecStmt:
+			if id, ok := x.X.(*ast.Ident); ok {
+				out = append(out, event{pos: x.Pos(), kind: evKillVar, key: id.Name})
+			}
+		case *ast.BinaryExpr:
+			if e, ok := b.fa.seqRecheckEvent(x); ok {
+				out = append(out, e)
+			} else if v, ok := validityTestVar(x); ok {
+				out = append(out, event{pos: x.Pos(), kind: evSeqValid, key: v})
+			}
+		case *ast.CallExpr:
+			if fun, ok := x.Fun.(*ast.SelectorExpr); ok {
+				skipMark[fun] = true // method selection, not a field access
+			}
+			if e, ok := b.fa.seqCASEvent(x); ok {
+				out = append(out, e)
+			}
+			if e, ok := b.fa.callEvent(x); ok {
+				out = append(out, e)
+				if e.kind == evLock || e.kind == evUnlock {
+					// tr.inner.mu.Lock(): reading `inner` to reach the
+					// mutex is the guard acquisition itself, not a
+					// judgeable access of the field.
+					ast.Inspect(x.Fun, func(m ast.Node) bool {
+						if s, ok := m.(*ast.SelectorExpr); ok {
+							skipMark[s] = true
+						}
+						return true
+					})
+				}
+			}
+			if fs := b.fa.functionalAtomicField(x); fs != nil {
+				atomicMark[fs] = true
+			}
+		case *ast.SelectorExpr:
+			if skipMark[x] {
+				return true // still descend: the base may contain accesses
+			}
+			if f := x.Sel.Name; b.fa.an.trackedFields[f] {
+				out = append(out, event{
+					pos:          x.Sel.Pos(),
+					kind:         evAccess,
+					accessField:  f,
+					accessOwner:  b.fa.typeOf(x.X),
+					accessAtomic: atomicMark[x],
+				})
+			}
 		}
 		return true
 	})
 	sort.SliceStable(out, func(i, j int) bool { return out[i].pos < out[j].pos })
 	return out
+}
+
+// functionalAtomicField returns the x.f selector addressed by a
+// functional sync/atomic call (atomic.StoreUint64(&x.f, v)), or nil.
+func (fa *funcAnalysis) functionalAtomicField(call *ast.CallExpr) *ast.SelectorExpr {
+	if fa.fi.atomicName == "" || len(call.Args) == 0 {
+		return nil
+	}
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomicFuncs[fun.Sel.Name] {
+		return nil
+	}
+	if id, ok := fun.X.(*ast.Ident); !ok || id.Name != fa.fi.atomicName {
+		return nil
+	}
+	return atomicArgField(call.Args[0])
+}
+
+// assignEvents lowers one assignment: a kill for every rebound
+// identifier (positioned at the statement start, so it precedes the
+// RHS events and a fresh seqlock session opened by this very statement
+// survives its own kill), and an evSeqBegin when the right side is a
+// seqlock version load.
+func (fa *funcAnalysis) assignEvents(as *ast.AssignStmt) []event {
+	var out []event
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			out = append(out, event{pos: as.Pos(), kind: evKillVar, key: id.Name})
+		}
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if base, ok := fa.seqLoadBase(rhs); ok {
+				out = append(out, event{pos: rhs.Pos(), kind: evSeqBegin, key: base + "|" + id.Name})
+			}
+		}
+	}
+	return out
+}
+
+// seqLoadBase recognizes X.f.Load() where f is a seqlock version field,
+// returning the rendered X.f base ("" otherwise).
+func (fa *funcAnalysis) seqLoadBase(e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return "", false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || !fa.an.seqFields[inner.Sel.Name] {
+		return "", false
+	}
+	return renderExpr(inner), true
+}
+
+// seqCASEvent recognizes X.f.CompareAndSwap(v, ...) on a version field
+// f: the CAS validates the saved version atomically, which is the
+// version-lock acquire idiom's re-check.
+func (fa *funcAnalysis) seqCASEvent(call *ast.CallExpr) (event, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "CompareAndSwap" || len(call.Args) < 1 {
+		return event{}, false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || !fa.an.seqFields[inner.Sel.Name] {
+		return event{}, false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return event{}, false
+	}
+	return event{pos: call.Pos(), kind: evSeqRecheck, key: renderExpr(inner) + "|" + id.Name}, true
+}
+
+// seqRecheckEvent recognizes the seqlock re-check comparison:
+// X.f.Load() ==/!= v (either operand order) for a version field f.
+func (fa *funcAnalysis) seqRecheckEvent(x *ast.BinaryExpr) (event, bool) {
+	if x.Op != token.EQL && x.Op != token.NEQ {
+		return event{}, false
+	}
+	try := func(loadSide, varSide ast.Expr) (event, bool) {
+		base, ok := fa.seqLoadBase(loadSide)
+		if !ok {
+			return event{}, false
+		}
+		id, ok := varSide.(*ast.Ident)
+		if !ok {
+			return event{}, false
+		}
+		return event{pos: x.Pos(), kind: evSeqRecheck, key: base + "|" + id.Name}, true
+	}
+	if e, ok := try(x.X, x.Y); ok {
+		return e, true
+	}
+	return try(x.Y, x.X)
 }
 
 // extractDeferred lowers a deferred call into the events that run at
@@ -67,8 +228,20 @@ func (fa *funcAnalysis) callEvent(call *ast.CallExpr) (event, bool) {
 			e.kind = evFence
 		case "Persist":
 			e.kind = evPersist
+		case "PushScope":
+			e.kind = evScopePush
+		case "PopScope":
+			e.kind = evScopePop
 		default:
 			return event{}, false
+		}
+		if len(call.Args) >= 1 && (e.kind == evStore || e.kind == evFlush || e.kind == evPersist) {
+			// Address identity for PL011: only stable renderings qualify —
+			// anything involving a call could name a different address
+			// each time.
+			if r := renderExpr(call.Args[0]); !strings.Contains(r, "(") {
+				e.addrKey = r
+			}
 		}
 		return e, true
 	}

@@ -104,6 +104,83 @@
 //	t.Persist(a, 8)
 //
 // Fix: delete the directive. PL007 is itself not suppressible.
+// cmd/persistlint -fix deletes stale directives mechanically.
+//
+// PL008 — a struct field accessed through the functional sync/atomic
+// API anywhere (atomic.AddUint64(&d.ticks, 1)) and read or written
+// plainly elsewhere: the plain access can observe a torn or stale
+// value on schedules the race detector never sees. Matching is
+// owner-aware — the same field name on an unrelated struct is not
+// indicted — and a plain access provably holding the field's declared
+// guard (the lock-for-writes protocol) or sitting in a constructor is
+// exempt:
+//
+//	atomic.AddUint64(&d.ticks, 1) // writer
+//	...
+//	return d.ticks // PL008: racy plain read of an atomic field
+//
+// Fix: atomic.LoadUint64(&d.ticks), or take the field's guard.
+//
+// PL009 — an access of a lock-guarded field without the guard held.
+// The guard is either declared (//persistlint:guardedby CLASS on the
+// field declaration, enforced on every non-constructor access) or
+// inferred: when at least 4 judged accesses exist and 75%+ of them
+// hold one declared lock class, the outliers holding nothing are the
+// accesses a lock-free refactor would silently race:
+//
+//	r.gcMu.Lock(); r.items = append(r.items, v); r.gcMu.Unlock() // ×3
+//	...
+//	return r.items[0] // PL009: every other access takes gcMu first
+//
+// Fix: take the lock, or declare the real protocol on the field.
+// A guardedby directive naming an unknown class is PL000.
+//
+// PL010 — a seqlock read session violating the protocol: save the
+// version (v := s.seq.Load()), bail when the saved value marks a
+// write in progress, read the data, re-check the version and retry on
+// mismatch. The rule demands the validity test and the re-check exist,
+// and — via the obligation dataflow — that the re-check is reached on
+// EVERY path from the load to a return:
+//
+//	v := s.seq.Load() // PL010: the cached path returns unre-checked
+//	if cached {
+//		return s.word
+//	}
+//	...re-check...
+//
+// Fix: re-check before every return (a CompareAndSwap on the saved
+// version counts; returning the version hands the obligation to the
+// caller). Version fields are typed-atomic fields named version/seq,
+// plus //persistlint:seqlock declarations.
+//
+// PL011 — provably wasted persistence work, the inverse of
+// PL001/PL002, as a must-analysis: a Flush of an address not stored to
+// since its last flush on every path, a Persist of an address clean
+// since the last fence, a Fence with nothing to order. Each one is a
+// full XPBuffer round-trip (or pipeline drain) spent on nothing:
+//
+//	t.Store(a, 1)
+//	t.Flush(a, 8)
+//	t.Flush(a, 8) // PL011: the line is provably still clean
+//	t.Fence()
+//
+// Fix: delete the duplicate. Facts die at joins that disagree, at any
+// call, and at any computed address rendering, so a maybe-dirty line
+// is never reported.
+//
+// PL012 — a Thread.PushScope with a path to return and no matching
+// PopScope (defers included): the scope leaks onto the thread's next
+// unrelated work and every later byte it writes is attributed to the
+// wrong component. Paths that die in a panic owe nothing:
+//
+//	prev := t.PushScope(pmem.ScopeMeta) // PL012
+//	if fail {
+//		return err // the scope leaks here
+//	}
+//	t.PopScope(prev)
+//
+// Fix: defer t.PopScope(prev) at the push site (or the one-liner
+// defer t.PopScope(t.PushScope(s))).
 //
 // Suppression:
 //
@@ -138,7 +215,22 @@ const (
 	CodePublishBeforePersist = "PL005"
 	CodeLockOrder            = "PL006"
 	CodeStaleIgnore          = "PL007"
+	CodeAtomicMix            = "PL008"
+	CodeGuardedBy            = "PL009"
+	CodeSeqlock              = "PL010"
+	CodeWastedPersist        = "PL011"
+	CodeScopeBalance         = "PL012"
 )
+
+// AllCodes lists every rule code, for CLI toggle validation.
+func AllCodes() []string {
+	return []string{
+		CodeBadDirective, CodeStoreNoPersist, CodeFlushNoFence,
+		CodeDeadFlush, CodeThreadEscape, CodePublishBeforePersist,
+		CodeLockOrder, CodeStaleIgnore, CodeAtomicMix, CodeGuardedBy,
+		CodeSeqlock, CodeWastedPersist, CodeScopeBalance,
+	}
+}
 
 // pmemImportPath identifies the modeled-PM package; any import path
 // with this suffix (plus the package's own files) activates analysis.
@@ -168,6 +260,11 @@ type Stats struct {
 	CFGNodes           int // control-flow graph nodes built
 	DischargeSummaries int // callee names with a discharge summary
 	LockSummaries      int // callee names with a lock-acquire summary
+	AtomicFields       int // fields accessed via functional sync/atomic (PL008 domain)
+	GuardedFields      int // fields with a declared or inferred lock guard (PL009)
+	FieldAccesses      int // tracked field accesses collected for PL008/PL009
+	SeqlockReads       int // qualifying seqlock read sessions checked (PL010)
+	ScopeSites         int // PushScope sites checked for balance (PL012)
 }
 
 // Analyzer accumulates parsed files, then runs the rules over all of
@@ -196,27 +293,105 @@ type Analyzer struct {
 	summaries map[string]summary
 	lockSums  map[string][]string
 
+	// disabled holds rule codes switched off for this run (CLI
+	// toggles). Disabled rules neither report nor mark directives used,
+	// and their directives are exempt from PL007 staleness.
+	disabled map[string]bool
+
+	// structFields maps struct type name → field name → declared type
+	// base name, for resolving the owning struct of a field access.
+	structFields map[string]map[string]string
+	// structLocks maps struct type name → classed lock fields it
+	// declares (guard candidates for its sibling fields).
+	structLocks map[string][]string
+	// typedAtomicFields holds bare names of fields declared with a
+	// sync/atomic value type (atomic.Uint64, atomic.Bool, ...): the
+	// type system already forbids plain access, so PL008/PL009 skip
+	// them.
+	typedAtomicFields map[string]bool
+	// atomicFields holds bare names of fields accessed through the
+	// functional sync/atomic API (atomic.LoadUint64(&x.f), ...) —
+	// PL008's domain.
+	atomicFields map[string]bool
+	// seqFields holds names of version-counter fields whose readers
+	// must follow the seqlock protocol (PL010): atomic.Uint32/Uint64
+	// fields named version/seq, plus //persistlint:seqlock declarations.
+	seqFields map[string]bool
+	// guardDecls maps "Type.field" to the lock class declared with
+	// //persistlint:guardedby; guardDeclPos records the declaration
+	// site for error reporting.
+	guardDecls   map[string]string
+	guardDeclPos map[string]token.Pos
+	// trackedFields is the union of field names whose accesses are
+	// collected for PL008/PL009.
+	trackedFields map[string]bool
+	// accesses is every tracked field access with its held-lock
+	// snapshot, in deterministic collection order.
+	accesses []*fieldAccess
+	// inferredGuards maps "Type.field" to the dominant lock class
+	// inferred by PL009 (guardDecls take precedence).
+	inferredGuards map[string]string
+	// scopeSites/seqSites count distinct PL012/PL010 program points for
+	// -stats.
+	scopeSites map[token.Pos]bool
+	seqSites   map[token.Pos]bool
+
 	stats Stats
 }
 
-type fileInfo struct {
-	path     string
-	f        *ast.File
-	pmemName string // local import name of internal/pmem ("" if absent)
-	obsName  string // local import name of internal/obs ("" if absent)
-	inPmem   bool   // file belongs to package pmem itself
-	inObs    bool   // file belongs to package obs itself
-	ignores  map[int][]*directive
+// fieldAccess is one collected access to a tracked struct field.
+type fieldAccess struct {
+	pos    token.Pos
+	fa     *funcAnalysis
+	field  string // bare field name
+	owner  string // resolved owning struct type name ("" if unresolved)
+	atomic bool   // access went through sync/atomic (functional or typed)
+	held   map[string]bool
+	ctor   bool // access sits in a constructor/init path
 }
 
-// NewAnalyzer returns an empty analyzer.
+type fileInfo struct {
+	path       string
+	f          *ast.File
+	pmemName   string // local import name of internal/pmem ("" if absent)
+	obsName    string // local import name of internal/obs ("" if absent)
+	atomicName string // local import name of sync/atomic ("" if absent)
+	inPmem     bool   // file belongs to package pmem itself
+	inObs      bool   // file belongs to package obs itself
+	ignores    map[int][]*directive
+	guards     map[int]*guardDecl // //persistlint:guardedby by line
+	seqDecls   map[int]bool       // //persistlint:seqlock by line
+}
+
+// NewAnalyzer returns an empty analyzer with every rule enabled.
 func NewAnalyzer() *Analyzer {
 	return &Analyzer{
-		fset:            token.NewFileSet(),
-		threadFields:    map[string]bool{},
-		handleFields:    map[string]bool{},
-		addrFields:      map[string]bool{},
-		lockOwnerFields: map[string]string{},
+		fset:              token.NewFileSet(),
+		threadFields:      map[string]bool{},
+		handleFields:      map[string]bool{},
+		addrFields:        map[string]bool{},
+		lockOwnerFields:   map[string]string{},
+		disabled:          map[string]bool{},
+		structFields:      map[string]map[string]string{},
+		structLocks:       map[string][]string{},
+		typedAtomicFields: map[string]bool{},
+		atomicFields:      map[string]bool{},
+		seqFields:         map[string]bool{},
+		guardDecls:        map[string]string{},
+		guardDeclPos:      map[string]token.Pos{},
+		trackedFields:     map[string]bool{},
+		scopeSites:        map[token.Pos]bool{},
+		seqSites:          map[token.Pos]bool{},
+	}
+}
+
+// Disable switches the given rule codes off for subsequent Runs. PL000
+// (malformed directives) cannot be disabled.
+func (a *Analyzer) Disable(codes ...string) {
+	for _, c := range codes {
+		if c != CodeBadDirective {
+			a.disabled[c] = true
+		}
 	}
 }
 
@@ -254,8 +429,16 @@ func (a *Analyzer) AddFile(path string, src []byte) error {
 				fi.obsName = "obs"
 			}
 		}
+		if p == "sync/atomic" {
+			if imp.Name != nil {
+				fi.atomicName = imp.Name.Name
+			} else {
+				fi.atomicName = "atomic"
+			}
+		}
 	}
 	fi.ignores = parseDirectives(a.fset, f)
+	fi.guards, fi.seqDecls = parseFieldDirectives(a.fset, f)
 	a.files = append(a.files, fi)
 	return nil
 }
@@ -287,15 +470,31 @@ func (a *Analyzer) AddDir(dir string, includeTests bool) error {
 // deterministic order (position, then code, then message).
 func (a *Analyzer) Run() []Finding {
 	a.stats = Stats{Files: len(a.files)}
+	a.accesses = nil
+	a.scopeSites = map[token.Pos]bool{}
+	a.seqSites = map[token.Pos]bool{}
 	for _, fi := range a.files {
 		a.collectThreadFields(fi)
+		a.collectStructInfo(fi)
 	}
+	for _, fi := range a.files {
+		a.collectAtomicUses(fi)
+	}
+	a.buildTrackedFields()
 	a.computeSummaries()
 	var out []Finding
 	for _, fi := range a.files {
 		out = append(out, a.checkFile(fi)...)
 	}
+	a.inferGuards()
+	out = append(out, a.checkAtomicConsistency()...)
+	out = append(out, a.checkGuardedBy()...)
 	out = append(out, a.checkStaleDirectives()...)
+	a.stats.AtomicFields = len(a.atomicFields)
+	a.stats.FieldAccesses = len(a.accesses)
+	a.stats.GuardedFields = len(a.inferredGuards) + len(a.guardDecls)
+	a.stats.SeqlockReads = len(a.seqSites)
+	a.stats.ScopeSites = len(a.scopeSites)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -320,11 +519,14 @@ func (a *Analyzer) Run() []Finding {
 // directives are PL000, not PL007. Not suppressible: the remedy is
 // deleting the line, not excusing it.
 func (a *Analyzer) checkStaleDirectives() []Finding {
+	if a.disabled[CodeStaleIgnore] {
+		return nil
+	}
 	var out []Finding
 	for _, fi := range a.files {
 		for _, dirs := range fi.ignores {
 			for _, d := range dirs {
-				if d.reason == "" || d.used {
+				if d.reason == "" || d.used || a.directiveCoversDisabled(d) {
 					continue
 				}
 				out = append(out, Finding{
@@ -337,6 +539,18 @@ func (a *Analyzer) checkStaleDirectives() []Finding {
 		}
 	}
 	return out
+}
+
+// directiveCoversDisabled reports whether the directive names a rule
+// that is switched off this run: with the rule silent the directive
+// cannot possibly match, so calling it stale would be wrong.
+func (a *Analyzer) directiveCoversDisabled(d *directive) bool {
+	for _, c := range d.codes {
+		if (c == "*" && len(a.disabled) > 0) || a.disabled[c] {
+			return true
+		}
+	}
+	return false
 }
 
 // isThreadType reports whether the type expression denotes
@@ -448,6 +662,12 @@ type funcAnalysis struct {
 	handles  map[string]bool   // identifiers known to hold *obs.Handle
 	addrs    map[string]bool   // identifiers known to hold pmem.Addr
 	muOwners map[string]string // identifiers whose type owns a "mu" field → class
+	varTypes map[string]string // identifiers with a resolvable struct type base name
+	ctor     bool              // body is a constructor/init path (PL008/PL009 exempt)
+
+	// seqQualified marks seqlock-session keys whose missing re-check is
+	// reportable (PL010), set by checkSeqlock before the dataflow runs.
+	seqQualified map[string]bool
 }
 
 // newFuncAnalysis builds the analysis state for one declared function.
@@ -461,7 +681,28 @@ func newFuncAnalysis(a *Analyzer, fi *fileInfo, fd *ast.FuncDecl) *funcAnalysis 
 	fa.collectThreadVars()
 	fa.collectAddrVars()
 	fa.collectLockOwnerTypes()
+	fa.collectVarTypes()
+	fa.ctor = isCtorName(fa.fname)
 	return fa
+}
+
+// isCtorName reports whether the function name denotes a constructor
+// or init path: struct fields are routinely filled before the value is
+// published, so guard rules do not apply there.
+func isCtorName(fname string) bool {
+	name := fname
+	if i := strings.LastIndex(name, ")."); i >= 0 {
+		name = name[i+2:]
+	}
+	if i := strings.Index(name, "."); i >= 0 {
+		name = name[:i] // closures inherit the declaring function's role
+	}
+	for _, p := range []string{"new", "New", "open", "Open", "init", "Init", "make", "Make"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // forLit derives the analysis state for the idx-th function literal of
@@ -475,6 +716,8 @@ func (fa *funcAnalysis) forLit(lit *ast.FuncLit, idx int) *funcAnalysis {
 		handles:  copyBoolMap(fa.handles),
 		addrs:    copyBoolMap(fa.addrs),
 		muOwners: copyStringMap(fa.muOwners),
+		varTypes: copyStringMap(fa.varTypes),
+		ctor:     fa.ctor,
 	}
 	for _, fld := range lit.Type.Params.List {
 		switch {
@@ -495,6 +738,11 @@ func (fa *funcAnalysis) forLit(lit *ast.FuncLit, idx int) *funcAnalysis {
 				for _, n := range fld.Names {
 					sub.muOwners[n.Name] = cls
 				}
+			}
+		}
+		if t := typeBaseName(fld.Type); t != "" {
+			for _, n := range fld.Names {
+				sub.varTypes[n.Name] = t
 			}
 		}
 	}
@@ -667,6 +915,9 @@ func (fa *funcAnalysis) suppressed(code string, line int) bool {
 }
 
 func (fa *funcAnalysis) finding(code string, pos token.Pos, msg string) (Finding, bool) {
+	if fa.an.disabled[code] {
+		return Finding{}, false
+	}
 	p := fa.an.fset.Position(pos)
 	if fa.suppressed(code, p.Line) {
 		return Finding{}, false

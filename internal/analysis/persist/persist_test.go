@@ -100,6 +100,98 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// loadCorpus runs the analyzer over every testdata file with the given
+// rules disabled and returns the finding count per code.
+func loadCorpus(t *testing.T, disable ...string) map[string]int {
+	t.Helper()
+	ents, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalyzer()
+	an.Disable(disable...)
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if err := an.AddFile(filepath.Join("testdata", e.Name()), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[string]int{}
+	for _, f := range an.Run() {
+		counts[f.Code]++
+	}
+	return counts
+}
+
+// TestRuleToggles proves two things per concurrency rule: its golden
+// corpus actually exercises it (so TestGolden would fail if the rule
+// were broken or disabled), and Disable removes exactly that rule's
+// findings without disturbing the others.
+func TestRuleToggles(t *testing.T) {
+	corpus := map[string]string{
+		CodeAtomicMix:     "atomicmix.go",
+		CodeGuardedBy:     "guardedby.go",
+		CodeSeqlock:       "seqlockread.go",
+		CodeWastedPersist: "wastedpersist.go",
+		CodeScopeBalance:  "scopebalance.go",
+	}
+	baseline := loadCorpus(t)
+	for code, file := range corpus {
+		if baseline[code] == 0 {
+			t.Errorf("corpus %s yields no %s findings; the golden test no longer guards the rule", file, code)
+		}
+	}
+	for code := range corpus {
+		counts := loadCorpus(t, code)
+		if counts[code] != 0 {
+			t.Errorf("Disable(%s) left %d %s finding(s)", code, counts[code], code)
+		}
+		for other, n := range baseline {
+			if other != code && counts[other] != n {
+				t.Errorf("Disable(%s) changed %s findings: %d, want %d", code, other, counts[other], n)
+			}
+		}
+	}
+}
+
+// TestGoldenDeterminism renders the full corpus findings twice from
+// fresh analyzers and demands byte-identical output: map iteration
+// anywhere in the pipeline would show up here.
+func TestGoldenDeterminism(t *testing.T) {
+	render := func() string {
+		ents, err := os.ReadDir("testdata")
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := NewAnalyzer()
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			if err := an.AddFile(filepath.Join("testdata", e.Name()), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var b strings.Builder
+		for _, f := range an.Run() {
+			b.WriteString(f.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("corpus rendered no findings")
+	}
+	for i := 1; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
 // TestLinearAnalysisMissesEarlyReturn documents why the analyzer is
 // CFG-based. The pre-CFG implementation ordered a function's thread-API
 // calls by source position and discharged a Store if ANY later

@@ -51,8 +51,12 @@ func (fa *funcAnalysis) runCFG(body *ast.BlockStmt, out *[]Finding) {
 			*out = append(*out, f)
 		}
 	}
+	fa.checkSeqlock(emit) // fills seqQualified before the obligation pass
 	fa.checkObligations(g, emit)
-	fa.checkLockOrder(g, emit)
+	held := fa.lockFixpoint(g)
+	fa.checkLockOrder(g, held, emit)
+	fa.collectAccesses(g, held)
+	fa.checkWastedPersist(g, emit)
 
 	for i, lit := range subs {
 		sub := fa.forLit(lit, i)

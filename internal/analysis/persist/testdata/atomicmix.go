@@ -1,0 +1,68 @@
+// PL008 cases: a field accessed through the functional sync/atomic API
+// anywhere must never be read or written plainly elsewhere, unless the
+// plain access provably holds the field's declared guard (the
+// lock-for-writes / atomics-for-reads protocol) or runs in a
+// constructor before the value is published. Matching is owner-aware:
+// the same field name on an unrelated struct is never indicted.
+package testdata
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type atomDev struct {
+	gcMu sync.Mutex
+	//persistlint:guardedby gcMu
+	ticks uint64
+}
+
+func (d *atomDev) hit() {
+	atomic.AddUint64(&d.ticks, 1)
+}
+
+func (d *atomDev) read() uint64 {
+	return atomic.LoadUint64(&d.ticks)
+}
+
+// Plain access under the field's declared guard: the writer mutates
+// under the lock and readers go through atomics — a coherent protocol.
+func (d *atomDev) drain() uint64 {
+	d.gcMu.Lock()
+	v := d.ticks
+	d.ticks = 0
+	d.gcMu.Unlock()
+	return v
+}
+
+// Plain read with nothing held races every atomic writer.
+func (d *atomDev) peek() uint64 {
+	return d.ticks // want "PL008"
+}
+
+// Constructor fills are exempt: the value is not published yet.
+func newAtomDev() *atomDev {
+	d := &atomDev{}
+	d.ticks = 0
+	return d
+}
+
+// Suppression on the access line, with a reason.
+func (d *atomDev) debugDump() uint64 {
+	//persistlint:ignore PL008 debug-only sample; a torn read is acceptable
+	return d.ticks
+}
+
+// Same field name on an unrelated struct (a DRAM snapshot): owner-aware
+// matching leaves it alone.
+type devSnap struct {
+	ticks uint64
+}
+
+func snapshotDev(d *atomDev) devSnap {
+	return devSnap{ticks: atomic.LoadUint64(&d.ticks)}
+}
+
+func (s devSnap) staleTicks() uint64 {
+	return s.ticks
+}

@@ -1,0 +1,70 @@
+// PL009 cases: guarded-by inference and declaration. A field whose
+// accesses dominantly hold one lock class gets that class inferred as
+// its guard and the minority accesses holding nothing are flagged; an
+// explicit //persistlint:guardedby declaration skips inference and
+// enforces the class on every non-constructor access. A declaration
+// naming an unknown class is itself a defect (PL000).
+package testdata
+
+import "sync"
+
+// Inferred guard: items is accessed four times, three of them under
+// gcMu — enough for the 3/4 dominance threshold.
+type registry struct {
+	gcMu  sync.Mutex
+	items []uint64
+}
+
+func (r *registry) add(v uint64) {
+	r.gcMu.Lock()
+	r.items = append(r.items, v)
+	r.gcMu.Unlock()
+}
+
+func (r *registry) count() int {
+	r.gcMu.Lock()
+	n := len(r.items)
+	r.gcMu.Unlock()
+	return n
+}
+
+// The outlier: every other access takes gcMu first.
+func (r *registry) racyFirst() uint64 {
+	return r.items[0] // want "PL009"
+}
+
+// Declared guard: no dominance needed, one unguarded access flags.
+type jobPool struct {
+	workersMu sync.Mutex
+	//persistlint:guardedby workersMu
+	jobs []uint64
+}
+
+func (p *jobPool) push(v uint64) {
+	p.workersMu.Lock()
+	p.jobs = append(p.jobs, v)
+	p.workersMu.Unlock()
+}
+
+func (p *jobPool) steal() uint64 {
+	return p.jobs[0] // want "PL009"
+}
+
+// Constructor fills are exempt even under a declared guard.
+func newJobPool() *jobPool {
+	p := &jobPool{}
+	p.jobs = make([]uint64, 0, 8)
+	return p
+}
+
+// Suppression on the access line, with a reason.
+func (p *jobPool) unsafeLen() int {
+	//persistlint:ignore PL009 approximate length for metrics; staleness is fine
+	return len(p.jobs)
+}
+
+// A declaration naming a lock class outside the declared order.
+type orphanPool struct {
+	//persistlint:guardedby bigLock
+	slabs []uint64 // want "PL000"
+}

@@ -1,0 +1,62 @@
+// PL012 cases: PushScope/PopScope balance. A scope pushed on a thread
+// and not popped on some path to return leaks the attribution to the
+// thread's next unrelated work — every later byte it writes is charged
+// to the wrong component. Deferred pops count; paths that die in a
+// panic owe nothing (the thread dies with them).
+package testdata
+
+import "cclbtree/internal/pmem"
+
+func scopeLeakOnEarlyReturn(t *pmem.Thread, fail bool) bool {
+	prev := t.PushScope(pmem.ScopeMeta) // want "PL012"
+	if fail {
+		return false
+	}
+	t.PopScope(prev)
+	return true
+}
+
+// A worker-owned thread leaks the same way; the key is the rendered
+// thread expression.
+func (w *worker) scopedWriteLeaks(a pmem.Addr) {
+	w.t.PushScope(pmem.ScopeGC) // want "PL012"
+	w.t.Store(a, 1)
+	w.t.Persist(a, 8)
+}
+
+func scopeWithDefer(t *pmem.Thread, a pmem.Addr) {
+	prev := t.PushScope(pmem.ScopeSplit)
+	defer t.PopScope(prev)
+	t.Store(a, 1)
+	t.Persist(a, 8)
+}
+
+// The functional idiom: the push happens at defer-statement evaluation,
+// the pop at return.
+func scopeFunctional(t *pmem.Thread) {
+	defer t.PopScope(t.PushScope(pmem.ScopeRecovery))
+}
+
+func scopeBothBranches(t *pmem.Thread, alt bool) {
+	prev := t.PushScope(pmem.ScopeMeta)
+	if alt {
+		t.PopScope(prev)
+		return
+	}
+	t.PopScope(prev)
+}
+
+// A path that panics never returns: the scope dies with the thread.
+func scopePanicPath(t *pmem.Thread, bad bool) {
+	prev := t.PushScope(pmem.ScopeMeta)
+	if bad {
+		panic("corrupt superblock")
+	}
+	t.PopScope(prev)
+}
+
+// Suppression on the push line, with a reason.
+func scopeForLife(t *pmem.Thread) {
+	//persistlint:ignore PL012 the thread is dedicated to this scope until it is dropped
+	t.PushScope(pmem.ScopeMeta)
+}

@@ -1,0 +1,113 @@
+// PL010 cases: the seqlock read protocol. A reader must save the
+// version (s.seq.Load()), bail when the saved value marks a write in
+// progress, read the data, then re-check the version and retry on
+// mismatch. The syntactic half demands the validity test and re-check
+// exist at all; the obligation dataflow then proves the re-check is
+// reached on every path to a return.
+package testdata
+
+import "sync/atomic"
+
+type seqSlot struct {
+	seq  atomic.Uint64
+	word uint64
+}
+
+// No re-check anywhere: a racing writer hands back torn data.
+func readNoRecheck(s *seqSlot) uint64 {
+	v := s.seq.Load() // want "PL010"
+	if v&1 != 0 {
+		return 0
+	}
+	return s.word
+}
+
+// Re-checked but never tested for a write in progress: the data reads
+// can observe a half-written slot before the mismatch is noticed.
+func readNoValidityTest(s *seqSlot) uint64 {
+	for {
+		v := s.seq.Load() // want "PL010"
+		x := s.word
+		if s.seq.Load() == v {
+			return x
+		}
+	}
+}
+
+// Both pieces exist, but the fast path returns between the load and
+// the re-check — only the path-sensitive dataflow catches this one.
+func readFastPathSkipsRecheck(s *seqSlot, cached bool) uint64 {
+	v := s.seq.Load() // want "PL010"
+	if cached {
+		return s.word
+	}
+	if v&1 != 0 {
+		return 0
+	}
+	x := s.word
+	if s.seq.Load() != v {
+		return 0
+	}
+	return x
+}
+
+// The full protocol: load, bail on odd, read, re-check, retry.
+func readSeqlock(s *seqSlot) uint64 {
+	for {
+		v := s.seq.Load()
+		if v&1 != 0 {
+			continue
+		}
+		x := s.word
+		if s.seq.Load() == v {
+			return x
+		}
+	}
+}
+
+// The saved version escapes to the caller: the re-check obligation
+// transfers with it (begin/end read-session APIs).
+func beginRead(s *seqSlot) uint64 {
+	v := s.seq.Load()
+	return v
+}
+
+// A CompareAndSwap on the saved version is the version-lock acquire
+// idiom's re-check.
+func tryLockSlot(s *seqSlot) bool {
+	v := s.seq.Load()
+	if v&1 != 0 {
+		return false
+	}
+	return s.seq.CompareAndSwap(v, v+1)
+}
+
+// Skipping a slot mid-session — on the write-in-progress test or on
+// empty data — and letting the loop rebind s and v is not a missing
+// re-check: the next iteration opens a fresh session and the dead
+// binding owes nothing.
+func sumValidSlots(slots []*seqSlot) uint64 {
+	var sum uint64
+	for _, s := range slots {
+		v := s.seq.Load()
+		if v&1 != 0 {
+			continue
+		}
+		x := s.word
+		if x == 0 {
+			continue // empty slot: move on without re-checking
+		}
+		if s.seq.Load() == v {
+			sum += x
+		}
+	}
+	return sum
+}
+
+// Suppression on the load line, with a reason.
+func racyPeek(s *seqSlot) uint64 {
+	//persistlint:ignore PL010 monitoring sample; a torn value is acceptable
+	v := s.seq.Load()
+	_ = v
+	return s.word
+}

@@ -1,0 +1,89 @@
+// PL011 cases: wasted persistence work, the inverse of PL001/PL002.
+// The must-analysis flags a Flush of an address provably not stored to
+// since its last flush on EVERY path, a Persist of an address provably
+// clean since the last fence, and a Fence with provably nothing to
+// order — each one a full XPBuffer round-trip (or pipeline drain) spent
+// on nothing. Anything the paths disagree on, any call, and any
+// non-trivial address rendering drops the fact instead of guessing.
+package testdata
+
+import "cclbtree/internal/pmem"
+
+func doubleFlush(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+	t.Flush(a, 8) // want "PL011"
+	t.Fence()
+}
+
+func doubleFence(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+	t.Fence()
+	t.Fence() // want "PL011"
+}
+
+func persistClean(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Persist(a, 8)
+	t.Persist(a, 8) // want "PL011"
+}
+
+// A deferred persist duplicating the inline one fires at function exit.
+func deferredDoublePersist(t *pmem.Thread, a pmem.Addr) {
+	defer t.Persist(a, 8) // want "PL011"
+	t.Store(a, 1)
+	t.Persist(a, 8)
+}
+
+// Re-flushing after a possible re-dirty is not wasted: the branch
+// paths disagree on the line's state, so the meet drops the fact.
+func flushAfterMaybeStore(t *pmem.Thread, a pmem.Addr, dirty bool) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+	if dirty {
+		t.Store(a, 2)
+	}
+	t.Flush(a, 8)
+	t.Fence()
+}
+
+// A call between the persists may dirty anything: not provably wasted.
+func persistAroundCall(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Persist(a, 8)
+	scrubLine(t, a)
+	t.Persist(a, 8)
+}
+
+func scrubLine(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 0)
+	t.Persist(a, 8)
+}
+
+// A store to one address may alias another rendering: the second
+// flush of a is not judged after the store to b invalidated it.
+func storeMayAlias(t *pmem.Thread, a, b pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+	t.Store(b, 2)
+	t.Flush(a, 8)
+	t.Flush(b, 8)
+	t.Fence()
+}
+
+// Computed addresses never qualify as stable identities.
+func computedAddr(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a.Add(8), 1)
+	t.Persist(a.Add(8), 8)
+	t.Persist(a.Add(8), 8)
+}
+
+// Suppression on the flush line, with a reason.
+func doubleFlushOnPurpose(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+	//persistlint:ignore PL011 the duplicate flush exercises the device's pending-entry path
+	t.Flush(a, 8)
+	t.Fence()
+}

@@ -134,6 +134,7 @@ func Recover(pool *pmem.Pool, opts Options, base pmem.Addr, chunks []pmem.Addr) 
 		base:   base,
 		gcDone: make(chan struct{}),
 	}
+	//persistlint:ignore PL009 Recover runs single-threaded before the table is published; no GC can race
 	close(h.gcDone)
 	h.walman = wal.NewManager(h.alloc, opts.ChunkBytes)
 	h.buffers = make([]bufNode, opts.Buckets)

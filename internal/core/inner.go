@@ -97,6 +97,10 @@ func (tr *innerTree) put(t *pmem.Thread, key uint64, v *bufferNode) {
 	}
 }
 
+// insert descends recursively; every entry point (Insert, the root
+// split above) takes tr.mu before the first call.
+//
+//persistlint:ignore PL009 callers hold inner.mu for the whole descent; the analysis is intraprocedural
 func (tr *innerTree) insert(t *pmem.Thread, n *innerNode, key uint64, v *bufferNode) (uint64, *innerNode) {
 	if n.leaf() {
 		i := tr.search(t, n.keys, key)

@@ -51,6 +51,7 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 		threads = 1
 	}
 	t0 := pool.NewThread(0)
+	//persistlint:ignore PL012 t0 is recovery-dedicated; the scope holds until the thread is dropped at the end of Open
 	t0.PushScope(pmem.ScopeRecovery)
 
 	// Superblock.
@@ -383,6 +384,7 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 		workers[i] = tr.NewWorker(i % pool.Sockets())
 		// Replay traffic (leaf flushes, splits, log re-appends) is
 		// recovery-caused; wal.Append still claims its own bytes.
+		//persistlint:ignore PL012 replay workers live only for phase 3; their threads die scoped
 		workers[i].t.PushScope(pmem.ScopeRecovery)
 	}
 	var wg sync.WaitGroup

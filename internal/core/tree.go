@@ -180,6 +180,7 @@ func New(pool *pmem.Pool, opts Options) (*Tree, error) {
 		return nil, fmt.Errorf("core: allocate chunk directory: %w", err)
 	}
 	dirThread := pool.NewThread(0)
+	//persistlint:ignore PL012 dirThread serves the chunk directory for the tree's lifetime; all its work is ScopeMeta
 	dirThread.PushScope(pmem.ScopeMeta)
 	tr.dir = newChunkDir(dirThread, dirAddr, opts.DirSlots)
 	tr.dir.clearAll()

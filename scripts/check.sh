@@ -16,7 +16,19 @@ fi
 
 go build ./...
 go vet ./...
-go run ./cmd/persistlint -tests -stats ./...
+# All rules (PL001–PL012, concurrency discipline included) over every
+# package, test files included, with a wall-clock budget so analyzer
+# regressions surface as CI failures rather than slow drift.
+go run ./cmd/persistlint -tests -stats -budget 10s ./...
+# Self-lint: the golden corpus must parse and yield findings (exit 1).
+# Exit 2 would mean a corpus file stopped parsing; exit 0 would mean
+# the corpus stopped exercising the rules. The repo-wide gofmt gate
+# above already covers the corpus files' formatting.
+set +e
+go run ./cmd/persistlint -json internal/analysis/persist/testdata >/dev/null 2>&1
+corpus=$?
+set -e
+test "$corpus" -eq 1
 go test ./...
 go test -race -short ./internal/core/... ./internal/pmem/... ./internal/obs/...
 go test -race -run TestTortureShort ./internal/torture
