@@ -170,6 +170,11 @@ func (t *Tree) Metrics() core.TreeMetrics { return t.inner.Metrics() }
 // JSON export, including the per-scope media-byte attribution.
 func (t *Tree) Observe() obs.Observation { return obs.Observe(t.pool) }
 
+// Profile snapshots the contention/heat tier: per-class lock statistics,
+// per-segment critical-path latency attribution, and the hottest leaves.
+// All slices are empty unless Config.Metrics is on.
+func (t *Tree) Profile() obs.Profile { return t.inner.Profile() }
+
 // MemoryUsage returns modeled DRAM bytes and PM bytes in use.
 func (t *Tree) MemoryUsage() (dramBytes, pmBytes int64) { return t.inner.MemoryUsage() }
 

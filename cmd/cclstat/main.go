@@ -89,23 +89,112 @@ func renderReport(w *os.File, rep *obs.BenchReport) {
 	}
 	fmt.Fprintf(w, "\nmedia writes by scope (%s total):\n", fmtBytes(media))
 	renderBars(w, total, media)
+
+	// Contention/heat tier: render the last phase that carried a
+	// profile (profiles are cumulative since index creation, so the
+	// last one subsumes the earlier ones for a single-index run).
+	for i := len(rep.Phases) - 1; i >= 0; i-- {
+		if p := rep.Phases[i].Profile; p != nil {
+			fmt.Fprintf(w, "\nprofile (phase %s):\n", rep.Phases[i].Phase)
+			renderProfile(w, p)
+			break
+		}
+	}
 }
 
+// renderProfile draws the second obs tier — lock contention, critical-
+// path segments, hot leaves — shared by replay and attach modes.
+func renderProfile(w *os.File, p *obs.Profile) {
+	if len(p.Locks) > 0 {
+		fmt.Fprintf(w, "\nlock contention (wall ns, sampled):\n")
+		fmt.Fprintf(w, "  %-12s %12s %10s %9s %9s %9s %9s\n",
+			"class", "acquisitions", "contended", "wait p50", "wait p99", "wait max", "hold p99")
+		for _, ls := range p.Locks {
+			fmt.Fprintf(w, "  %-12s %12d %10d %9d %9d %9d %9d\n",
+				ls.Class, ls.Acquisitions, ls.Contended,
+				ls.WaitP50NS, ls.WaitP99NS, ls.WaitMaxNS, ls.HoldP99NS)
+		}
+	}
+	if len(p.Segments) > 0 {
+		opSum := map[string]uint64{}
+		for _, sg := range p.Segments {
+			opSum[sg.Op] += sg.SumNS
+		}
+		fmt.Fprintf(w, "\ncritical-path segments (virtual ns):\n")
+		fmt.Fprintf(w, "  %-6s %-9s %9s %8s %8s %8s %7s\n",
+			"op", "segment", "count", "p50", "p99", "p999", "share")
+		for _, sg := range p.Segments {
+			share := 0.0
+			if t := opSum[sg.Op]; t > 0 {
+				share = 100 * float64(sg.SumNS) / float64(t)
+			}
+			fmt.Fprintf(w, "  %-6s %-9s %9d %8d %8d %8d %6.1f%%\n",
+				sg.Op, sg.Segment, sg.Count, sg.P50NS, sg.P99NS, sg.P999NS, share)
+		}
+	}
+	if len(p.HotLeaves) > 0 {
+		fmt.Fprintf(w, "\nhot leaves (epoch %d, %d dropped):\n", p.HeatEpoch, p.HeatDropped)
+		max := p.HotLeaves[0].Score
+		const width = 24
+		for _, e := range p.HotLeaves {
+			n := 0
+			if max > 0 {
+				n = int(float64(e.Score) / float64(max) * width)
+			}
+			if n == 0 && e.Score > 0 {
+				n = 1
+			}
+			fmt.Fprintf(w, "  %#16x %s%s %8d  (r %d / w %d)\n",
+				e.Leaf, strings.Repeat("█", n), strings.Repeat("·", width-n),
+				e.Score, e.Reads, e.Writes)
+		}
+	}
+}
+
+// maxAttachFailures bounds attach mode's reconnection attempts: the
+// endpoint restarting mid-session (cclbench re-exec'd, port briefly
+// down) is survivable, but a dead endpoint should not keep a terminal
+// spinning forever.
+const maxAttachFailures = 20
+
 // attachLoop polls the live endpoint and redraws one frame per tick.
+// Fetch failures switch to a bounded reconnection loop: a visible
+// "reconnecting" status line, exponential backoff capped at 8× the poll
+// interval, and a hard stop after maxAttachFailures consecutive
+// failures. Any successful fetch resets the budget, so an endpoint that
+// restarts mid-session (new cclbench run on the same port) is picked
+// up where it left off.
 func attachLoop(url string, interval time.Duration, once bool) error {
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
 	client := &http.Client{Timeout: 5 * time.Second}
 	first := true
+	failures := 0
 	for {
 		o, err := fetchObservation(client, url)
 		switch {
 		case err != nil && once:
 			return err
 		case err != nil:
-			fmt.Printf("\r[%s: %v]          ", url, err)
+			failures++
+			if failures >= maxAttachFailures {
+				fmt.Println()
+				return fmt.Errorf("giving up after %d consecutive failures: %v", failures, err)
+			}
+			backoff := interval << min(failures-1, 3)
+			fmt.Printf("\r\x1b[K[reconnecting to %s: attempt %d/%d, retry in %s — %v]",
+				url, failures, maxAttachFailures, backoff, err)
+			time.Sleep(backoff)
+			continue
 		default:
+			if failures > 0 {
+				// Back after an outage: clear the status line and force a
+				// full redraw (the endpoint may be a brand-new run).
+				fmt.Print("\r\x1b[K")
+				first = true
+				failures = 0
+			}
 			if !first {
 				// Redraw in place: home the cursor and clear below.
 				fmt.Print("\x1b[H\x1b[J")
@@ -120,6 +209,13 @@ func attachLoop(url string, interval time.Duration, once bool) error {
 		}
 		time.Sleep(interval)
 	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func fetchObservation(client *http.Client, url string) (*obs.Observation, error) {
@@ -151,6 +247,9 @@ func renderObservation(w *os.File, url string, o *obs.Observation) {
 		fmtBytes(o.MediaReadBytes), o.CacheEvictions)
 	fmt.Fprintf(w, "\nmedia writes by scope:\n")
 	renderBars(w, o.ScopeMediaBytes, o.MediaWriteBytes)
+	if o.Profile != nil {
+		renderProfile(w, o.Profile)
+	}
 }
 
 // renderBars prints one bar per scope, widest contributor first.

@@ -7,6 +7,7 @@ package cclidx
 import (
 	"cclbtree"
 	"cclbtree/internal/index"
+	"cclbtree/internal/obs"
 	"cclbtree/internal/pmem"
 )
 
@@ -45,6 +46,10 @@ func (t *Tree) NewHandle(socket int) index.Handle {
 
 // MemoryUsage implements index.Index.
 func (t *Tree) MemoryUsage() (int64, int64) { return t.db.MemoryUsage() }
+
+// Profile exposes the contention/heat profile so the bench harness
+// attaches it to phase records (empty unless Config.Metrics is on).
+func (t *Tree) Profile() obs.Profile { return t.db.Profile() }
 
 // Close implements index.Index.
 func (t *Tree) Close() { t.db.Close() }

@@ -52,6 +52,10 @@ type Scale struct {
 	ScanLen int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Tracer, when non-nil and enabled, is attached by experiments that
+	// build metrics-enabled CCL trees (currently ycsbb) so operation,
+	// device and span-segment events land in its ring (cclbench -trace).
+	Tracer *obs.Tracer
 }
 
 // DefaultScale returns the quick configuration (≈1/500 of paper size).
@@ -177,6 +181,18 @@ type Result struct {
 	Latencies []int64
 	DRAMBytes int64
 	PMBytes   int64
+	// Profile is the index's contention/heat profile, captured after the
+	// measured phase when the index exposes one (CCL-BTree with
+	// Config.Metrics on); nil otherwise. Cumulative since index
+	// creation, so it includes the load phase.
+	Profile *obs.Profile
+}
+
+// profiled is the optional index capability the harness probes for: an
+// index that can report the second obs tier (lock contention, span
+// attribution, leaf heat).
+type profiled interface {
+	Profile() obs.Profile
 }
 
 // ampStats is the phase's stats with the harness-computed payload
@@ -273,8 +289,16 @@ func Run(pool *pmem.Pool, idx index.Index, spec Spec) (*Result, error) {
 		spec.Threads = 1
 	}
 	// Point the live observation endpoint (cclbench -http / cclstat
-	// -attach) at the pool currently being measured.
-	obs.SetLive(func() obs.Observation { return obs.Observe(pool) })
+	// -attach) at the pool currently being measured; when the index can
+	// profile itself, the live view carries the profile too.
+	obs.SetLive(func() obs.Observation {
+		o := obs.Observe(pool)
+		if p, ok := idx.(profiled); ok {
+			pr := p.Profile()
+			o.Profile = &pr
+		}
+		return o
+	})
 	sockets := pool.Sockets()
 	handles := make([]index.Handle, spec.Threads)
 	for i := range handles {
@@ -429,6 +453,10 @@ func Run(pool *pmem.Pool, idx index.Index, spec Spec) (*Result, error) {
 		res.UserBytes += uint64(w) * opBytes
 	}
 	res.DRAMBytes, res.PMBytes = idx.MemoryUsage()
+	if p, ok := idx.(profiled); ok {
+		pr := p.Profile()
+		res.Profile = &pr
+	}
 	if spec.Latency {
 		for _, l := range lat {
 			res.Latencies = append(res.Latencies, l...)

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+
+	"cclbtree/internal/obs"
+)
+
+// DefaultTolerance is the relative slack the perf-regression gate
+// allows before a phase counts as regressed. The simulated clock is
+// deterministic, but phase metrics still move with incidental factors —
+// goroutine interleaving feeds the group-commit batcher, allocator
+// layout shifts leaf splits — so the gate is a tripwire for step
+// changes, not a 1% lock.
+const DefaultTolerance = 0.35
+
+// CompareReports checks cur against base phase by phase (matched on the
+// Phase string) and returns one human-readable violation per regressed
+// metric. tol ≤ 0 means DefaultTolerance. A phase is regressed when
+//
+//   - throughput fell below base·(1−tol),
+//   - write amplification (WA or CLI) rose above base·(1+tol),
+//   - p99 latency rose above base·(1+2·tol) (tails are noisier), or
+//   - the phase disappeared from cur entirely.
+//
+// Phases present only in cur are ignored: adding coverage is not a
+// regression. An empty slice means the gate passes.
+func CompareReports(base, cur *obs.BenchReport, tol float64) []string {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	curBy := map[string]*obs.PhaseRecord{}
+	for i := range cur.Phases {
+		curBy[cur.Phases[i].Phase] = &cur.Phases[i]
+	}
+	var bad []string
+	for i := range base.Phases {
+		b := &base.Phases[i]
+		c, ok := curBy[b.Phase]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: phase missing from current report", b.Phase))
+			continue
+		}
+		if floor := b.MopsPerSec * (1 - tol); c.MopsPerSec < floor {
+			bad = append(bad, fmt.Sprintf("%s: throughput %.2f Mop/s below floor %.2f (base %.2f, tol %.0f%%)",
+				b.Phase, c.MopsPerSec, floor, b.MopsPerSec, tol*100))
+		}
+		if ceil := b.WAFactor * (1 + tol); b.WAFactor > 0 && c.WAFactor > ceil {
+			bad = append(bad, fmt.Sprintf("%s: write amplification %.2f above ceiling %.2f (base %.2f)",
+				b.Phase, c.WAFactor, ceil, b.WAFactor))
+		}
+		if ceil := b.CLIFactor * (1 + tol); b.CLIFactor > 0 && c.CLIFactor > ceil {
+			bad = append(bad, fmt.Sprintf("%s: CLI amplification %.2f above ceiling %.2f (base %.2f)",
+				b.Phase, c.CLIFactor, ceil, b.CLIFactor))
+		}
+		if ceil := uint64(float64(b.P99Nanos) * (1 + 2*tol)); b.P99Nanos > 0 && c.P99Nanos > ceil {
+			bad = append(bad, fmt.Sprintf("%s: p99 latency %d ns above ceiling %d (base %d)",
+				b.Phase, c.P99Nanos, ceil, b.P99Nanos))
+		}
+	}
+	return bad
+}

@@ -39,6 +39,7 @@ func All() []Experiment {
 		{"fig18", "DRAM/PM consumption vs value size (§5.5)", Fig18},
 		{"fig19", "realistic SOSD-like datasets (§5.5)", Fig19},
 		{"table3", "vs log-structured stores (§5.5)", Table3Exp},
+		{"ycsbb", "extra: YCSB-B contention/heat/segment profile (CI perf gate)", YCSBB},
 		{"batch", "extra: Session.Apply group commit vs per-op writes", BatchExp},
 		{"ablation-cache", "extra: buffer-node read caching by Nbatch", AblationCache},
 		{"ablation-gc", "extra: GC strategy media traffic", AblationGC},

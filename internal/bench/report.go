@@ -37,6 +37,21 @@ func FinishReport() *obs.BenchReport {
 	return r
 }
 
+// SnapshotReport returns a copy of the in-progress report (nil if none
+// is active) without ending collection: the signal handler in cclbench
+// uses it to persist a partial report on SIGINT/SIGTERM while the
+// experiment keeps running to its own demise.
+func SnapshotReport() *obs.BenchReport {
+	recMu.Lock()
+	defer recMu.Unlock()
+	if rec == nil {
+		return nil
+	}
+	cp := *rec
+	cp.Phases = append([]obs.PhaseRecord(nil), rec.Phases...)
+	return &cp
+}
+
 // recordPhase appends one measured phase to the active report.
 // Per-scope media bytes come from the same monotone counters as
 // MediaWriteBytes, so within a phase delta they sum exactly to it.
@@ -68,5 +83,7 @@ func recordPhase(idxName string, spec Spec, res *Result) {
 
 		ScopeMediaBytes: s.ScopeMediaBytes(),
 		TagMediaBytes:   s.TagMediaBytes(),
+
+		Profile: res.Profile,
 	})
 }

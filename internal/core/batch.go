@@ -46,11 +46,15 @@ func (w *Worker) ApplyBatch(ops []BatchOp) error {
 		}
 	}
 	if tr.opts.GC == GCNaive {
+		tok := tr.prof.Pre(obs.LockSTW)
 		tr.stw.RLock()
+		tok = tr.prof.Acquired(obs.LockSTW, tok)
+		defer tr.prof.Released(obs.LockSTW, tok)
 		defer tr.stw.RUnlock()
 		w.syncStall()
 	}
 	start := w.t.Now()
+	w.beginSpan(obs.OpBatch)
 
 	// Materialize word form (VarKV ops write their key/value blobs
 	// here, before anything is logged) and account the ops.
@@ -108,7 +112,10 @@ func (w *Worker) ApplyBatch(ops []BatchOp) error {
 	for i, kv := range kvs {
 		entries[i] = wal.Entry{Key: kv.Key, Value: kv.Value, Timestamp: tr.clock.Now(w.socket)}
 	}
-	if err := w.logs[e].AppendBatch(w.t, entries); err != nil {
+	m := w.segBegin()
+	err := w.logs[e].AppendBatch(w.t, entries)
+	w.segEnd(obs.SegWAL, m)
+	if err != nil {
 		return err
 	}
 	tr.logBytes.Add(int64(len(entries)) * wal.EntrySize)
@@ -121,6 +128,7 @@ func (w *Worker) ApplyBatch(ops []BatchOp) error {
 
 	tr.ctr.batchApplies.Add(1)
 	tr.ctr.batchedOps.Add(uint64(len(ops)))
+	w.finishSpan()
 	if w.mh != nil {
 		w.recordLat(tr.met.insertLat, start)
 	}
@@ -174,6 +182,7 @@ func (w *Worker) applySorted(kvs []KV, gen uint64, e uint32, minTS uint64) error
 	i := 0
 	for i < len(kvs) {
 		attemptVT := w.t.Now()
+		m := w.segBegin()
 		n := tr.findBuffer(w.t, kvs[i].Key)
 		v, ok := n.tryLock()
 		if !ok {
@@ -181,6 +190,7 @@ func (w *Worker) applySorted(kvs []KV, gen uint64, e uint32, minTS uint64) error
 			tr.ctr.retries.Add(1)
 			w.t.Rewind(attemptVT)
 			w.t.Advance(conflictPenaltyNS)
+			w.segRetry()
 			runtime.Gosched()
 			continue
 		}
@@ -189,8 +199,10 @@ func (w *Worker) applySorted(kvs []KV, gen uint64, e uint32, minTS uint64) error
 			tr.ctr.retries.Add(1)
 			w.t.Rewind(attemptVT)
 			w.t.Advance(conflictPenaltyNS)
+			w.segRetry()
 			continue
 		}
+		w.segEnd(obs.SegTraverse, m)
 		applied, underfull, err := w.applyRunLocked(n, kvs[i:], gen, e, minTS)
 		n.unlock(v)
 		if err != nil {
@@ -219,6 +231,9 @@ func (w *Worker) ownsKey(n *bufferNode, key uint64) bool {
 // merge candidate.
 func (w *Worker) applyRunLocked(n *bufferNode, kvs []KV, gen uint64, e uint32, minTS uint64) (applied int, underfull bool, err error) {
 	tr := w.tree
+	tr.heat.Touch(uint64(n.leaf), true)
+	sm := w.segBegin()
+	defer w.segCloseBuffer(sm, w.segAcc[obs.SegWAL], w.segAcc[obs.SegTrigger])
 	relog := tr.epochGen.Load() != gen
 	// A GC round flipped the epoch after the group commit (relog
 	// above): its scan may already have passed this node — before the
@@ -327,7 +342,9 @@ func (w *Worker) applyRunLocked(n *bufferNode, kvs []KV, gen uint64, e uint32, m
 		}
 		batch = append(batch, run...)
 		w.scratch = batch
+		tm := w.segBegin()
 		v, ferr := w.leafBatchInsert(n, batch)
+		w.segEnd(obs.SegTrigger, tm)
 		if ferr != nil {
 			return applied, false, ferr
 		}
@@ -368,7 +385,10 @@ func (w *Worker) relogRun(kvs []KV, e uint32) (uint64, error) {
 	for i, kv := range kvs {
 		entries[i] = wal.Entry{Key: kv.Key, Value: kv.Value, Timestamp: tr.clock.Now(w.socket)}
 	}
-	if err := w.logs[e].AppendBatch(w.t, entries); err != nil {
+	m := w.segBegin()
+	err := w.logs[e].AppendBatch(w.t, entries)
+	w.segEnd(obs.SegWAL, m)
+	if err != nil {
 		return 0, err
 	}
 	tr.logBytes.Add(int64(len(entries)) * wal.EntrySize)

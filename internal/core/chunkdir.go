@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"cclbtree/internal/obs"
 	"cclbtree/internal/pmem"
 )
 
@@ -25,6 +26,10 @@ type chunkDir struct {
 
 	slotOf map[pmem.Addr]int
 	free   []int
+
+	// prof is the owning tree's lock profiler (nil when metrics are
+	// off); every mu acquisition below is bracketed with it.
+	prof *obs.LockProfiler
 }
 
 func newChunkDir(t *pmem.Thread, base pmem.Addr, slots int) *chunkDir {
@@ -38,7 +43,10 @@ func newChunkDir(t *pmem.Thread, base pmem.Addr, slots int) *chunkDir {
 
 // clearAll zeroes the directory region (fresh-tree initialization).
 func (d *chunkDir) clearAll() {
+	tok := d.prof.Pre(obs.LockChunkDir)
 	d.mu.Lock()
+	tok = d.prof.Acquired(obs.LockChunkDir, tok)
+	defer d.prof.Released(obs.LockChunkDir, tok)
 	defer d.mu.Unlock()
 	prev := d.t.SetTag(pmem.TagMeta)
 	zero := make([]uint64, d.slots)
@@ -48,7 +56,10 @@ func (d *chunkDir) clearAll() {
 }
 
 func (d *chunkDir) register(chunk pmem.Addr) {
+	tok := d.prof.Pre(obs.LockChunkDir)
 	d.mu.Lock()
+	tok = d.prof.Acquired(obs.LockChunkDir, tok)
+	defer d.prof.Released(obs.LockChunkDir, tok)
 	defer d.mu.Unlock()
 	if len(d.free) == 0 {
 		// Directory full: recovery would miss this chunk's entries.
@@ -67,7 +78,10 @@ func (d *chunkDir) register(chunk pmem.Addr) {
 }
 
 func (d *chunkDir) unregister(chunk pmem.Addr) {
+	tok := d.prof.Pre(obs.LockChunkDir)
 	d.mu.Lock()
+	tok = d.prof.Acquired(obs.LockChunkDir, tok)
+	defer d.prof.Released(obs.LockChunkDir, tok)
 	defer d.mu.Unlock()
 	slot, ok := d.slotOf[chunk]
 	if !ok {

@@ -31,9 +31,12 @@ func (tr *Tree) startGC() {
 		return
 	}
 	done := make(chan struct{})
+	tok := tr.prof.Pre(obs.LockGC)
 	tr.gcMu.Lock()
+	tok = tr.prof.Acquired(obs.LockGC, tok)
 	tr.gcDone = done
 	tr.gcMu.Unlock()
+	tr.prof.Released(obs.LockGC, tok)
 	go func() {
 		defer close(done)
 		defer tr.gcRunning.Store(false)
@@ -83,9 +86,12 @@ func (tr *Tree) Freeze() {
 
 // WaitGC blocks until the in-flight GC round, if any, completes.
 func (tr *Tree) WaitGC() {
+	tok := tr.prof.Pre(obs.LockGC)
 	tr.gcMu.Lock()
+	tok = tr.prof.Acquired(obs.LockGC, tok)
 	done := tr.gcDone
 	tr.gcMu.Unlock()
+	tr.prof.Released(obs.LockGC, tok)
 	<-done
 }
 
@@ -187,7 +193,10 @@ func (tr *Tree) runNaiveGC() {
 	w := tr.gcWorker()
 	defer w.t.PopScope(w.t.PushScope(pmem.ScopeGC))
 	tr.tracer.Emit(obs.EvGCRound, w.id, w.t.Now(), uint64(tr.ctr.gcRuns.Load()), 1)
+	tok := tr.prof.Pre(obs.LockSTW)
 	tr.stw.Lock()
+	tok = tr.prof.Acquired(obs.LockSTW, tok)
+	defer tr.prof.Released(obs.LockSTW, tok)
 	defer tr.stw.Unlock()
 	for n := tr.head; n != nil; n = n.next.Load() {
 		if tr.closed.Load() {
@@ -224,9 +233,12 @@ func (tr *Tree) runNaiveGC() {
 // epoch protocol instead.
 func (tr *Tree) reclaimLogs(e uint32, locked bool) {
 	_ = locked
+	tok := tr.prof.Pre(obs.LockWorkers)
 	tr.workersMu.Lock()
+	tok = tr.prof.Acquired(obs.LockWorkers, tok)
 	ws := append([]*Worker(nil), tr.workers...)
 	tr.workersMu.Unlock()
+	tr.prof.Released(obs.LockWorkers, tok)
 	var chunks []pmem.Addr
 	for _, wk := range ws {
 		tr.logBytes.Add(-wk.logs[e].Bytes())

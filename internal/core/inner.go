@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"cclbtree/internal/obs"
 	"cclbtree/internal/pmem"
 )
 
@@ -21,6 +22,9 @@ type innerTree struct {
 	cmp  func(t *pmem.Thread, a, b uint64) int
 	root *innerNode
 	size int
+	// prof is the owning tree's lock profiler (nil when metrics are
+	// off); every mu acquisition below is bracketed with it.
+	prof *obs.LockProfiler
 }
 
 const innerFanout = 32
@@ -47,7 +51,10 @@ func (tr *innerTree) search(t *pmem.Thread, keys []uint64, k uint64) int {
 // findLE returns the buffer node with the greatest routing key ≤ key.
 // Charges DRAM traversal cost to t.
 func (tr *innerTree) findLE(t *pmem.Thread, key uint64) *bufferNode {
+	tok := tr.prof.Pre(obs.LockInner)
 	tr.mu.RLock()
+	tok = tr.prof.Acquired(obs.LockInner, tok)
+	defer tr.prof.Released(obs.LockInner, tok)
 	defer tr.mu.RUnlock()
 	n := tr.root
 	if n == nil {
@@ -84,7 +91,10 @@ func (tr *innerTree) findLE(t *pmem.Thread, key uint64) *bufferNode {
 
 // put inserts a routing entry (split publication).
 func (tr *innerTree) put(t *pmem.Thread, key uint64, v *bufferNode) {
+	tok := tr.prof.Pre(obs.LockInner)
 	tr.mu.Lock()
+	tok = tr.prof.Acquired(obs.LockInner, tok)
+	defer tr.prof.Released(obs.LockInner, tok)
 	defer tr.mu.Unlock()
 	if tr.root == nil {
 		tr.root = &innerNode{keys: []uint64{key}, vals: []*bufferNode{v}}
@@ -163,7 +173,10 @@ func (tr *innerTree) insert(t *pmem.Thread, n *innerNode, key uint64, v *bufferN
 
 // remove deletes a routing entry (merge publication).
 func (tr *innerTree) remove(t *pmem.Thread, key uint64) bool {
+	tok := tr.prof.Pre(obs.LockInner)
 	tr.mu.Lock()
+	tok = tr.prof.Acquired(obs.LockInner, tok)
+	defer tr.prof.Released(obs.LockInner, tok)
 	defer tr.mu.Unlock()
 	n := tr.root
 	if n == nil {
@@ -188,7 +201,10 @@ func (tr *innerTree) remove(t *pmem.Thread, key uint64) bool {
 
 // entries reports the routing-entry count (for memory accounting).
 func (tr *innerTree) entries() int {
+	tok := tr.prof.Pre(obs.LockInner)
 	tr.mu.RLock()
+	tok = tr.prof.Acquired(obs.LockInner, tok)
+	defer tr.prof.Released(obs.LockInner, tok)
 	defer tr.mu.RUnlock()
 	return tr.size
 }

@@ -3,30 +3,54 @@ package core
 import "cclbtree/internal/obs"
 
 // treeMetrics is the optional obs wiring for one tree: a registry plus
-// the pre-registered latency histograms workers record into. nil when
-// Options.Metrics is off — every recording site nil-checks, keeping the
-// disabled hot path free of obs work.
+// the pre-registered latency histograms workers record into, and the
+// (op × segment) span matrix the critical-path attribution fills. nil
+// when Options.Metrics is off — every recording site nil-checks,
+// keeping the disabled hot path free of obs work.
 type treeMetrics struct {
 	m         *obs.Metrics
 	insertLat obs.HistID
 	lookupLat obs.HistID
 	scanLat   obs.HistID
+	// span[op][seg] holds the "span_<op>_<seg>_ns" histogram: how much
+	// of one op's latency that segment absorbed, recorded only when
+	// nonzero (see Worker.finishSpan).
+	span [obs.NumOpClasses][obs.NumSegments]obs.HistID
 }
+
+// Heatmap sizing: 4096 slots ≈ 96 KB of counters — enough to rank a
+// working set thousands of leaves wide — rotating every 32768 touches
+// so scores decay with traffic, not wall time.
+const (
+	heatSlots  = 4096
+	heatWindow = 32768
+)
 
 func newTreeMetrics() *treeMetrics {
 	m := obs.NewMetrics()
-	return &treeMetrics{
+	tm := &treeMetrics{
 		m:         m,
 		insertLat: m.Histogram("insert_ns"),
 		lookupLat: m.Histogram("lookup_ns"),
 		scanLat:   m.Histogram("scan_ns"),
 	}
+	for op := obs.OpClass(0); op < obs.NumOpClasses; op++ {
+		for seg := obs.Segment(0); seg < obs.NumSegments; seg++ {
+			tm.span[op][seg] = m.Histogram(obs.SpanHistName(op, seg))
+		}
+	}
+	return tm
 }
 
 // initObs applies the observability options; shared by New and Open.
+// The contention profiler and leaf heatmap ride the Metrics switch:
+// they are part of the same "pay for telemetry" decision, and every
+// touch point is nil-safe when it is off.
 func (tr *Tree) initObs() {
 	if tr.opts.Metrics {
 		tr.met = newTreeMetrics()
+		tr.prof = obs.NewLockProfiler()
+		tr.heat = obs.NewHeatmap(heatSlots, heatWindow)
 	}
 	tr.tracer = tr.opts.Tracer
 }
@@ -49,6 +73,27 @@ func (tr *Tree) Metrics() TreeMetrics {
 		tm.Latency = tr.met.m.Snapshot()
 	}
 	return tm
+}
+
+// hotLeafK bounds the hot-leaf summary Profile exports.
+const hotLeafK = 16
+
+// Profile returns the contention/span/heat tier: lock wait/hold stats
+// per class, per-(op, segment) latency attribution, and the hottest
+// leaves. Zero-valued when Options.Metrics is off. Cumulative since
+// tree creation (heat scores decay by rotation; everything else is
+// monotone).
+func (tr *Tree) Profile() obs.Profile {
+	p := obs.Profile{
+		Locks:       tr.prof.Snapshot(),
+		HotLeaves:   tr.heat.TopK(hotLeafK),
+		HeatEpoch:   tr.heat.Epoch(),
+		HeatDropped: tr.heat.Dropped(),
+	}
+	if tr.met != nil {
+		p.Segments = obs.SegmentsFromSnapshot(tr.met.m.Snapshot())
+	}
+	return p
 }
 
 // recordLat records one operation latency sample; no-op when metrics

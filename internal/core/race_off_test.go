@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceTestEnabled reports whether the race detector is compiled in; see
+// race_on_test.go.
+const raceTestEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceTestEnabled reports whether the race detector is compiled in;
+// allocation-count assertions skip under it (the detector's shadow
+// bookkeeping allocates).
+const raceTestEnabled = true

@@ -73,7 +73,12 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	if !pool.ValidRange(headLeaf, LeafBytes) || headLeaf.Offset()%LeafBytes != 0 {
 		return nil, nil, corruptf("superblock", headLeaf, "head leaf address invalid")
 	}
-	if dirSlots <= 0 || !pool.ValidRange(dirAddr, int64(dirSlots)*pmem.WordSize) ||
+	// Bound the slot count before the byte-size multiply: a poked word
+	// like 0x2000000000008020 would overflow int64(dirSlots)*WordSize
+	// into a small positive size that passes ValidRange, then panic in
+	// make([]uint64, dirSlots).
+	if dirSlots <= 0 || int64(dirSlots) > pool.DeviceBytes()/pmem.WordSize ||
+		!pool.ValidRange(dirAddr, int64(dirSlots)*pmem.WordSize) ||
 		dirAddr.Offset()%pmem.WordSize != 0 {
 		return nil, nil, corruptf("superblock", dirAddr, "chunk directory (%d slots) invalid", dirSlots)
 	}
@@ -100,6 +105,7 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	tr.inner = newInnerTree(tr.compare)
 	tr.walman = wal.NewManager(tr.alloc, opts.ChunkBytes)
 	tr.initObs()
+	tr.inner.prof = tr.prof
 
 	st := &RecoveryStats{}
 	// maxTick tracks the highest ORDO tick durably stamped anywhere in
@@ -411,6 +417,7 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	// Logs are now redundant: every surviving entry is durable in a
 	// leaf. Rebuild the directory empty and recycle the chunk space.
 	tr.dir = newChunkDir(pool.NewThread(0), dirAddr, dirSlots)
+	tr.dir.prof = tr.prof
 	tr.dir.clearAll()
 	tr.walman.OnAcquire = tr.dir.register
 	tr.walman.OnRelease = tr.dir.unregister

@@ -73,9 +73,13 @@ type Tree struct {
 	stallGen atomic.Uint64
 
 	// met/tracer are the optional observability hooks (Options.Metrics,
-	// Options.Tracer); both nil-safe at every use site.
+	// Options.Tracer); both nil-safe at every use site. prof/heat are
+	// the contention profiler and leaf heatmap of the second obs tier,
+	// enabled together with met and likewise nil-safe everywhere.
 	met    *treeMetrics
 	tracer *obs.Tracer
+	prof   *obs.LockProfiler
+	heat   *obs.Heatmap
 
 	leafCount atomic.Int64
 	// logBytes tracks live appended WAL bytes (entries in unreclaimed
@@ -164,6 +168,7 @@ func New(pool *pmem.Pool, opts Options) (*Tree, error) {
 	tr.inner = newInnerTree(tr.compare)
 	tr.walman = wal.NewManager(tr.alloc, opts.ChunkBytes)
 	tr.initObs()
+	tr.inner.prof = tr.prof
 
 	t := pool.NewThread(0)
 	prev := t.SetTag(pmem.TagMeta)
@@ -183,6 +188,7 @@ func New(pool *pmem.Pool, opts Options) (*Tree, error) {
 	//persistlint:ignore PL012 dirThread serves the chunk directory for the tree's lifetime; all its work is ScopeMeta
 	dirThread.PushScope(pmem.ScopeMeta)
 	tr.dir = newChunkDir(dirThread, dirAddr, opts.DirSlots)
+	tr.dir.prof = tr.prof
 	tr.dir.clearAll()
 	tr.walman.OnAcquire = tr.dir.register
 	tr.walman.OnRelease = tr.dir.unregister

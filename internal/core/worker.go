@@ -44,6 +44,16 @@ type Worker struct {
 	probeKey []byte // current VarKV lookup/scan probe (see probeTag)
 	seenGen  uint64 // last naive-GC stall generation absorbed
 
+	// Span-attribution state (see span.go); worker-local, valid between
+	// one beginSpan and its finishSpan. spans mirrors mh != nil so the
+	// hot paths branch on one bool.
+	spans  bool
+	curOp  obs.OpClass
+	segAcc [obs.NumSegments]int64
+	segV0  int64 // virtual clock at beginSpan
+	segF0  int64 // Thread.FlushNS at beginSpan
+	segE0  int64 // Thread.FenceNS at beginSpan
+
 	// tsCap, when nonzero, caps the timestamp leaf flushes stamp (see
 	// stampLeafTS). ApplyBatch sets it to one tick below its group
 	// commit's smallest record timestamp for the duration of each run,
@@ -59,7 +69,13 @@ type Worker struct {
 func (w *Worker) syncStall() {
 	if gen := w.tree.stallGen.Load(); gen != w.seenGen {
 		w.seenGen = gen
+		before := w.t.Now()
 		w.t.SyncClock(w.tree.stallVT.Load())
+		// The absorbed stop-the-world pause is lock-wait time: the op
+		// spent it blocked behind the naive-GC writer lock.
+		if w.spans {
+			w.segAcc[obs.SegLockWait] += w.t.Now() - before
+		}
 	}
 }
 
@@ -80,11 +96,15 @@ func (tr *Tree) NewWorker(socket int) *Worker {
 	w.blobs = blobArena{alloc: tr.alloc, socket: socket}
 	if tr.met != nil {
 		w.mh = tr.met.m.NewHandle()
+		w.spans = true
 	}
+	tok := tr.prof.Pre(obs.LockWorkers)
 	tr.workersMu.Lock()
+	tok = tr.prof.Acquired(obs.LockWorkers, tok)
 	w.id = len(tr.workers)
 	tr.workers = append(tr.workers, w)
 	tr.workersMu.Unlock()
+	tr.prof.Released(obs.LockWorkers, tok)
 	return w
 }
 
@@ -142,7 +162,9 @@ func (w *Worker) Upsert(key, value uint64) error {
 	w.tree.ctr.upserts.Add(1)
 	w.tree.pool.AddUserBytes(16)
 	start := w.t.Now()
+	w.beginSpan(obs.OpPut)
 	err := w.upsertWord(key, value)
+	w.finishSpan()
 	if w.mh != nil {
 		w.recordLat(w.tree.met.insertLat, start)
 	}
@@ -162,7 +184,11 @@ func (w *Worker) Delete(key uint64) error {
 	w.tree.ctr.deletes.Add(1)
 	w.tree.pool.AddUserBytes(16)
 	start := w.t.Now()
+	// Deletes attribute as OpPut: a delete is a tombstone upsert and
+	// walks the identical critical path.
+	w.beginSpan(obs.OpPut)
 	err := w.upsertWord(key, Tombstone)
+	w.finishSpan()
 	if w.mh != nil {
 		w.recordLat(w.tree.met.insertLat, start)
 	}
@@ -173,13 +199,17 @@ func (w *Worker) Delete(key uint64) error {
 func (w *Worker) upsertWord(key, value uint64) error {
 	tr := w.tree
 	if tr.opts.GC == GCNaive {
+		tok := tr.prof.Pre(obs.LockSTW)
 		tr.stw.RLock()
+		tok = tr.prof.Acquired(obs.LockSTW, tok)
+		defer tr.prof.Released(obs.LockSTW, tok)
 		defer tr.stw.RUnlock()
 		w.syncStall()
 	}
 	var mergeCandidate *bufferNode
 	for {
 		attemptVT := w.t.Now()
+		m := w.segBegin()
 		n := tr.findBuffer(w.t, key)
 		v, ok := n.tryLock()
 		if !ok {
@@ -187,6 +217,7 @@ func (w *Worker) upsertWord(key, value uint64) error {
 			tr.ctr.retries.Add(1)
 			w.t.Rewind(attemptVT)
 			w.t.Advance(conflictPenaltyNS)
+			w.segRetry()
 			runtime.Gosched()
 			continue
 		}
@@ -195,8 +226,10 @@ func (w *Worker) upsertWord(key, value uint64) error {
 			tr.ctr.retries.Add(1)
 			w.t.Rewind(attemptVT)
 			w.t.Advance(conflictPenaltyNS)
+			w.segRetry()
 			continue
 		}
+		w.segEnd(obs.SegTraverse, m)
 		underfull, err := w.upsertLocked(n, key, value)
 		n.unlock(v)
 		if err != nil {
@@ -219,6 +252,9 @@ func (w *Worker) upsertWord(key, value uint64) error {
 // candidate).
 func (w *Worker) upsertLocked(n *bufferNode, key, value uint64) (underfull bool, err error) {
 	tr := w.tree
+	tr.heat.Touch(uint64(n.leaf), true)
+	m := w.segBegin()
+	defer w.segCloseBuffer(m, w.segAcc[obs.SegWAL], w.segAcc[obs.SegTrigger])
 	pos, eb, _ := unpackHdr(n.hdr.Load())
 	epoch := uint16(tr.epoch.Load())
 
@@ -254,7 +290,9 @@ func (w *Worker) upsertLocked(n *bufferNode, key, value uint64) (underfull bool,
 		}
 		batch = append(batch, KV{key, value})
 		w.scratch = batch
+		tm := w.segBegin()
 		valid, err := w.leafBatchInsert(n, batch)
+		w.segEnd(obs.SegTrigger, tm)
 		if err != nil {
 			return false, err
 		}
@@ -293,7 +331,10 @@ func (w *Worker) appendLog(key, value uint64) error {
 	tr := w.tree
 	e := tr.epoch.Load()
 	ts := tr.clock.Now(w.socket)
-	if _, err := w.logs[e].Append(w.t, wal.Entry{Key: key, Value: value, Timestamp: ts}); err != nil {
+	m := w.segBegin()
+	_, err := w.logs[e].Append(w.t, wal.Entry{Key: key, Value: value, Timestamp: ts})
+	w.segEnd(obs.SegWAL, m)
+	if err != nil {
 		return err
 	}
 	tr.logBytes.Add(wal.EntrySize)
@@ -307,7 +348,9 @@ func (w *Worker) appendLog(key, value uint64) error {
 func (w *Worker) Lookup(key uint64) (uint64, bool) {
 	w.tree.ctr.lookups.Add(1)
 	start := w.t.Now()
+	w.beginSpan(obs.OpGet)
 	v, ok := w.lookupWord(key)
+	w.finishSpan()
 	if w.mh != nil {
 		w.recordLat(w.tree.met.lookupLat, start)
 	}
@@ -326,19 +369,27 @@ func (w *Worker) Lookup(key uint64) (uint64, bool) {
 func (w *Worker) lookupWord(key uint64) (uint64, bool) {
 	tr := w.tree
 	if tr.opts.GC == GCNaive {
+		tok := tr.prof.Pre(obs.LockSTW)
 		tr.stw.RLock()
+		tok = tr.prof.Acquired(obs.LockSTW, tok)
+		defer tr.prof.Released(obs.LockSTW, tok)
 		defer tr.stw.RUnlock()
 		w.syncStall()
 	}
 	for {
 		attemptVT := w.t.Now()
+		m := w.segBegin()
 		if val, found, ok := w.lookupAttempt(key); ok {
+			// The whole successful pass — routing, buffer scan, leaf
+			// search — is traversal for a read.
+			w.segEnd(obs.SegTraverse, m)
 			return val, found
 		}
 		tr.crashAbort()
 		tr.ctr.retries.Add(1)
 		w.t.Rewind(attemptVT)
 		w.t.Advance(conflictPenaltyNS)
+		w.segRetry()
 		runtime.Gosched()
 	}
 }
@@ -368,6 +419,7 @@ func (w *Worker) lookupAttempt(key uint64) (val uint64, found, ok bool) {
 			return 0, false, false
 		}
 		tr.ctr.bufferHits.Add(1)
+		tr.heat.Touch(uint64(n.leaf), false)
 		return v, true, true
 	}
 	// Leaf search: bitmap + fingerprints in the header cacheline
@@ -376,6 +428,7 @@ func (w *Worker) lookupAttempt(key uint64) (val uint64, found, ok bool) {
 	if !n.validateRead(ver) {
 		return 0, false, false
 	}
+	tr.heat.Touch(uint64(n.leaf), false)
 	return v, f, true
 }
 
@@ -396,7 +449,10 @@ func (w *Worker) Scan(start uint64, max int, out []KV) int {
 		tr.tracer.Emit(obs.EvScan, w.id, w.t.Now(), start, uint64(max))
 	}()
 	if tr.opts.GC == GCNaive {
+		tok := tr.prof.Pre(obs.LockSTW)
 		tr.stw.RLock()
+		tok = tr.prof.Acquired(obs.LockSTW, tok)
+		defer tr.prof.Released(obs.LockSTW, tok)
 		defer tr.stw.RUnlock()
 		w.syncStall()
 	}
@@ -466,6 +522,7 @@ func (w *Worker) Scan(start uint64, max int, out []KV) int {
 // changed mid-read.
 func (w *Worker) collectNode(n *bufferNode, ver uint64) ([]KV, bool) {
 	tr := w.tree
+	tr.heat.Touch(uint64(n.leaf), false)
 	var img leafImage
 	prev := w.t.SetTag(pmem.TagLeaf)
 	readLeaf(w.t, n.leaf, &img)

@@ -1,0 +1,11 @@
+package obs
+
+// ProfilerBudgetNS is the stated overhead budget for one profiled
+// event on the host CPU: a fully bracketed lock site (Pre + Acquired +
+// Released, sampling amortized), one heatmap Touch, or one span
+// segment record must each average under this. DESIGN.md documents the
+// budget; TestObsOverheadBudget enforces it, and scripts/check.sh runs
+// that test so a profiler regression fails CI. Future work that leans
+// on this layer (lock-free reads, tiering) may instrument hotter paths
+// only while the budget holds.
+const ProfilerBudgetNS = 150

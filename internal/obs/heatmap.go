@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Heatmap is a bounded, lock-free table of per-leaf access counters
+// feeding hot/cold decisions: which leaves absorb enough traffic to
+// justify a DRAM-resident tier. Counters are keyed by leaf address and
+// decay by epoch rotation — every rotation the current epoch's counts
+// fold into an exponentially decaying history, so the map tracks the
+// working set rather than all-time totals, and slots that cool down
+// completely are released for new leaves.
+//
+// The structure is deliberately approximate where exactness would cost
+// synchronization: a Touch racing a rotation can land its increment in
+// either epoch, a slot released mid-touch can leak a count into its
+// next tenant, and a saturated probe run drops the sample (counted in
+// Dropped). Every error is bounded and none compounds; the consumers
+// (top-K summaries, tiering heuristics) only need ranking fidelity.
+type Heatmap struct {
+	slots   []heatSlot
+	mask    uint64
+	window  uint64
+	touches atomic.Uint64
+	epoch   atomic.Uint64
+	dropped atomic.Uint64
+	rotate  atomic.Bool
+}
+
+// heatSlot packs one leaf's counters: reads in the low half, writes in
+// the high half of each word. addr holds leaf+1 so 0 means empty.
+type heatSlot struct {
+	addr atomic.Uint64
+	cur  atomic.Uint64
+	prev atomic.Uint64
+}
+
+// heatProbes bounds the linear probe run before a touch is dropped.
+const heatProbes = 4
+
+// NewHeatmap builds a map with the given slot count (rounded up to a
+// power of two, minimum 64) rotating epochs every window touches
+// (0 = never rotate automatically; Rotate can still be called).
+func NewHeatmap(slots int, window int) *Heatmap {
+	n := 64
+	for n < slots {
+		n <<= 1
+	}
+	h := &Heatmap{slots: make([]heatSlot, n), mask: uint64(n - 1)}
+	if window > 0 {
+		h.window = uint64(window)
+	}
+	return h
+}
+
+// heatMix is the SplitMix64 finalizer, scattering leaf addresses
+// (which are allocation-ordered and stride-aligned) across the table.
+func heatMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const heatHalfMask = 0xffffffff
+
+// packInc returns the packed increment for one access.
+func packInc(write bool) uint64 {
+	if write {
+		return 1 << 32
+	}
+	return 1
+}
+
+// halvePacked halves both packed halves (epoch decay).
+func halvePacked(v uint64) uint64 {
+	return (v >> 1) &^ (1<<63 | 1<<31)
+}
+
+func packedTotal(v uint64) uint64 { return v&heatHalfMask + v>>32 }
+
+// Touch records one access to leaf. nil-safe, allocation-free; the
+// common path is one hash, one atomic load and two atomic adds.
+func (h *Heatmap) Touch(leaf uint64, write bool) {
+	if h == nil {
+		return
+	}
+	idx := heatMix(leaf)
+	key := leaf + 1
+	recorded := false
+	for p := uint64(0); p < heatProbes; p++ {
+		s := &h.slots[(idx+p)&h.mask]
+		a := s.addr.Load()
+		if a == 0 {
+			if !s.addr.CompareAndSwap(0, key) {
+				a = s.addr.Load() // lost the claim; maybe to our own leaf
+				if a != key {
+					continue
+				}
+			}
+		} else if a != key {
+			continue
+		}
+		s.cur.Add(packInc(write))
+		recorded = true
+		break
+	}
+	if !recorded {
+		h.dropped.Add(1)
+	}
+	if w := h.window; w != 0 && h.touches.Add(1)%w == 0 {
+		h.Rotate()
+	}
+}
+
+// Rotate advances the decay epoch: each slot's current counts fold
+// into its history (itself halved), and slots that cooled to zero are
+// released. One rotator at a time; concurrent calls no-op. nil-safe.
+func (h *Heatmap) Rotate() {
+	if h == nil || !h.rotate.CompareAndSwap(false, true) {
+		return
+	}
+	for i := range h.slots {
+		s := &h.slots[i]
+		if s.addr.Load() == 0 {
+			continue
+		}
+		cur := s.cur.Swap(0)
+		next := halvePacked(s.prev.Load()) + cur
+		s.prev.Store(next)
+		if next == 0 {
+			// Cold for a full epoch: release the slot. A concurrent
+			// Touch may sneak an increment between the Swap above and
+			// this release; the count leaks to the slot's next tenant —
+			// bounded, and rotation-rare.
+			s.addr.Store(0)
+		}
+	}
+	h.epoch.Add(1)
+	h.rotate.Store(false)
+}
+
+// Epoch returns the number of completed rotations.
+func (h *Heatmap) Epoch() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.epoch.Load()
+}
+
+// Dropped returns the number of touches not recorded because their
+// probe runs were saturated by other leaves.
+func (h *Heatmap) Dropped() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.dropped.Load()
+}
+
+// HeatEntry is one leaf in a heat summary. Reads/Writes count the
+// current epoch plus the decayed history; Score is their sum (the
+// exponential moving access volume the entries are ranked by).
+type HeatEntry struct {
+	Leaf   uint64 `json:"leaf"`
+	Score  uint64 `json:"score"`
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+}
+
+// TopK returns the k hottest leaves, hottest first. Allocates; meant
+// for reporting paths, not the op path.
+func (h *Heatmap) TopK(k int) []HeatEntry {
+	if h == nil || k <= 0 {
+		return nil
+	}
+	entries := make([]HeatEntry, 0, k)
+	for i := range h.slots {
+		s := &h.slots[i]
+		a := s.addr.Load()
+		if a == 0 {
+			continue
+		}
+		v := s.cur.Load() + s.prev.Load()
+		if v == 0 {
+			continue
+		}
+		entries = append(entries, HeatEntry{
+			Leaf:   a - 1,
+			Score:  packedTotal(v),
+			Reads:  v & heatHalfMask,
+			Writes: v >> 32,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Score != entries[j].Score {
+			return entries[i].Score > entries[j].Score
+		}
+		return entries[i].Leaf < entries[j].Leaf
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	return entries
+}

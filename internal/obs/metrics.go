@@ -158,6 +158,39 @@ type HistSnapshot struct {
 	buckets [numBuckets]uint64
 }
 
+// snapshot reads the shard into a freestanding HistSnapshot. The
+// per-cell loads are atomic but the snapshot as a whole is not a
+// consistent cut (same contract as Metrics.Snapshot).
+func (h *histShard) snapshot(name string) *HistSnapshot {
+	hs := &HistSnapshot{
+		Name:  name,
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for b := range hs.buckets {
+		hs.buckets[b] = h.buckets[b].Load()
+	}
+	return hs
+}
+
+// Merge folds o into h (bucket-wise sum; quantiles of the merge are
+// exact because both sides share the fixed bucket layout). The Name
+// of h is kept.
+func (h *HistSnapshot) Merge(o *HistSnapshot) {
+	if o == nil {
+		return
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	for b := range h.buckets {
+		h.buckets[b] += o.buckets[b]
+	}
+}
+
 // Mean returns the average sample (0 when empty).
 func (h *HistSnapshot) Mean() float64 {
 	if h.Count == 0 {
@@ -192,6 +225,9 @@ func (h *HistSnapshot) P50() uint64 { return h.Quantile(0.50) }
 // P99 is the 99th-percentile sample.
 func (h *HistSnapshot) P99() uint64 { return h.Quantile(0.99) }
 
+// P999 is the 99.9th-percentile sample.
+func (h *HistSnapshot) P999() uint64 { return h.Quantile(0.999) }
+
 // Snapshot is a point-in-time aggregation over every handle.
 type Snapshot struct {
 	Counters map[string]uint64        `json:"counters"`
@@ -218,15 +254,7 @@ func (m *Metrics) Snapshot() *Snapshot {
 	for i, name := range m.histNames {
 		hs := &HistSnapshot{Name: name}
 		for _, h := range m.handles {
-			sh := &h.hists[i]
-			hs.Count += sh.count.Load()
-			hs.Sum += sh.sum.Load()
-			if mx := sh.max.Load(); mx > hs.Max {
-				hs.Max = mx
-			}
-			for b := range hs.buckets {
-				hs.buckets[b] += sh.buckets[b].Load()
-			}
+			hs.Merge(h.hists[i].snapshot(name))
 		}
 		s.Hists[name] = hs
 	}

@@ -29,6 +29,11 @@ type Observation struct {
 	ScopeMediaBytes map[string]uint64 `json:"scope_media_bytes"`
 	ScopeXPBufBytes map[string]uint64 `json:"scope_xpbuf_bytes"`
 	TagMediaBytes   map[string]uint64 `json:"tag_media_bytes"`
+
+	// Profile carries the contention/span/heat tier when the observed
+	// index exposes one (nil otherwise — byte counters always work,
+	// profiling is opt-in via Metrics).
+	Profile *Profile `json:"profile,omitempty"`
 }
 
 // FromStats flattens a pmem.Stats snapshot.

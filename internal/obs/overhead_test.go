@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestObsOverheadBudget enforces ProfilerBudgetNS (the documented
+// overhead budget, DESIGN.md): one bracketed lock site, one heatmap
+// touch, and one span-cell histogram record must each average under
+// the budget, allocation-free. scripts/check.sh runs this test
+// explicitly (without -short) as the obs-overhead CI gate.
+func TestObsOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead benchmark skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive; skipped under the race detector")
+	}
+
+	check := func(name string, res testing.BenchmarkResult) {
+		t.Helper()
+		perOp := res.NsPerOp()
+		t.Logf("%-14s %6d ns/op  %d allocs/op  (budget %d ns)",
+			name, perOp, res.AllocsPerOp(), ProfilerBudgetNS)
+		// check.sh greps this marker line to surface the numbers in CI
+		// output even on success.
+		fmt.Printf("OBS_OVERHEAD %s ns_per_op=%d budget=%d\n", name, perOp, ProfilerBudgetNS)
+		if res.AllocsPerOp() != 0 {
+			t.Errorf("%s allocates %d/op, want 0", name, res.AllocsPerOp())
+		}
+		if perOp > ProfilerBudgetNS {
+			t.Errorf("%s costs %d ns/op, over the %d ns budget", name, perOp, ProfilerBudgetNS)
+		}
+	}
+
+	p := NewLockProfiler()
+	check("lock-site", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tok := p.Pre(LockInner)
+			tok = p.Acquired(LockInner, tok)
+			p.Released(LockInner, tok)
+		}
+	}))
+
+	h := NewHeatmap(4096, 0)
+	check("heat-touch", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Touch(uint64(i&1023)*64, i&15 == 0)
+		}
+	}))
+
+	m := NewMetrics()
+	id := m.Histogram(SpanHistName(OpPut, SegWAL))
+	hd := m.NewHandle()
+	check("span-record", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hd.Observe(id, uint64(i&8191))
+		}
+	}))
+}

@@ -1,0 +1,409 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestLockProfilerCountsAndSamples(t *testing.T) {
+	p := NewLockProfiler()
+	n := 4 << lockSampleShift // guarantees exactly 4 sampled acquisitions
+	for i := 0; i < n; i++ {
+		tok := p.Pre(LockInner)
+		tok = p.Acquired(LockInner, tok)
+		p.Released(LockInner, tok)
+	}
+	stats := p.Snapshot()
+	if len(stats) != 1 {
+		t.Fatalf("snapshot has %d classes, want 1 (untouched classes omitted)", len(stats))
+	}
+	s := stats[0]
+	if s.Class != "inner.mu" {
+		t.Fatalf("class = %q", s.Class)
+	}
+	if s.Acquisitions != uint64(n) {
+		t.Fatalf("acquisitions = %d, want %d (counting must be exact, not sampled)", s.Acquisitions, n)
+	}
+	if s.WaitSamples != 4 {
+		t.Fatalf("wait samples = %d, want 4 (1 in %d)", s.WaitSamples, 1<<lockSampleShift)
+	}
+}
+
+func TestLockProfilerNilSafe(t *testing.T) {
+	var p *LockProfiler
+	tok := p.Pre(LockSTW)
+	tok = p.Acquired(LockSTW, tok)
+	p.Released(LockSTW, tok)
+	if p.Snapshot() != nil {
+		t.Fatal("nil profiler snapshot not nil")
+	}
+}
+
+func TestLockProfilerZeroAlloc(t *testing.T) {
+	p := NewLockProfiler()
+	if n := testing.AllocsPerRun(1000, func() {
+		tok := p.Pre(LockWorkers)
+		tok = p.Acquired(LockWorkers, tok)
+		p.Released(LockWorkers, tok)
+	}); n != 0 {
+		t.Fatalf("bracketed lock site allocates %v/op, want 0", n)
+	}
+}
+
+func TestHeatmapTouchAndTopK(t *testing.T) {
+	h := NewHeatmap(256, 0)
+	for i := 0; i < 9; i++ {
+		h.Touch(0x4000, false)
+	}
+	h.Touch(0x4000, true)
+	for i := 0; i < 3; i++ {
+		h.Touch(0x8000, true)
+	}
+	h.Touch(0xc000, false)
+
+	top := h.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) returned %d entries", len(top))
+	}
+	if top[0].Leaf != 0x4000 || top[0].Score != 10 || top[0].Reads != 9 || top[0].Writes != 1 {
+		t.Fatalf("hottest = %+v, want leaf 0x4000 score 10 (9r/1w)", top[0])
+	}
+	if top[1].Leaf != 0x8000 || top[1].Writes != 3 {
+		t.Fatalf("second = %+v", top[1])
+	}
+	if len(h.TopK(10)) != 3 {
+		t.Fatal("TopK(10) should return all 3 touched leaves")
+	}
+	if h.Dropped() != 0 {
+		t.Fatalf("dropped = %d in an empty table", h.Dropped())
+	}
+}
+
+func TestHeatmapRotationDecaysAndReleases(t *testing.T) {
+	h := NewHeatmap(64, 0)
+	for i := 0; i < 8; i++ {
+		h.Touch(7, false)
+	}
+	// Scores across rotations: 8 → 8 (folded) → 4 → 2 → 1 → released.
+	want := []uint64{8, 4, 2, 1}
+	for _, w := range want {
+		h.Rotate()
+		top := h.TopK(1)
+		if len(top) != 1 || top[0].Score != w {
+			t.Fatalf("after %d rotations: %+v, want score %d", h.Epoch(), top, w)
+		}
+	}
+	h.Rotate()
+	if top := h.TopK(1); len(top) != 0 {
+		t.Fatalf("cold slot not released: %+v", top)
+	}
+	if h.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", h.Epoch())
+	}
+	// The released slot is reusable.
+	h.Touch(99, true)
+	if top := h.TopK(1); len(top) != 1 || top[0].Leaf != 99 {
+		t.Fatalf("slot not reusable after release: %+v", top)
+	}
+}
+
+func TestHeatmapWindowAutoRotates(t *testing.T) {
+	h := NewHeatmap(64, 10)
+	for i := 0; i < 25; i++ {
+		h.Touch(uint64(i%4), false)
+	}
+	if e := h.Epoch(); e != 2 {
+		t.Fatalf("epoch = %d after 25 touches with window 10, want 2", e)
+	}
+}
+
+func TestHeatmapDropsWhenSaturated(t *testing.T) {
+	h := NewHeatmap(64, 0) // 64 slots, probe runs of 4
+	const distinct = 400
+	for i := 0; i < distinct; i++ {
+		h.Touch(uint64(i)*64, false)
+	}
+	claimed := len(h.TopK(distinct))
+	if claimed > 64 {
+		t.Fatalf("claimed %d slots in a 64-slot table", claimed)
+	}
+	if h.Dropped() != uint64(distinct-claimed) {
+		t.Fatalf("dropped = %d, want %d (%d touched − %d claimed)",
+			h.Dropped(), distinct-claimed, distinct, claimed)
+	}
+	if h.Dropped() == 0 {
+		t.Fatal("expected saturation drops with 400 leaves in 64 slots")
+	}
+}
+
+func TestHeatmapNilSafe(t *testing.T) {
+	var h *Heatmap
+	h.Touch(1, true)
+	h.Rotate()
+	if h.TopK(5) != nil || h.Epoch() != 0 || h.Dropped() != 0 {
+		t.Fatal("nil heatmap must be inert")
+	}
+}
+
+func TestHeatmapTouchZeroAlloc(t *testing.T) {
+	h := NewHeatmap(256, 0)
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Touch(42, false)
+		h.Touch(43, true)
+	}); n != 0 {
+		t.Fatalf("Touch allocates %v/op, want 0", n)
+	}
+}
+
+func TestHeatmapConcurrent(t *testing.T) {
+	h := NewHeatmap(256, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 5000; i++ {
+				h.Touch(uint64(r.Intn(128)), i%10 == 0)
+				if i%500 == 0 {
+					h.TopK(8)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range h.TopK(256) {
+		if e.Score == 0 || e.Score != e.Reads+e.Writes {
+			t.Fatalf("inconsistent entry %+v", e)
+		}
+	}
+}
+
+func TestSpanHistNameRoundtrip(t *testing.T) {
+	seen := map[string]bool{}
+	for op := OpClass(0); op < NumOpClasses; op++ {
+		for seg := Segment(0); seg < NumSegments; seg++ {
+			name := SpanHistName(op, seg)
+			if seen[name] {
+				t.Fatalf("duplicate hist name %q", name)
+			}
+			seen[name] = true
+			gotOp, gotSeg, ok := ParseSpanHistName(name)
+			if !ok || gotOp != op || gotSeg != seg {
+				t.Fatalf("ParseSpanHistName(%q) = %v/%v/%v", name, gotOp, gotSeg, ok)
+			}
+			o2, s2 := UnpackSpan(PackSpan(op, seg))
+			if o2 != op || s2 != seg {
+				t.Fatalf("PackSpan roundtrip failed for %v/%v", op, seg)
+			}
+		}
+	}
+	for _, bad := range []string{"insert_ns", "span_put_ns", "span_nope_wal_ns", "span_put_nope_ns", "span_put_wal"} {
+		if _, _, ok := ParseSpanHistName(bad); ok {
+			t.Fatalf("ParseSpanHistName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSegmentsFromSnapshot(t *testing.T) {
+	m := NewMetrics()
+	ids := map[string]HistID{}
+	for op := OpClass(0); op < NumOpClasses; op++ {
+		for seg := Segment(0); seg < NumSegments; seg++ {
+			name := SpanHistName(op, seg)
+			ids[name] = m.Histogram(name)
+		}
+	}
+	h := m.NewHandle()
+	h.Observe(ids[SpanHistName(OpPut, SegWAL)], 100)
+	h.Observe(ids[SpanHistName(OpPut, SegWAL)], 200)
+	h.Observe(ids[SpanHistName(OpGet, SegTraverse)], 50)
+
+	segs := SegmentsFromSnapshot(m.Snapshot())
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2 (empty cells omitted): %+v", len(segs), segs)
+	}
+	// (op, segment) ordering: get before put.
+	if segs[0].Op != "get" || segs[0].Segment != "traverse" || segs[0].Count != 1 {
+		t.Fatalf("segs[0] = %+v", segs[0])
+	}
+	if segs[1].Op != "put" || segs[1].Segment != "wal" || segs[1].Count != 2 || segs[1].SumNS != 300 {
+		t.Fatalf("segs[1] = %+v", segs[1])
+	}
+	if SegmentsFromSnapshot(nil) != nil {
+		t.Fatal("nil snapshot")
+	}
+}
+
+// TestHistogramExactBoundaries pins the quantile behavior at exact
+// bucket boundaries: a power-of-two boundary value is its own bucket's
+// lower bound, so quantiles landing in that bucket report it exactly.
+func TestHistogramExactBoundaries(t *testing.T) {
+	for _, v := range []uint64{0, 1, 7, 8, 16, 1 << 10, 1 << 20, 1 << 40} {
+		var sh histShard
+		for i := 0; i < 100; i++ {
+			sh.observe(v)
+		}
+		hs := sh.snapshot("b")
+		if hs.P50() != v || hs.P99() != v || hs.P999() != v || hs.Max != v {
+			t.Fatalf("constant %d: p50=%d p99=%d p999=%d max=%d",
+				v, hs.P50(), hs.P99(), hs.P999(), hs.Max)
+		}
+	}
+	// Boundary straddle: 99 samples at 8, 1 at 16 → p50 = 8, p99+ = 16.
+	var sh histShard
+	for i := 0; i < 99; i++ {
+		sh.observe(8)
+	}
+	sh.observe(16)
+	hs := sh.snapshot("straddle")
+	if hs.P50() != 8 {
+		t.Fatalf("p50 = %d, want 8", hs.P50())
+	}
+	if hs.P99() != 16 || hs.P999() != 16 {
+		t.Fatalf("p99 = %d, p999 = %d, want 16", hs.P99(), hs.P999())
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	var a, b histShard
+	for v := uint64(0); v < 8; v++ {
+		a.observe(v)
+	}
+	b.observe(8)
+	b.observe(16)
+	b.observe(1 << 30)
+
+	m := a.snapshot("m")
+	m.Merge(b.snapshot("other"))
+	if m.Name != "m" {
+		t.Fatalf("merge renamed to %q", m.Name)
+	}
+	if m.Count != 11 || m.Sum != 28+24+1<<30 || m.Max != 1<<30 {
+		t.Fatalf("merged count=%d sum=%d max=%d", m.Count, m.Sum, m.Max)
+	}
+	// Quantiles over the merged distribution are exact at boundaries:
+	// rank 5 of 11 → value 5; rank 10 → the outlier bucket.
+	if m.P50() != 5 {
+		t.Fatalf("merged p50 = %d, want 5", m.P50())
+	}
+	if m.P99() != 1<<30 || m.P999() != 1<<30 {
+		t.Fatalf("merged p99 = %d p999 = %d, want %d", m.P99(), m.P999(), uint64(1)<<30)
+	}
+	m.Merge(nil) // no-op
+	if m.Count != 11 {
+		t.Fatal("Merge(nil) mutated the snapshot")
+	}
+}
+
+func testProfile() *Profile {
+	return &Profile{
+		Locks: []LockStat{{
+			Class: "inner.mu", Acquisitions: 1000, Contended: 3,
+			WaitSamples: 15, WaitP50NS: 120, WaitP99NS: 900,
+			WaitP999NS: 1100, WaitMaxNS: 1200, HoldP50NS: 80,
+			HoldP99NS: 400, HoldP999NS: 500, HoldMaxNS: 600,
+		}},
+		Segments: []SegmentStat{{
+			Op: "put", Segment: "wal", Count: 500, SumNS: 50000,
+			P50NS: 90, P99NS: 300, P999NS: 450, MaxNS: 700,
+		}},
+		HotLeaves: []HeatEntry{
+			{Leaf: 0x4100, Score: 42, Reads: 40, Writes: 2},
+			{Leaf: 0x8200, Score: 7, Reads: 0, Writes: 7},
+		},
+		HeatEpoch:   9,
+		HeatDropped: 2,
+	}
+}
+
+// TestObservationProfileJSONRoundtrip covers the issue's JSON-roundtrip
+// satellite: every contention/heat/segment field must survive
+// Observation marshal/unmarshal.
+func TestObservationProfileJSONRoundtrip(t *testing.T) {
+	o := Observation{
+		Label:           "live",
+		MediaWriteBytes: 4096,
+		ScopeMediaBytes: map[string]uint64{"wal": 1024},
+		Profile:         testProfile(),
+	}
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Observation
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Profile, o.Profile) {
+		t.Fatalf("profile mismatch:\n got %+v\nwant %+v", got.Profile, o.Profile)
+	}
+	// Absent profile stays absent (omitempty), not an empty object.
+	data, err = json.Marshal(Observation{Label: "bare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("profile")) {
+		t.Fatalf("nil profile serialized: %s", data)
+	}
+}
+
+func TestBenchReportProfileRoundtrip(t *testing.T) {
+	r := &BenchReport{
+		Name: "ycsbb",
+		Phases: []PhaseRecord{{
+			Phase: "00:ccl-btree/t8", Index: "ccl-btree", Threads: 8,
+			Ops: 1000, Profile: testProfile(),
+		}},
+	}
+	dir := t.TempDir()
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Phases[0].Profile, r.Phases[0].Profile) {
+		t.Fatalf("profile mismatch:\n got %+v\nwant %+v", got.Phases[0].Profile, r.Phases[0].Profile)
+	}
+}
+
+func TestChromeTraceSegmentDurations(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Enable()
+	tr.Emit(EvSegment, 3, 1000, PackSpan(OpPut, SegWAL), 5000)
+	tr.Emit(EvInsert, 3, 6000, 1, 2)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(chrome.TraceEvents) != 2 {
+		t.Fatalf("%d events", len(chrome.TraceEvents))
+	}
+	seg := chrome.TraceEvents[0]
+	if seg.Ph != "X" || seg.Name != "put/wal" || seg.Dur != 5.0 || seg.TS != 1.0 || seg.TID != 3 {
+		t.Fatalf("segment event = %+v", seg)
+	}
+	if chrome.TraceEvents[1].Ph != "i" {
+		t.Fatalf("instant event = %+v", chrome.TraceEvents[1])
+	}
+}

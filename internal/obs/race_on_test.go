@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled gates timing-sensitive overhead assertions: the race
+// detector multiplies atomic-op cost, so budget checks only run in
+// non-race builds.
+const raceEnabled = true

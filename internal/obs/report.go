@@ -31,6 +31,11 @@ type PhaseRecord struct {
 
 	ScopeMediaBytes map[string]uint64 `json:"scope_media_bytes"`
 	TagMediaBytes   map[string]uint64 `json:"tag_media_bytes"`
+
+	// Profile is the phase-end contention/span/heat tier, present when
+	// the index under test exposes one (cumulative since the index was
+	// created, not a per-phase delta — phases share one tree).
+	Profile *Profile `json:"profile,omitempty"`
 }
 
 // BenchReport is the machine-readable record one experiment emits:

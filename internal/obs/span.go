@@ -1,0 +1,163 @@
+package obs
+
+import "strings"
+
+// Segment names one slice of an operation's critical path. The span
+// layer partitions each op's virtual-time latency into these segments
+// so tail latency is attributable the same way media bytes already are
+// (scope accounting): a p99 Put is "mostly fence" or "mostly lock
+// wait", not just a number.
+type Segment uint8
+
+// The critical-path segments. SegOther must stay last: it is computed
+// as the op's total latency minus the sum of the attributed segments,
+// and per-op recording loops over the attributed prefix.
+const (
+	SegLockWait Segment = iota // optimistic-retry backoff + stop-the-world waits
+	SegTraverse                // inner-tree routing + buffer/leaf search
+	SegWAL                     // WAL record append (excluding its flush/fence)
+	SegBuffer                  // buffer-node slot maintenance under the version lock
+	SegTrigger                 // trigger write: batch flush into the PM leaf
+	SegFlush                   // cacheline flush issue + XPBuffer stalls
+	SegFence                   // ordering fences (sfence)
+	SegOther                   // residual: everything not attributed above
+	NumSegments
+)
+
+var segmentNames = [NumSegments]string{
+	"lockwait", "traverse", "wal", "buffer", "trigger", "flush",
+	"fence", "other",
+}
+
+func (s Segment) String() string {
+	if int(s) < len(segmentNames) {
+		return segmentNames[s]
+	}
+	return "unknown"
+}
+
+// OpClass buckets the public operations for span attribution. Deletes
+// share OpPut: a delete is an upsert of a tombstone and walks the
+// identical critical path.
+type OpClass uint8
+
+// The attributed operation classes.
+const (
+	OpGet OpClass = iota
+	OpPut
+	OpBatch
+	NumOpClasses
+)
+
+var opClassNames = [NumOpClasses]string{"get", "put", "batch"}
+
+func (o OpClass) String() string {
+	if int(o) < len(opClassNames) {
+		return opClassNames[o]
+	}
+	return "unknown"
+}
+
+// SpanHistName returns the registry name of the histogram holding one
+// (op, segment) cell, e.g. "span_put_wal_ns". Samples are virtual
+// nanoseconds: a given op's segment samples sum to (at most) its
+// recorded latency, so segment quantiles and op quantiles share units.
+func SpanHistName(op OpClass, seg Segment) string {
+	return "span_" + opClassNames[op] + "_" + segmentNames[seg] + "_ns"
+}
+
+// ParseSpanHistName inverts SpanHistName; ok is false for any other
+// histogram name.
+func ParseSpanHistName(name string) (op OpClass, seg Segment, ok bool) {
+	rest, found := strings.CutPrefix(name, "span_")
+	if !found {
+		return 0, 0, false
+	}
+	rest, found = strings.CutSuffix(rest, "_ns")
+	if !found {
+		return 0, 0, false
+	}
+	opName, segName, found := strings.Cut(rest, "_")
+	if !found {
+		return 0, 0, false
+	}
+	for o := OpClass(0); o < NumOpClasses; o++ {
+		if opClassNames[o] != opName {
+			continue
+		}
+		for s := Segment(0); s < NumSegments; s++ {
+			if segmentNames[s] == segName {
+				return o, s, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// PackSpan encodes an (op, segment) pair into one trace-event payload
+// word; UnpackSpan inverts it.
+func PackSpan(op OpClass, seg Segment) uint64 {
+	return uint64(op)<<8 | uint64(seg)
+}
+
+// UnpackSpan decodes a PackSpan payload.
+func UnpackSpan(v uint64) (OpClass, Segment) {
+	return OpClass(v >> 8), Segment(v & 0xff)
+}
+
+// SegmentStat is the exported snapshot of one (op, segment) cell.
+// Quantiles are per-occurrence: an op that spent zero time in a
+// segment contributes no sample there (otherwise rare segments like
+// trigger writes would drown in zeros), so Count varies across a row
+// and SumNS — not Count — weighs segments against each other.
+type SegmentStat struct {
+	Op      string `json:"op"`
+	Segment string `json:"segment"`
+	Count   uint64 `json:"count"`
+	SumNS   uint64 `json:"sum_ns"`
+	P50NS   uint64 `json:"p50_ns"`
+	P99NS   uint64 `json:"p99_ns"`
+	P999NS  uint64 `json:"p999_ns"`
+	MaxNS   uint64 `json:"max_ns"`
+}
+
+// Profile bundles the contention/span/heat tier of a tree's telemetry:
+// everything this layer measures beyond the byte counters. All slices
+// omit empty cells; a nil Profile (or nil fields) means the tier was
+// not enabled. Values are cumulative since tree creation.
+type Profile struct {
+	Locks       []LockStat    `json:"locks,omitempty"`
+	Segments    []SegmentStat `json:"segments,omitempty"`
+	HotLeaves   []HeatEntry   `json:"hot_leaves,omitempty"`
+	HeatEpoch   uint64        `json:"heat_epoch,omitempty"`
+	HeatDropped uint64        `json:"heat_dropped,omitempty"`
+}
+
+// SegmentsFromSnapshot extracts the span cells out of a metrics
+// snapshot, ordered by (op, segment). Cells with no samples are
+// omitted.
+func SegmentsFromSnapshot(s *Snapshot) []SegmentStat {
+	if s == nil {
+		return nil
+	}
+	var out []SegmentStat
+	for op := OpClass(0); op < NumOpClasses; op++ {
+		for seg := Segment(0); seg < NumSegments; seg++ {
+			hs, ok := s.Hists[SpanHistName(op, seg)]
+			if !ok || hs.Count == 0 {
+				continue
+			}
+			out = append(out, SegmentStat{
+				Op:      op.String(),
+				Segment: seg.String(),
+				Count:   hs.Count,
+				SumNS:   hs.Sum,
+				P50NS:   hs.P50(),
+				P99NS:   hs.P99(),
+				P999NS:  hs.P999(),
+				MaxNS:   hs.Max,
+			})
+		}
+	}
+	return out
+}

@@ -27,13 +27,14 @@ const (
 	EvCrash
 	EvRecovery
 	EvBatchApply // ApplyBatch group commit (A = ops, B = WAL fences saved)
+	EvSegment    // critical-path span segment (A = PackSpan(op,seg), B = duration ns, VT = segment start)
 	NumEventKinds
 )
 
 var eventNames = [NumEventKinds]string{
 	"insert", "lookup", "scan", "delete", "flush-batch", "split",
 	"merge", "gc-round", "cache-evict", "xpbuf-evict", "crash",
-	"recovery", "batch-apply",
+	"recovery", "batch-apply", "segment",
 }
 
 func (k EventKind) String() string {
@@ -184,15 +185,26 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 }
 
 // WriteChromeTrace dumps the ring in Chrome trace_event format
-// (chrome://tracing, Perfetto): instant events, timestamped with
-// virtual time in microseconds, one track per worker. Events with no
-// thread clock (device events) land on their socket's track at ts 0.
+// (chrome://tracing, Perfetto): timestamped with virtual time in
+// microseconds, one track per worker. Span segments (EvSegment) render
+// as complete duration events ("X") named "op/segment" so the critical
+// path is visible as stacked bars; everything else is an instant
+// event. Events with no thread clock (device events) land on their
+// socket's track at ts 0.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString(`{"traceEvents":[` + "\n")
 	for i, e := range t.Events() {
 		if i > 0 {
 			bw.WriteString(",\n")
+		}
+		if e.Kind == EvSegment {
+			op, seg := UnpackSpan(e.A)
+			fmt.Fprintf(bw,
+				`  {"name":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{"seq":%d}}`,
+				op.String()+"/"+seg.String(), float64(e.VT)/1e3, float64(e.B)/1e3,
+				e.Worker, e.Seq)
+			continue
 		}
 		fmt.Fprintf(bw,
 			`  {"name":%q,"ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d,"args":{"seq":%d,"a":%d,"b":%d}}`,

@@ -463,3 +463,40 @@ func TestTagString(t *testing.T) {
 		}
 	}
 }
+
+// FlushNS/FenceNS must account exactly the virtual time the thread
+// spends in flush/fence, so the span layer can carve those segments
+// out of op latency by taking deltas.
+func TestFlushFenceTimeAccounting(t *testing.T) {
+	p := testPool(t, nil)
+	th := p.NewThread(0)
+	a := MakeAddr(0, 4096)
+	if th.FlushNS() != 0 || th.FenceNS() != 0 {
+		t.Fatal("fresh thread has nonzero flush/fence time")
+	}
+	th.Store(a, 1)
+	v0, f0 := th.Now(), th.FlushNS()
+	th.Flush(a, 8)
+	flushDelta := th.FlushNS() - f0
+	if flushDelta <= 0 {
+		t.Fatalf("flush accounted %d ns", flushDelta)
+	}
+	if got := th.Now() - v0; got != flushDelta {
+		t.Fatalf("flush advanced vt by %d but accounted %d", got, flushDelta)
+	}
+	v1, e0 := th.Now(), th.FenceNS()
+	th.Fence()
+	fenceDelta := th.FenceNS() - e0
+	if fenceDelta <= 0 {
+		t.Fatalf("fence accounted %d ns", fenceDelta)
+	}
+	if got := th.Now() - v1; got != fenceDelta {
+		t.Fatalf("fence advanced vt by %d but accounted %d", got, fenceDelta)
+	}
+	// Persist is flush+fence; both accumulators keep growing.
+	th.Store(a, 2)
+	th.Persist(a, 8)
+	if th.FlushNS() <= flushDelta || th.FenceNS() <= fenceDelta {
+		t.Fatal("Persist did not accumulate flush/fence time")
+	}
+}

@@ -28,6 +28,14 @@ type Thread struct {
 	vt      int64
 	pending []pendingFlush
 
+	// flushNS/fenceNS accumulate the virtual time spent inside
+	// flush()/fence() (issue cost, XPBuffer stalls, remote-access
+	// penalties charged while flushing). The span-attribution layer
+	// reads deltas of these to split an operation's latency into its
+	// flush and fence segments without hooking every Persist call.
+	flushNS int64
+	fenceNS int64
+
 	readCache [readCacheSize]uint64 // device-qualified XPLine ids, 0 = empty
 	readPos   int
 
@@ -246,6 +254,12 @@ func (t *Thread) Flush(a Addr, n int) {
 }
 
 func (t *Thread) flush(a Addr, n int) {
+	v0 := t.vt
+	t.flushLines(a, n)
+	t.flushNS += t.vt - v0
+}
+
+func (t *Thread) flushLines(a Addr, n int) {
 	// Fault triggers run (and FlushCalls counts) before the eADR
 	// early-return so crash harnesses see identical fault sites in both
 	// modes; a triggered failure must never persist the line being
@@ -284,6 +298,7 @@ func (t *Thread) Fence() {
 
 func (t *Thread) fence() {
 	t.vt += t.pool.cfg.Cost.FenceIssue
+	t.fenceNS += t.pool.cfg.Cost.FenceIssue
 	if len(t.pending) == 0 {
 		return
 	}
@@ -292,6 +307,15 @@ func (t *Thread) fence() {
 	}
 	t.pending = t.pending[:0]
 }
+
+// FlushNS returns the cumulative virtual nanoseconds this thread has
+// spent issuing flushes (clwb cost plus any XPBuffer stalls absorbed
+// at flush time). Monotone; consumers take deltas.
+func (t *Thread) FlushNS() int64 { return t.flushNS }
+
+// FenceNS returns the cumulative virtual nanoseconds spent on ordering
+// fences. Monotone; consumers take deltas.
+func (t *Thread) FenceNS() int64 { return t.fenceNS }
 
 // Persist is the common Flush+Fence sequence.
 func (t *Thread) Persist(a Addr, n int) {

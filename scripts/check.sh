@@ -40,6 +40,31 @@ go test -run TestBatchSpeedup ./internal/bench
 go test -run Example .
 go test -race -run 'TestPublicBatch|TestPublicRange' .
 
+# Observability-tier gates. First the profiler overhead budget: the
+# instrumented lock sites, heat touches and span records must stay
+# allocation-free and under obs.ProfilerBudgetNS each (the test prints
+# one OBS_OVERHEAD line per path; grep proves it ran rather than
+# silently skipping).
+obs_overhead=$(go test -run TestObsOverheadBudget -count=1 -v ./internal/obs)
+echo "$obs_overhead" | grep OBS_OVERHEAD
+
+# Perf-regression tripwire: one ycsbb run at the pinned gate scale,
+# compared against the checked-in baseline (exit 3 = regressed). The
+# planted-regressed baseline must trip the gate — proving the gate can
+# actually fail — and the real baseline must pass.
+# (built as a binary: `go run` collapses the child's exit code to 1,
+# and the gate's contract is the distinct exit 3.)
+perfdir=$(mktemp -d)
+go build -o "$perfdir/cclbench" ./cmd/cclbench
+"$perfdir/cclbench" -exp ycsbb -warm 20000 -ops 20000 -mainthreads 8 -out "$perfdir" >/dev/null
+set +e
+"$perfdir/cclbench" -compare scripts/perf_baseline_regressed.json -against "$perfdir/BENCH_ycsbb.json" >/dev/null 2>&1
+planted=$?
+set -e
+test "$planted" -eq 3
+"$perfdir/cclbench" -compare scripts/perf_baseline.json -against "$perfdir/BENCH_ycsbb.json"
+rm -rf "$perfdir"
+
 # Short fuzz smokes: each target gets 10s of coverage-guided input
 # generation on top of its checked-in corpus.
 go test -run '^$' -fuzz FuzzWALRecordParse -fuzztime 10s ./internal/wal
