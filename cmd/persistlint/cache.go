@@ -1,0 +1,244 @@
+package main
+
+// cache.go is the on-disk incremental cache behind -cache DIR. One
+// entry per analysis configuration (directories + toggles + -tests),
+// named by the configuration's digest, holding the content hash of
+// every input file, the findings, the stats, and the dir-level call/
+// import edges of the run that produced it.
+//
+// The analysis is whole-program — a summary in one package can flip a
+// finding in another — so partial reuse of stale results would be
+// unsound. The cache therefore replays ONLY on a full match: same file
+// set, every hash equal. Anything else reruns the analysis from
+// scratch; the cached DirEdges are then used to REPORT what a changed
+// file transitively invalidated (the reverse closure over call and
+// import edges), which is also what a future per-package cache would
+// have to rerun. Entries are written via temp file + rename, so a
+// crash mid-write leaves the previous entry intact, never a torn one.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"cclbtree/internal/analysis/persist"
+)
+
+// cacheVersion invalidates every entry when the analyzer or the entry
+// shape changes; bump on any change to rules, summaries, or rendering.
+const cacheVersion = 1
+
+type cacheFile struct {
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256"`
+}
+
+type cacheEntry struct {
+	Version  int               `json:"version"`
+	Files    []cacheFile       `json:"files"`
+	DirEdges [][2]string       `json:"dirEdges"`
+	Findings []persist.Finding `json:"findings"`
+	Stats    persist.Stats     `json:"stats"`
+	ColdNS   int64             `json:"coldNs"`
+}
+
+// cacheContext carries one run's cache state between the lookup and
+// the store.
+type cacheContext struct {
+	path  string      // entry file
+	files []cacheFile // current input hashes
+	prev  *cacheEntry // previous entry, nil on first run
+	hit   bool        // full match: prev.Findings may be replayed
+}
+
+// cacheKey digests the analysis configuration. Runs that could print
+// different findings must never share an entry.
+func cacheKey(dirs, disabled []string, withTests bool) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n", cacheVersion)
+	sorted := append([]string(nil), disabled...)
+	sort.Strings(sorted)
+	for _, c := range sorted {
+		fmt.Fprintf(h, "disable %s\n", c)
+	}
+	fmt.Fprintf(h, "tests %v\n", withTests)
+	for _, d := range dirs {
+		fmt.Fprintf(h, "dir %s\n", filepath.ToSlash(d))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// openCache hashes the current inputs and loads the previous entry for
+// this configuration, deciding hit or miss. Never fatal: any IO or
+// decode problem degrades to a cold run.
+func openCache(cacheDir string, dirs, disabled []string, withTests bool) (*cacheContext, error) {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, err
+	}
+	cc := &cacheContext{
+		path: filepath.Join(cacheDir, "persistlint-"+cacheKey(dirs, disabled, withTests)+".json"),
+	}
+	for _, d := range dirs {
+		paths, err := persist.ListGoFiles(d, withTests)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range paths {
+			sum, err := hashFile(p)
+			if err != nil {
+				return nil, err
+			}
+			cc.files = append(cc.files, cacheFile{Path: filepath.ToSlash(p), SHA256: sum})
+		}
+	}
+	raw, err := os.ReadFile(cc.path)
+	if err != nil {
+		return cc, nil // first run for this configuration
+	}
+	var prev cacheEntry
+	if err := json.Unmarshal(raw, &prev); err != nil || prev.Version != cacheVersion {
+		return cc, nil // corrupt or outdated entry: treat as cold
+	}
+	cc.prev = &prev
+	cc.hit = sameFiles(prev.Files, cc.files)
+	return cc, nil
+}
+
+func hashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func sameFiles(a, b []cacheFile) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// invalidated reports, for a cache miss with a previous entry, the
+// directories whose files changed and the full set a per-package
+// engine would have to re-analyze: the changed dirs plus everything
+// that transitively calls into or imports them (reverse closure over
+// the recorded dir edges).
+func (cc *cacheContext) invalidated() (changed, closure []string) {
+	if cc.prev == nil {
+		return nil, nil
+	}
+	prevSums := map[string]string{}
+	for _, f := range cc.prev.Files {
+		prevSums[f.Path] = f.SHA256
+	}
+	curSums := map[string]string{}
+	dirty := map[string]bool{}
+	for _, f := range cc.files {
+		curSums[f.Path] = f.SHA256
+		if prevSums[f.Path] != f.SHA256 { // changed or added
+			dirty[filepath.ToSlash(filepath.Clean(filepath.Dir(f.Path)))] = true
+		}
+	}
+	for _, f := range cc.prev.Files {
+		if _, ok := curSums[f.Path]; !ok { // removed
+			dirty[filepath.ToSlash(filepath.Clean(filepath.Dir(f.Path)))] = true
+		}
+	}
+
+	// Reverse closure: edge (from → to) means from depends on to, so a
+	// dirty `to` drags every transitive `from` in.
+	rev := map[string][]string{}
+	for _, e := range cc.prev.DirEdges {
+		rev[e[1]] = append(rev[e[1]], e[0])
+	}
+	closed := map[string]bool{}
+	var queue []string
+	for d := range dirty {
+		closed[d] = true
+		queue = append(queue, d)
+	}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		for _, dep := range rev[d] {
+			if !closed[dep] {
+				closed[dep] = true
+				queue = append(queue, dep)
+			}
+		}
+	}
+	return sortedKeys(dirty), sortedKeys(closed)
+}
+
+// store writes the entry for this run crash-safely: temp file in the
+// same directory, fsync-free rename into place.
+func (cc *cacheContext) store(findings []persist.Finding, stats persist.Stats, dirEdges [][2]string, coldNS int64) error {
+	entry := cacheEntry{
+		Version:  cacheVersion,
+		Files:    cc.files,
+		DirEdges: dirEdges,
+		Findings: findings,
+		Stats:    stats,
+		ColdNS:   coldNS,
+	}
+	raw, err := json.MarshalIndent(entry, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(cc.path, raw)
+}
+
+// writeFileAtomic replaces path's contents via a same-directory temp
+// file and rename, so readers (and crashes) see either the old bytes
+// or the new, never a prefix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -11,17 +11,23 @@
 //
 // Usage:
 //
-//	persistlint [-json] [-tests] [-stats] [-disable CODES | -only CODES]
-//	            [-fix [-apply]] [-budget DURATION] [packages...]
+//	persistlint [-json] [-sarif FILE] [-tests] [-stats] [-disable CODES | -only CODES]
+//	            [-fix [-apply]] [-budget DURATION] [-cache DIR] [packages...]
 //
 // Package patterns are directories; a trailing /... recurses. With no
 // arguments it checks ./... from the current directory. Exit status is
 // 0 when no findings, 1 when findings were reported, 2 on usage or
 // parse errors — or when -budget is exceeded. -stats prints analysis
-// self-diagnostics (functions, CFG nodes, summaries, per-rule counts)
-// to stderr. -fix deletes the stale //persistlint:ignore directives
-// PL007 flags — and nothing else; without -apply it only prints the
-// planned edits.
+// self-diagnostics (functions, CFG nodes, call graph, summaries,
+// per-rule counts) to stderr. -fix deletes the stale
+// //persistlint:ignore directives PL007 flags — and nothing else;
+// without -apply it only prints the planned edits. -sarif writes SARIF
+// 2.1.0 to FILE ("-" replaces the default stdout listing). -cache DIR
+// keeps a content-hash-keyed result cache: when no input file changed,
+// the previous findings replay byte-identically without re-analysis;
+// on a miss the whole program re-analyzes (summaries cross package
+// boundaries, partial reuse would be unsound) and the cache reports
+// what the change transitively invalidated.
 package main
 
 import (
@@ -60,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("persistlint", flag.ContinueOnError)
 	fl.SetOutput(stderr)
 	jsonOut := fl.Bool("json", false, "emit one JSON object per finding (stable across PRs for CI diffing)")
+	sarif := fl.String("sarif", "", "write findings as SARIF 2.1.0 to this file (\"-\" emits SARIF to stdout instead of the default listing)")
 	withTest := fl.Bool("tests", false, "also analyze _test.go files")
 	stats := fl.Bool("stats", false, "print analysis self-diagnostics to stderr")
 	disable := fl.String("disable", "", "comma-separated rule codes to switch off (e.g. PL008,PL011)")
@@ -67,8 +74,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fix := fl.Bool("fix", false, "delete stale //persistlint:ignore directives flagged by PL007 (prints planned edits; add -apply to write)")
 	apply := fl.Bool("apply", false, "with -fix, write the edits to the files in place")
 	budget := fl.Duration("budget", 0, "fail (exit 2) when parsing+analysis wall-clock exceeds this duration; 0 disables the gate")
+	cacheDir := fl.String("cache", "", "directory for the incremental result cache (replays unchanged runs byte-identically)")
 	fl.Usage = func() {
-		fmt.Fprintf(stderr, "usage: persistlint [-json] [-tests] [-stats] [-disable CODES | -only CODES] [-fix [-apply]] [-budget DURATION] [packages...]\n")
+		fmt.Fprintf(stderr, "usage: persistlint [-json] [-sarif FILE] [-tests] [-stats] [-disable CODES | -only CODES] [-fix [-apply]] [-budget DURATION] [-cache DIR] [packages...]\n")
 		fl.PrintDefaults()
 	}
 	if err := fl.Parse(args); err != nil {
@@ -80,6 +88,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *apply && !*fix {
 		fmt.Fprintf(stderr, "persistlint: -apply requires -fix\n")
+		return 2
+	}
+	if *jsonOut && *sarif == "-" {
+		fmt.Fprintf(stderr, "persistlint: -json and -sarif - both claim stdout\n")
 		return 2
 	}
 	disabled, err := resolveToggles(*disable, *only)
@@ -99,17 +111,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
-	an := persist.NewAnalyzer()
-	an.Disable(disabled...)
-	for _, d := range dirs {
-		if err := an.AddDir(d, *withTest); err != nil {
-			fmt.Fprintf(stderr, "persistlint: %v\n", err)
-			return 2
+	var findings []persist.Finding
+	var st persist.Stats
+	var cc *cacheContext
+	cached := false
+	if *cacheDir != "" {
+		var cerr error
+		cc, cerr = openCache(*cacheDir, dirs, disabled, *withTest)
+		if cerr != nil {
+			// The cache is an accelerator, never a correctness input: any
+			// problem with it degrades to a cold run.
+			fmt.Fprintf(stderr, "persistlint: cache disabled: %v\n", cerr)
+			cc = nil
+		}
+		if cc != nil && cc.hit {
+			findings, st = cc.prev.Findings, cc.prev.Stats
+			cached = true
 		}
 	}
-	findings := an.Run()
+	if !cached {
+		an := persist.NewAnalyzer()
+		an.Disable(disabled...)
+		for _, d := range dirs {
+			if err := an.AddDir(d, *withTest); err != nil {
+				fmt.Fprintf(stderr, "persistlint: %v\n", err)
+				return 2
+			}
+		}
+		findings = an.Run()
+		st = an.Stats()
+		if cc != nil {
+			if changed, closure := cc.invalidated(); len(changed) > 0 {
+				fmt.Fprintf(stderr, "persistlint: cache miss: changed %s; invalidates %s\n",
+					strings.Join(changed, ","), strings.Join(closure, ","))
+			}
+			if err := cc.store(findings, st, an.DirEdges(), time.Since(start).Nanoseconds()); err != nil {
+				fmt.Fprintf(stderr, "persistlint: cache write failed: %v\n", err)
+			}
+		}
+	}
 	elapsed := time.Since(start)
-	if *jsonOut {
+	if cached {
+		warm := elapsed.Nanoseconds()
+		if warm < 1 {
+			warm = 1
+		}
+		fmt.Fprintf(stderr, "persistlint: cache hit, replayed %d finding(s) speedup_x=%.1f\n",
+			len(findings), float64(cc.prev.ColdNS)/float64(warm))
+	}
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		for _, f := range findings {
 			_ = enc.Encode(jsonFinding{
@@ -121,9 +172,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Message: f.Msg,
 			})
 		}
-	} else {
+	case *sarif == "-":
+		if err := writeSARIF(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "persistlint: %v\n", err)
+			return 2
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
+		}
+	}
+	if *sarif != "" && *sarif != "-" {
+		var buf strings.Builder
+		serr := writeSARIF(&buf, findings)
+		if serr == nil {
+			serr = writeFileAtomic(*sarif, []byte(buf.String()))
+		}
+		if serr != nil {
+			fmt.Fprintf(stderr, "persistlint: -sarif: %v\n", serr)
+			return 2
 		}
 	}
 	if *fix {
@@ -133,7 +200,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *stats {
-		printStats(stderr, an.Stats(), findings)
+		printStats(stderr, st)
 	}
 	if *budget > 0 && elapsed > *budget {
 		fmt.Fprintf(stderr, "persistlint: analysis took %v, over the %v budget\n", elapsed.Round(time.Millisecond), *budget)
@@ -196,7 +263,9 @@ func resolveToggles(disable, only string) ([]string, error) {
 // findings: a directive alone on its line takes the whole line with
 // it, a trailing directive is trimmed off its code line. Only PL007
 // findings are touched — the fixer never edits code. Without apply it
-// prints the planned edits and leaves the files alone.
+// prints the planned edits and leaves the files alone. Applied edits
+// go through a same-directory temp file and rename, so a crash
+// mid-write can never leave a source file truncated.
 func fixStaleDirectives(findings []persist.Finding, apply bool, stderr io.Writer) error {
 	type edit struct{ line, col int }
 	byFile := map[string][]edit{}
@@ -243,7 +312,7 @@ func fixStaleDirectives(findings []persist.Finding, apply bool, stderr io.Writer
 					kept = append(kept, l)
 				}
 			}
-			if err := os.WriteFile(path, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+			if err := writeFileAtomic(path, []byte(strings.Join(kept, "\n"))); err != nil {
 				return err
 			}
 		}
@@ -257,12 +326,18 @@ func fixStaleDirectives(findings []persist.Finding, apply bool, stderr io.Writer
 }
 
 // printStats emits the self-diagnostic block: CI logs should show what
-// the analysis covered, not just its silence.
-func printStats(w io.Writer, s persist.Stats, findings []persist.Finding) {
+// the analysis covered, not just its silence. Per-rule counts come
+// from Stats.FindingsByCode, which Run fills from the findings it
+// actually returned — the totals here reconcile with the emitted
+// listing by construction, including on a cache replay.
+func printStats(w io.Writer, s persist.Stats) {
 	fmt.Fprintf(w, "persistlint stats:\n")
 	fmt.Fprintf(w, "  files analyzed      %6d\n", s.Files)
 	fmt.Fprintf(w, "  functions analyzed  %6d\n", s.Functions)
 	fmt.Fprintf(w, "  cfg nodes built     %6d\n", s.CFGNodes)
+	fmt.Fprintf(w, "  call graph nodes    %6d\n", s.CallNodes)
+	fmt.Fprintf(w, "  call graph edges    %6d\n", s.CallEdges)
+	fmt.Fprintf(w, "  call graph sccs     %6d\n", s.CallSCCs)
 	fmt.Fprintf(w, "  discharge summaries %6d\n", s.DischargeSummaries)
 	fmt.Fprintf(w, "  lock summaries      %6d\n", s.LockSummaries)
 	fmt.Fprintf(w, "  atomic fields       %6d\n", s.AtomicFields)
@@ -270,20 +345,15 @@ func printStats(w io.Writer, s persist.Stats, findings []persist.Finding) {
 	fmt.Fprintf(w, "  field accesses      %6d\n", s.FieldAccesses)
 	fmt.Fprintf(w, "  seqlock reads       %6d\n", s.SeqlockReads)
 	fmt.Fprintf(w, "  scope sites         %6d\n", s.ScopeSites)
-	byCode := map[string]int{}
-	for _, f := range findings {
-		byCode[f.Code]++
-	}
-	codes := make([]string, 0, len(byCode))
-	for c := range byCode {
+	fmt.Fprintf(w, "  entry points        %6d\n", s.EntryPoints)
+	fmt.Fprintf(w, "  findings total      %6d\n", s.Findings)
+	codes := make([]string, 0, len(s.FindingsByCode))
+	for c := range s.FindingsByCode {
 		codes = append(codes, c)
 	}
 	sort.Strings(codes)
 	for _, c := range codes {
-		fmt.Fprintf(w, "  findings %s      %6d\n", c, byCode[c])
-	}
-	if len(byCode) == 0 {
-		fmt.Fprintf(w, "  findings                 0\n")
+		fmt.Fprintf(w, "  findings %s      %6d\n", c, s.FindingsByCode[c])
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -307,6 +308,307 @@ func TestCorpusDeterminism(t *testing.T) {
 		} else if out.String() != first {
 			t.Fatalf("run %d -json output differs:\n%s\nvs\n%s", i, out.String(), first)
 		}
+	}
+}
+
+// TestCacheColdWarmByteIdentical pins the incremental cache's core
+// contract: a warm replay prints byte-for-byte what the cold run
+// printed, and says how much faster it was.
+func TestCacheColdWarmByteIdentical(t *testing.T) {
+	leaky := writeDir(t, "leaky.go", leakySrc)
+	cacheDir := filepath.Join(t.TempDir(), "plcache")
+
+	var cold, coldErr bytes.Buffer
+	if code := run([]string{"-json", "-cache", cacheDir, leaky}, &cold, &coldErr); code != 1 {
+		t.Fatalf("cold run: exit %d, want 1 (stderr: %s)", code, coldErr.String())
+	}
+	if strings.Contains(coldErr.String(), "cache hit") {
+		t.Fatalf("cold run claimed a cache hit: %s", coldErr.String())
+	}
+
+	var warm, warmErr bytes.Buffer
+	if code := run([]string{"-json", "-cache", cacheDir, leaky}, &warm, &warmErr); code != 1 {
+		t.Fatalf("warm run: exit %d, want 1 (stderr: %s)", code, warmErr.String())
+	}
+	if warm.String() != cold.String() {
+		t.Errorf("warm replay differs from cold run:\n--- cold ---\n%s--- warm ---\n%s", cold.String(), warm.String())
+	}
+	if !strings.Contains(warmErr.String(), "cache hit") || !strings.Contains(warmErr.String(), "speedup_x=") {
+		t.Errorf("warm stderr missing hit/speedup report: %s", warmErr.String())
+	}
+
+	// A configuration change must not share the entry: different toggles
+	// can print different findings.
+	var toggled, toggledErr bytes.Buffer
+	if code := run([]string{"-json", "-cache", cacheDir, "-disable", "PL002", leaky}, &toggled, &toggledErr); code != 1 {
+		t.Fatalf("toggled run: exit %d, want 1 (stderr: %s)", code, toggledErr.String())
+	}
+	if strings.Contains(toggledErr.String(), "cache hit") {
+		t.Errorf("-disable run replayed the undisabled entry: %s", toggledErr.String())
+	}
+	if strings.Contains(toggled.String(), "PL002") {
+		t.Errorf("-disable PL002 output still has PL002:\n%s", toggled.String())
+	}
+}
+
+// libSrc/appSrc form a two-package tree where app's helper discharges
+// through lib: editing lib must invalidate app transitively.
+const libSrc = `package lib
+
+import "cclbtree/internal/pmem"
+
+func PersistWord(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Persist(a, 8)
+}
+`
+
+const appSrc = `package app
+
+import (
+	"cclbtree/internal/pmem"
+	"example.com/mod/lib"
+)
+
+func Write(t *pmem.Thread, a pmem.Addr) {
+	lib.PersistWord(t, a)
+}
+`
+
+// TestCacheInvalidationClosure edits one package between runs and
+// checks the miss report names both the changed directory and its
+// reverse closure over the recorded dir edges.
+func TestCacheInvalidationClosure(t *testing.T) {
+	base := t.TempDir()
+	libDir := filepath.Join(base, "lib")
+	appDir := filepath.Join(base, "app")
+	for dir, src := range map[string]string{libDir: libSrc, appDir: appSrc} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cacheDir := filepath.Join(base, "plcache")
+	args := []string{"-json", "-cache", cacheDir, libDir, appDir}
+
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("cold run: exit %d, want 0 (stderr: %s)", code, errb.String())
+	}
+
+	if err := os.WriteFile(filepath.Join(libDir, "p.go"), []byte(libSrc+"\n// touched\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("post-edit run: exit %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	se := errb.String()
+	if !strings.Contains(se, "cache miss: changed ") {
+		t.Fatalf("post-edit stderr missing miss report: %s", se)
+	}
+	_, invalidates, ok := strings.Cut(se, "invalidates ")
+	if !ok {
+		t.Fatalf("miss report missing invalidation closure: %s", se)
+	}
+	changedPart := se[:strings.Index(se, "; invalidates")]
+	if strings.Contains(changedPart, filepath.ToSlash(appDir)) {
+		t.Errorf("untouched app dir reported as changed: %s", se)
+	}
+	for _, dir := range []string{libDir, appDir} {
+		if !strings.Contains(invalidates, filepath.ToSlash(dir)) {
+			t.Errorf("invalidation closure missing %s: %s", dir, se)
+		}
+	}
+}
+
+// TestSARIFOutput checks -sarif renders a valid 2.1.0 log with the
+// full rule catalog and one result per finding, to stdout or a file.
+func TestSARIFOutput(t *testing.T) {
+	leaky := writeDir(t, "leaky.go", leakySrc)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sarif", "-", leaky}, &out, &errb); code != 1 {
+		t.Fatalf("-sarif -: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("bad SARIF: %v\n%s", err, out.String())
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("wrong SARIF shell: version %q, %d runs", doc.Version, len(doc.Runs))
+	}
+	run0 := doc.Runs[0]
+	if run0.Tool.Driver.Name != "persistlint" {
+		t.Errorf("driver name %q", run0.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run0.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"PL001", "PL013", "PL014", "PL015"} {
+		if !ruleIDs[want] {
+			t.Errorf("rule catalog missing %s", want)
+		}
+	}
+	if len(run0.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run0.Results))
+	}
+	for _, r := range run0.Results {
+		if r.RuleID != "PL001" && r.RuleID != "PL002" {
+			t.Errorf("unexpected ruleId %s", r.RuleID)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result missing location: %+v", r)
+		}
+	}
+
+	// File mode writes the same document to disk and keeps the listing
+	// on stdout.
+	sarifPath := filepath.Join(t.TempDir(), "out.sarif")
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-sarif", sarifPath, leaky}, &out, &errb); code != 1 {
+		t.Fatalf("-sarif FILE: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	raw, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"2.1.0"`)) {
+		t.Errorf("SARIF file missing version: %s", raw)
+	}
+	if !strings.Contains(out.String(), "PL001") {
+		t.Errorf("-sarif FILE should keep the stdout listing:\n%s", out.String())
+	}
+
+	// -json owns stdout; combining it with -sarif - is a usage error.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-json", "-sarif", "-", leaky}, &out, &errb); code != 2 {
+		t.Errorf("-json with -sarif -: exit %d, want 2", code)
+	}
+}
+
+// statsCounts parses the -stats block: the total line and every
+// per-code line.
+func statsCounts(t *testing.T, stderr string) (total int, byCode map[string]int) {
+	t.Helper()
+	byCode = map[string]int{}
+	total = -1
+	totalRe := regexp.MustCompile(`findings total\s+(\d+)`)
+	codeRe := regexp.MustCompile(`findings (PL\d+)\s+(\d+)`)
+	if m := totalRe.FindStringSubmatch(stderr); m != nil {
+		total = atoi(t, m[1])
+	}
+	for _, m := range codeRe.FindAllStringSubmatch(stderr, -1) {
+		byCode[m[1]] = atoi(t, m[2])
+	}
+	return total, byCode
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestStatsReconcile pins the counter contract: over the full corpus,
+// the per-code stats sum to the total and both equal the number of
+// findings actually emitted — cold and under cache replay.
+func TestStatsReconcile(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "plcache")
+	for _, pass := range []string{"cold", "warm"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-stats", "-json", "-cache", cacheDir, corpusDir}, &out, &errb); code != 1 {
+			t.Fatalf("%s: exit %d, want 1 (stderr: %s)", pass, code, errb.String())
+		}
+		emitted := len(strings.Split(strings.TrimSpace(out.String()), "\n"))
+		total, byCode := statsCounts(t, errb.String())
+		sum := 0
+		for _, n := range byCode {
+			sum += n
+		}
+		if total != emitted || sum != emitted {
+			t.Errorf("%s: stats drift: total %d, per-code sum %d, emitted %d", pass, total, sum, emitted)
+		}
+		if pass == "warm" && !strings.Contains(errb.String(), "cache hit") {
+			t.Errorf("warm pass was not a replay: %s", errb.String())
+		}
+	}
+}
+
+// disabledDirectiveSrc suppresses a finding of a rule the run then
+// disables: with the rule off the directive is unprovable, not stale,
+// and PL007 must stay quiet.
+const disabledDirectiveSrc = `package p
+
+import "cclbtree/internal/pmem"
+
+func excusedLeak(t *pmem.Thread, a pmem.Addr) {
+	//persistlint:ignore PL001 recovery rewrites this word before first read
+	t.Store(a, 1)
+}
+`
+
+// TestStaleDirectiveSkipsDisabledRules is the PL007 regression for
+// -disable/-only: a directive naming a rule the run cannot evaluate is
+// never reported stale.
+func TestStaleDirectiveSkipsDisabledRules(t *testing.T) {
+	dir := writeDir(t, "excused.go", disabledDirectiveSrc)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-disable", "PL001", dir}, &out, &errb); code != 0 {
+		t.Fatalf("-disable PL001: exit %d, want 0 (stdout: %s)", code, out.String())
+	}
+	if strings.Contains(out.String(), "PL007") {
+		t.Errorf("-disable PL001 flagged the directive stale:\n%s", out.String())
+	}
+
+	// -only PL002 disables PL001 the other way around; same contract.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-only", "PL002", dir}, &out, &errb); code != 0 {
+		t.Fatalf("-only PL002: exit %d, want 0 (stdout: %s)", code, out.String())
+	}
+	if strings.Contains(out.String(), "PL007") {
+		t.Errorf("-only PL002 flagged the directive stale:\n%s", out.String())
+	}
+
+	// With PL001 live the directive provably suppresses a real finding:
+	// still not stale, and the leak stays hidden.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("default run: exit %d, want 0 (stdout: %s)", code, out.String())
 	}
 }
 

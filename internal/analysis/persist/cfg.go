@@ -48,6 +48,8 @@ const (
 	evSeqValid          // v tested against a literal: the bail-on-invalid path owes no re-check
 	evAccess            // tracked struct-field access (PL008/PL009 collection)
 	evKillVar           // identifier reassigned: wasted-persist addr states mentioning it die (PL011)
+	evEscape            // a pmem address flows into a heap structure/channel/goroutine (PL013 site)
+	evLoad              // Thread.Load/ReadRange: a PM read (PL015 collection)
 )
 
 // event is one obligation- or lock-relevant action inside a CFG node.
@@ -59,10 +61,13 @@ type event struct {
 	publish bool   // Store of a PM pointer (PL005 site)
 	addrKey string // evStore/evFlush/evPersist: rendered address argument ("" if value-producing)
 
-	callee     string   // evCall: bare callee name
+	calleeKeys []string // evCall: resolved call-graph candidate keys (sorted)
 	threadArgs []string // evCall: thread-expression keys passed as args
 
 	class string // evLock/evUnlock: lock class name
+
+	escKind string // evEscape: "heap structure" | "channel" | "goroutine"
+	escDesc string // evEscape: rendered sink (the assigned field, channel, call)
 
 	accessField  string // evAccess: bare field name
 	accessOwner  string // evAccess: resolved owning struct type ("" unknown)
@@ -205,9 +210,13 @@ func (b *cfgBuilder) buildStmt(s ast.Stmt, preds []*cfgNode) []*cfgNode {
 		return []*cfgNode{n}
 
 	case *ast.GoStmt:
-		// The goroutine body runs elsewhere; PL004 polices the values
-		// crossing the boundary and the body is analyzed separately.
+		// The goroutine body runs elsewhere; PL004 polices the handle
+		// values crossing the boundary and the body is analyzed
+		// separately. PM addresses crossing here are PL013 escape sites,
+		// judged against the obligations open at THIS point — so the
+		// escape events land in the go statement's own node.
 		n := b.newNode()
+		n.events = b.fa.goEscapeEvents(x)
 		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
 			b.subs = append(b.subs, lit)
 		}

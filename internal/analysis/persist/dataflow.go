@@ -31,15 +31,20 @@ const (
 	obFlush        // awaiting Fence/Persist → PL002 if it survives
 	obScope        // PushScope awaiting PopScope → PL012 if it survives
 	obSeq          // seqlock version load awaiting its re-check → PL010
+	obDirty        // an address stored to, not yet fenced → PL013 if it escapes
 )
 
 // obl is one open obligation. Seeds used for interprocedural summaries
-// carry negative origins and are never reported.
+// carry negative origins and are never reported. For obDirty the
+// method field carries the rendered address expression — the identity
+// an escape site must match — and the fact is never reported at exit
+// (an address may stay dirty to return on purpose; only escaping while
+// dirty is the defect).
 type obl struct {
 	origin token.Pos
 	key    string
 	kind   int
-	method string // Store/WriteRange/Flush, for the message
+	method string // Store/WriteRange/Flush for the message; obDirty: address rendering
 }
 
 type oblSet map[obl]struct{}
@@ -78,29 +83,40 @@ func (fa *funcAnalysis) applyObl(s oblSet, e event, report func(code string, pos
 	switch e.kind {
 	case evStore:
 		if e.publish && report != nil {
+			var hit *obl
 			for o := range s {
-				if o.key == e.key {
-					report(CodePublishBeforePersist, e.pos, fmt.Sprintf(
-						"%s.Store publishes a PM pointer while an earlier %s on %s is not yet fenced: a crash exposes reachable-but-unpersisted data; fence the data before the publish", e.key, o.method, e.key))
-					break
+				if o.key == e.key && (o.kind == obStore || o.kind == obFlush) {
+					if hit == nil || o.origin < hit.origin || (o.origin == hit.origin && o.method < hit.method) {
+						oo := o
+						hit = &oo
+					}
 				}
+			}
+			if hit != nil {
+				report(CodePublishBeforePersist, e.pos, fmt.Sprintf(
+					"%s.Store publishes a PM pointer while an earlier %s on %s is not yet fenced: a crash exposes reachable-but-unpersisted data; fence the data before the publish", e.key, hit.method, e.key))
 			}
 		}
 		s[obl{origin: e.pos, key: e.key, kind: obStore, method: e.method}] = struct{}{}
+		if e.addrKey != "" {
+			s[obl{origin: e.pos, key: e.key, kind: obDirty, method: e.addrKey}] = struct{}{}
+		}
 	case evFlush:
 		s.killKey(e.key, obStore)
 		s[obl{origin: e.pos, key: e.key, kind: obFlush, method: "Flush"}] = struct{}{}
 	case evFence:
 		s.killKey(e.key, obFlush)
+		s.killKey(e.key, obDirty)
 	case evPersist:
 		s.killKey(e.key, obStore)
 		s.killKey(e.key, obFlush)
+		s.killKey(e.key, obDirty)
 	case evEADR:
 		// Inside the eADR persistence domain stores are durable at
 		// retirement: nothing on this path needs flushing. Scope and
 		// seqlock obligations are not persistence state and survive.
 		for o := range s {
-			if o.kind == obStore || o.kind == obFlush {
+			if o.kind == obStore || o.kind == obFlush || o.kind == obDirty {
 				delete(s, o)
 			}
 		}
@@ -128,14 +144,30 @@ func (fa *funcAnalysis) applyObl(s oblSet, e event, report func(code string, pos
 		// A seqlock session keyed on a rebound variable (loop iteration
 		// rebinding the slot or the saved version) cannot be re-checked
 		// any more — and demanding a re-check of a dead binding would be
-		// a false positive on every early loop exit.
+		// a false positive on every early loop exit. A dirty fact whose
+		// rendering mentions the rebound variable names a different
+		// address now and is likewise dropped.
 		for o := range s {
 			if o.kind == obSeq && keyMentionsIdent(o.key, e.key) {
 				delete(s, o)
 			}
+			if o.kind == obDirty && keyMentionsIdent(o.method, e.key) {
+				delete(s, o)
+			}
+		}
+	case evEscape:
+		if report == nil {
+			return
+		}
+		for o := range s {
+			if o.kind == obDirty && dirtyMatches(o.method, e.addrKey) {
+				report(CodeEscapeBeforePersist, e.pos, fmt.Sprintf(
+					"PM address %s flows into %s %s while its store on %s is not yet fenced: whoever receives it can chase the address to bytes a crash throws away; persist before publishing the address", e.addrKey, e.escKind, e.escDesc, o.key))
+				break
+			}
 		}
 	case evCall:
-		sum, ok := fa.an.summaries[e.callee]
+		sum, ok := fa.an.callSummary(e.calleeKeys)
 		if !ok {
 			return
 		}
@@ -144,10 +176,22 @@ func (fa *funcAnalysis) applyObl(s oblSet, e event, report func(code string, pos
 				s.killKey(k, obFlush)
 				if sum.coversStore {
 					s.killKey(k, obStore)
+					s.killKey(k, obDirty)
 				}
 			}
 		}
 	}
+}
+
+// dirtyMatches reports whether an escaping address rendering reaches
+// the bytes a dirty fact covers: the same rendering, or a bare
+// identifier the dirty rendering dereferences through ("leaf" escaping
+// reaches "leaf.next"; "eq" does not reach "s.seq").
+func dirtyMatches(dirty, escaped string) bool {
+	if dirty == escaped {
+		return true
+	}
+	return !strings.Contains(escaped, ".") && keyMentionsIdent(dirty, escaped)
 }
 
 // oblFixpoint computes the set of obligations possibly open on entry
@@ -218,6 +262,7 @@ func (fa *funcAnalysis) checkObligations(g *cfg, emit func(code string, pos toke
 			if e.kind == evScopePush {
 				fa.an.scopeSites[e.pos] = true
 			}
+			fa.recordReadAfterPublish(s, e)
 			fa.applyObl(s, e, report)
 		}
 	}
@@ -293,12 +338,14 @@ func (dst heldSet) addAll(src heldSet) bool {
 }
 
 // applyLock is the lock transfer function. check, when non-nil,
-// receives (acquiring class, its position, held set) for PL006.
-func (fa *funcAnalysis) applyLock(s heldSet, e event, check func(class string, pos token.Pos, held heldSet)) {
+// receives (acquiring class, its position, held set, acquisition
+// chain) — chain is nil for a direct or one-hop acquire (PL006) and
+// the display-name call path for a deeper transitive one (PL014).
+func (fa *funcAnalysis) applyLock(s heldSet, e event, check func(class string, pos token.Pos, held heldSet, chain []string)) {
 	switch e.kind {
 	case evLock:
 		if check != nil {
-			check(e.class, e.pos, s)
+			check(e.class, e.pos, s, nil)
 		}
 		if _, ok := s[e.class]; !ok {
 			s[e.class] = e.pos
@@ -309,10 +356,28 @@ func (fa *funcAnalysis) applyLock(s heldSet, e event, check func(class string, p
 		if check == nil {
 			return
 		}
-		// One-level interprocedural: classes the callee acquires
-		// directly must also respect the order against what we hold.
-		for _, class := range fa.an.lockSums[e.callee] {
-			check(class, e.pos, s)
+		// One hop: classes any candidate callee acquires in its own body
+		// must respect the order against what we hold (PL006, as the
+		// one-level engine reported it). Deeper: classes reachable only
+		// through the callee's transitive closure are PL014, reported
+		// with the witness call chain so the path is actionable.
+		direct := map[string]bool{}
+		for _, key := range e.calleeKeys {
+			for _, class := range fa.an.lockDirect[key] {
+				if !direct[class] {
+					direct[class] = true
+					check(class, e.pos, s, nil)
+				}
+			}
+		}
+		deep := map[string]bool{}
+		for _, key := range e.calleeKeys {
+			for _, class := range fa.an.lockTrans[key] {
+				if !direct[class] && !deep[class] {
+					deep[class] = true
+					check(class, e.pos, s, fa.an.lockChain(key, class))
+				}
+			}
 		}
 	}
 }
@@ -349,12 +414,14 @@ func (fa *funcAnalysis) lockFixpoint(g *cfg) []heldSet {
 	return in
 }
 
-// checkLockOrder reports PL006 for acquires (direct or through a
-// called function's summary) that violate the declared partial order.
+// checkLockOrder reports PL006 for acquires (direct or one call away)
+// that violate the declared partial order, and PL014 for acquires
+// buried deeper in the call graph, with the witness chain.
 func (fa *funcAnalysis) checkLockOrder(g *cfg, in []heldSet, emit func(code string, pos token.Pos, msg string)) {
-	seen := map[token.Pos]bool{}
-	check := func(class string, pos token.Pos, held heldSet) {
-		if seen[pos] {
+	seen := map[string]bool{}
+	check := func(class string, pos token.Pos, held heldSet, chain []string) {
+		key := fmt.Sprintf("%d|%s", pos, class)
+		if seen[key] {
 			return
 		}
 		var worst string
@@ -364,9 +431,14 @@ func (fa *funcAnalysis) checkLockOrder(g *cfg, in []heldSet, emit func(code stri
 			}
 		}
 		if worst != "" {
-			seen[pos] = true
-			emit(CodeLockOrder, pos, fmt.Sprintf(
-				"acquiring %s while holding %s inverts the declared lock order %s", class, worst, lockOrderDecl))
+			seen[key] = true
+			if chain == nil {
+				emit(CodeLockOrder, pos, fmt.Sprintf(
+					"acquiring %s while holding %s inverts the declared lock order %s", class, worst, lockOrderDecl))
+			} else {
+				emit(CodeLockOrderGraph, pos, fmt.Sprintf(
+					"this call acquires %s (via %s) while holding %s, inverting the declared lock order %s", class, strings.Join(chain, " -> "), worst, lockOrderDecl))
+			}
 		}
 	}
 	for _, n := range g.nodes {

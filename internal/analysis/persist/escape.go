@@ -1,0 +1,165 @@
+package persist
+
+// escape.go implements the PL013 escape-site detection: a pmem.Addr —
+// or its uint64(addr) image — flowing into a heap structure (a field
+// assignment), over a channel, or across a goroutine boundary while
+// the data behind it has an open persist obligation. PL005 polices the
+// same hazard for pointers published INTO PM; PL013 is its
+// cross-goroutine/DRAM-side twin: once the address is reachable from
+// another goroutine or a longer-lived structure, readers can chase it
+// to bytes a crash may throw away.
+//
+// The detection is field-sensitive through rendered address
+// expressions: a Store/WriteRange to `leaf.next` opens a dirty fact
+// keyed "leaf.next", and only an escape of that same rendering (or of
+// a whole identifier the rendering mentions) matches it. The dirty
+// facts ride the obligation dataflow as obDirty entries (dataflow.go):
+// Fence/Persist on the thread clears them, a covering callee summary
+// clears them, entering an eADR region clears them, and rebinding the
+// address variable kills the stale rendering.
+//
+// Sinks deliberately exclude plain call arguments (passing an address
+// down a call chain is the normal shape of every write path) and
+// local slice appends (split paths collect unreachable-but-unfenced
+// leaves on purpose); a field assignment, a channel send, and a
+// goroutine crossing are the shapes that outlive the fence the caller
+// still owes.
+
+import (
+	"go/ast"
+)
+
+// escapeEvents lowers one assignment statement's address escapes: for
+// every RHS whose value contains a PM address (or uint64 of one)
+// assigned to a field or element sink, one evEscape per escaping
+// rendering.
+func (fa *funcAnalysis) escapeEvents(as *ast.AssignStmt) []event {
+	var out []event
+	emit := func(sink ast.Expr, rhs ast.Expr) {
+		desc := renderExpr(sink)
+		for _, r := range fa.addrRenders(rhs) {
+			out = append(out, event{
+				pos:     rhs.Pos(),
+				kind:    evEscape,
+				addrKey: r,
+				escKind: "heap structure",
+				escDesc: desc,
+			})
+		}
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			switch lhs.(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				emit(lhs, as.Rhs[i])
+			}
+		}
+	}
+	return out
+}
+
+// sendEscapeEvents lowers a channel send of a PM address.
+func (fa *funcAnalysis) sendEscapeEvents(s *ast.SendStmt) []event {
+	var out []event
+	desc := renderExpr(s.Chan)
+	for _, r := range fa.addrRenders(s.Value) {
+		out = append(out, event{
+			pos:     s.Value.Pos(),
+			kind:    evEscape,
+			addrKey: r,
+			escKind: "channel",
+			escDesc: desc,
+		})
+	}
+	return out
+}
+
+// goEscapeEvents lowers the PM addresses crossing a go statement:
+// addresses passed as call arguments, and address identifiers captured
+// by a closure literal (its own parameters and local declarations
+// excluded).
+func (fa *funcAnalysis) goEscapeEvents(x *ast.GoStmt) []event {
+	var out []event
+	for _, arg := range x.Call.Args {
+		for _, r := range fa.addrRenders(arg) {
+			out = append(out, event{
+				pos:     arg.Pos(),
+				kind:    evEscape,
+				addrKey: r,
+				escKind: "goroutine",
+				escDesc: renderExpr(x.Call.Fun),
+			})
+		}
+	}
+	if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+		local := declaredNames(lit.Body)
+		for _, fld := range lit.Type.Params.List {
+			for _, id := range fld.Names {
+				local[id.Name] = true
+			}
+		}
+		seen := map[string]bool{}
+		for _, id := range freeIdents(lit.Body) {
+			if fa.addrs[id.Name] && !local[id.Name] && !seen[id.Name] {
+				seen[id.Name] = true
+				out = append(out, event{
+					pos:     id.Pos(),
+					kind:    evEscape,
+					addrKey: id.Name,
+					escKind: "goroutine",
+					escDesc: "closure",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// addrRenders collects the stable renderings of every PM-address
+// subexpression of v — bare address expressions and the payloads of
+// uint64(addr) conversions. Renderings involving calls are dropped:
+// they may name a different address each evaluation, so a dirty fact
+// keyed on them could never be matched soundly.
+func (fa *funcAnalysis) addrRenders(v ast.Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(e ast.Expr) {
+		r := renderExpr(e)
+		if r == "" || r == "?" || containsCall(r) || seen[r] {
+			return
+		}
+		seen[r] = true
+		out = append(out, r)
+	}
+	ast.Inspect(v, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // closure bodies are separate functions
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "uint64" && len(x.Args) == 1 && fa.isAddrExpr(x.Args[0]) {
+				add(x.Args[0])
+				return false
+			}
+		case *ast.Ident:
+			if fa.addrs[x.Name] {
+				add(x)
+			}
+		case *ast.SelectorExpr:
+			if fa.an.addrFields[x.Sel.Name] {
+				add(x)
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func containsCall(render string) bool {
+	for i := 0; i < len(render); i++ {
+		if render[i] == '(' {
+			return true
+		}
+	}
+	return false
+}

@@ -40,6 +40,9 @@ func (b *cfgBuilder) extract(root ast.Node) []event {
 			return false
 		case *ast.AssignStmt:
 			out = append(out, b.fa.assignEvents(x)...)
+			out = append(out, b.fa.escapeEvents(x)...)
+		case *ast.SendStmt:
+			out = append(out, b.fa.sendEscapeEvents(x)...)
 		case *ast.IncDecStmt:
 			if id, ok := x.X.(*ast.Ident); ok {
 				out = append(out, event{pos: x.Pos(), kind: evKillVar, key: id.Name})
@@ -232,10 +235,12 @@ func (fa *funcAnalysis) callEvent(call *ast.CallExpr) (event, bool) {
 			e.kind = evScopePush
 		case "PopScope":
 			e.kind = evScopePop
+		case "Load", "ReadRange":
+			e.kind = evLoad
 		default:
 			return event{}, false
 		}
-		if len(call.Args) >= 1 && (e.kind == evStore || e.kind == evFlush || e.kind == evPersist) {
+		if len(call.Args) >= 1 && (e.kind == evStore || e.kind == evFlush || e.kind == evPersist || e.kind == evLoad) {
 			// Address identity for PL011: only stable renderings qualify —
 			// anything involving a call could name a different address
 			// each time.
@@ -252,30 +257,20 @@ func (fa *funcAnalysis) callEvent(call *ast.CallExpr) (event, bool) {
 		}
 		return event{pos: call.Pos(), kind: kind, class: class}, true
 	}
-	// Plain call: a summary site if we know the callee's bare name.
-	name := calleeName(call)
-	if name == "" {
+	// Plain call: a summary site when the call graph resolves any
+	// candidates (exact where the receiver type is known, the bare-name
+	// set otherwise — see callgraph.go).
+	keys := fa.calleeCandidates(call)
+	if len(keys) == 0 {
 		return event{}, false
 	}
-	e := event{pos: call.Pos(), kind: evCall, callee: name}
+	e := event{pos: call.Pos(), kind: evCall, calleeKeys: keys}
 	for _, arg := range call.Args {
 		if fa.isThreadExpr(arg) {
 			e.threadArgs = append(e.threadArgs, renderExpr(arg))
 		}
 	}
 	return e, true
-}
-
-// calleeName returns the bare name of the called function or method
-// ("" for indirect calls through non-selector expressions).
-func calleeName(call *ast.CallExpr) string {
-	switch f := call.Fun.(type) {
-	case *ast.Ident:
-		return f.Name
-	case *ast.SelectorExpr:
-		return f.Sel.Name
-	}
-	return ""
 }
 
 // --- PL005 publish detection -------------------------------------------

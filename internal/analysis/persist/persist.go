@@ -16,10 +16,16 @@
 // propagated per CFG node with union join, so a finding means an
 // obligation is still open on SOME path reaching a return — early
 // returns, divergent branches, and loop back edges are analyzed
-// soundly instead of by source position. One-level interprocedural
-// summaries credit helpers that take a *pmem.Thread parameter and
-// discharge it on every path (wal's Append, the tree's writeWholeLeaf)
-// at their call sites.
+// soundly instead of by source position. The interprocedural layer is
+// whole-program: a call graph over every analyzed package (receiver-
+// type-qualified method resolution, Tarjan SCC collapse) carries
+// discharge and lock summaries to a fixpoint, so a helper that
+// persists through two more helpers — or a mutually-recursive pair —
+// is credited at its call sites exactly like a direct Persist (wal's
+// Append and AppendBatch, the tree's writeWholeLeaf). Call edges that
+// cross a go statement are kept for reachability but excluded from
+// lock-order propagation: those acquires happen on another
+// goroutine's stack.
 //
 // # Rule catalog
 //
@@ -182,6 +188,49 @@
 // Fix: defer t.PopScope(prev) at the push site (or the one-liner
 // defer t.PopScope(t.PushScope(s))).
 //
+// PL013 — a PM address (or its uint64 image) stored into a heap
+// structure, sent on a channel, or handed to a goroutine while the
+// bytes behind it still carry an unfenced store on the same thread.
+// Whoever receives the address can chase it — through a DRAM cache, a
+// work queue, another goroutine — to data a crash throws away, long
+// after the publishing function returned clean:
+//
+//	t.Store(leaf, img)
+//	cache.slots["k"] = leaf // PL013: leaf's image is not yet fenced
+//	t.Persist(leaf, 8)
+//
+// Fix: t.Persist(leaf, 8) before the address escapes. Plain call
+// arguments do not count as escapes (the callee is analyzed in its
+// own right); container writes, sends, and goroutine hand-offs do.
+//
+// PL014 — a lock-order inversion whose acquire is buried two or more
+// calls deep. PL006 sees direct acquires and one-level summaries;
+// PL014 lifts the same declared order over the whole call graph and
+// names the witness chain, excluding acquires on the far side of a go
+// statement (they run on another goroutine's stack and cannot invert
+// against the caller's held set):
+//
+//	tr.gcMu.Lock()
+//	tr.rebalance() // PL014: acquires workersMu via rebalance -> drainWorkers
+//
+// Fix: release before the call, or hoist the deep acquire to the
+// declared order.
+//
+// PL015 — a read reachable from a recovery or optimistic-read entry
+// point of a field some writer publishes before fencing it. The
+// writer-side bug is PL005; PL015 is the reader-side blast radius: the
+// recovery path (any recover* function, or a function marked
+// //persistlint:entrypoint, or a seqlock read session) can chase a
+// durable pointer into unpersisted bytes:
+//
+//	func recoverChain(t *pmem.Thread, a pmem.Addr) {
+//		next := t.Load(a) // PL015: a writer publishes "next" unfenced
+//		...
+//	}
+//
+// Fix: fence before the publish (clears both PL005 and PL015), or
+// re-validate the read against a version after chasing it.
+//
 // Suppression:
 //
 //	//persistlint:ignore PL001 caller persists the whole leaf image
@@ -220,6 +269,9 @@ const (
 	CodeSeqlock              = "PL010"
 	CodeWastedPersist        = "PL011"
 	CodeScopeBalance         = "PL012"
+	CodeEscapeBeforePersist  = "PL013"
+	CodeLockOrderGraph       = "PL014"
+	CodeReadAfterPublish     = "PL015"
 )
 
 // AllCodes lists every rule code, for CLI toggle validation.
@@ -229,6 +281,30 @@ func AllCodes() []string {
 		CodeDeadFlush, CodeThreadEscape, CodePublishBeforePersist,
 		CodeLockOrder, CodeStaleIgnore, CodeAtomicMix, CodeGuardedBy,
 		CodeSeqlock, CodeWastedPersist, CodeScopeBalance,
+		CodeEscapeBeforePersist, CodeLockOrderGraph, CodeReadAfterPublish,
+	}
+}
+
+// RuleTitles maps every rule code to a one-line description, for SARIF
+// rule metadata and documentation generators.
+func RuleTitles() map[string]string {
+	return map[string]string{
+		CodeBadDirective:         "persistlint directive without a justification",
+		CodeStoreNoPersist:       "PM store with a path to return that never flushes it",
+		CodeFlushNoFence:         "PM flush with a path to return that never fences it",
+		CodeDeadFlush:            "flush/persist under an eADR-only branch is a no-op",
+		CodeThreadEscape:         "single-owner *pmem.Thread/*obs.Handle crosses a goroutine boundary",
+		CodePublishBeforePersist: "PM pointer published while its pointee is unfenced",
+		CodeLockOrder:            "lock acquisition inverts the declared order (direct or one call deep)",
+		CodeStaleIgnore:          "persistlint:ignore directive that suppresses nothing",
+		CodeAtomicMix:            "plain access to a field used with sync/atomic elsewhere",
+		CodeGuardedBy:            "access to a lock-guarded field without its guard held",
+		CodeSeqlock:              "seqlock read session with a path that never re-checks the version",
+		CodeWastedPersist:        "provably redundant flush/fence/persist",
+		CodeScopeBalance:         "PushScope with a path to return that never pops it",
+		CodeEscapeBeforePersist:  "PM address escapes into a heap structure, channel, or goroutine while unfenced",
+		CodeLockOrderGraph:       "lock acquisition inverts the declared order through the whole call graph",
+		CodeReadAfterPublish:     "recovery/optimistic-read path reads a slot some writer publishes before fencing",
 	}
 }
 
@@ -258,13 +334,24 @@ type Stats struct {
 	Files              int // source files parsed
 	Functions          int // function bodies analyzed (literals included)
 	CFGNodes           int // control-flow graph nodes built
-	DischargeSummaries int // callee names with a discharge summary
-	LockSummaries      int // callee names with a lock-acquire summary
+	CallNodes          int // call-graph nodes (declared functions)
+	CallEdges          int // resolved call-graph edges (candidate-deduped)
+	CallSCCs           int // strongly connected components in the call graph
+	DischargeSummaries int // declarations with a discharge summary
+	LockSummaries      int // declarations with a transitive lock-acquire summary
 	AtomicFields       int // fields accessed via functional sync/atomic (PL008 domain)
 	GuardedFields      int // fields with a declared or inferred lock guard (PL009)
 	FieldAccesses      int // tracked field accesses collected for PL008/PL009
 	SeqlockReads       int // qualifying seqlock read sessions checked (PL010)
 	ScopeSites         int // PushScope sites checked for balance (PL012)
+	EntryPoints        int // PL015 entry points (recovery, declared, seqlock readers)
+
+	// Findings and FindingsByCode are filled from the findings Run
+	// actually returned, so -stats totals reconcile with emitted
+	// findings by construction (no separately incremented counters to
+	// drift when a rule bails early).
+	Findings       int
+	FindingsByCode map[string]int
 }
 
 // Analyzer accumulates parsed files, then runs the rules over all of
@@ -288,10 +375,31 @@ type Analyzer struct {
 	// ambiguous field name "mu" through a selector chain.
 	lockOwnerFields map[string]string
 
-	// summaries and lockSums are the one-level interprocedural results,
-	// keyed by bare callee name (see summary.go).
-	summaries map[string]summary
-	lockSums  map[string][]string
+	// cg is the whole-program call graph (callgraph.go), built once per
+	// Run before the summaries.
+	cg *callGraph
+
+	// summaries holds per-declaration discharge summaries computed to a
+	// fixpoint over the call graph; lockDirect/lockTrans are the direct
+	// and transitively closed lock-acquire sets, and lockVia the PL014
+	// witness next-hops (see summary.go). All keyed by funcNode.key.
+	summaries  map[string]summary
+	lockDirect map[string][]string
+	lockTrans  map[string][]string
+	lockVia    map[string]map[string]string
+
+	// oneLevel disables the fixpoint (summaries computed against an
+	// empty table) — the pre-whole-program engine, kept as a test knob
+	// so the regression test can prove what the fixpoint buys.
+	oneLevel bool
+
+	// hotPublishes/loadSites/seqFns drive PL015: slots published while
+	// obligations were open, thread Load sites, and functions containing
+	// seqlock read sessions (optimistic-read entry points). Collected
+	// during the rule pass, judged afterwards (readpub.go).
+	hotPublishes map[string][]publishSite
+	loadSites    []loadSite
+	seqFns       map[string]bool
 
 	// disabled holds rule codes switched off for this run (CLI
 	// toggles). Disabled rules neither report nor mark directives used,
@@ -352,12 +460,14 @@ type fieldAccess struct {
 
 type fileInfo struct {
 	path       string
+	dir        string // cleaned slash path of the declaring directory (call-graph pkg id)
 	f          *ast.File
-	pmemName   string // local import name of internal/pmem ("" if absent)
-	obsName    string // local import name of internal/obs ("" if absent)
-	atomicName string // local import name of sync/atomic ("" if absent)
-	inPmem     bool   // file belongs to package pmem itself
-	inObs      bool   // file belongs to package obs itself
+	pmemName   string            // local import name of internal/pmem ("" if absent)
+	obsName    string            // local import name of internal/obs ("" if absent)
+	atomicName string            // local import name of sync/atomic ("" if absent)
+	inPmem     bool              // file belongs to package pmem itself
+	inObs      bool              // file belongs to package obs itself
+	importPkg  map[string]string // import local name → analyzed package dir (resolveImports)
 	ignores    map[int][]*directive
 	guards     map[int]*guardDecl // //persistlint:guardedby by line
 	seqDecls   map[int]bool       // //persistlint:seqlock by line
@@ -412,7 +522,13 @@ func (a *Analyzer) AddFile(path string, src []byte) error {
 	if err != nil {
 		return err
 	}
-	fi := &fileInfo{path: path, f: f, inPmem: f.Name.Name == "pmem", inObs: f.Name.Name == "obs"}
+	fi := &fileInfo{
+		path:   path,
+		dir:    filepath.ToSlash(filepath.Clean(filepath.Dir(path))),
+		f:      f,
+		inPmem: f.Name.Name == "pmem",
+		inObs:  f.Name.Name == "obs",
+	}
 	for _, imp := range f.Imports {
 		p := strings.Trim(imp.Path.Value, `"`)
 		if p == pmemImportPath || strings.HasSuffix(p, "/"+pmemImportPath) {
@@ -443,14 +559,15 @@ func (a *Analyzer) AddFile(path string, src []byte) error {
 	return nil
 }
 
-// AddDir parses every .go file directly in dir. Test files are skipped
-// unless includeTests is set (test code routinely leaves stores
-// unpersisted on purpose, e.g. crash-injection harnesses).
-func (a *Analyzer) AddDir(dir string, includeTests bool) error {
+// ListGoFiles returns the .go files AddDir would parse in dir, in
+// ReadDir (sorted) order. Exposed so cmd/persistlint's incremental
+// cache hashes exactly the input set the analysis would consume.
+func ListGoFiles(dir string, includeTests bool) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	var out []string
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") {
@@ -459,7 +576,21 @@ func (a *Analyzer) AddDir(dir string, includeTests bool) error {
 		if !includeTests && strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		if err := a.AddFile(filepath.Join(dir, name), nil); err != nil {
+		out = append(out, filepath.Join(dir, name))
+	}
+	return out, nil
+}
+
+// AddDir parses every .go file directly in dir. Test files are skipped
+// unless includeTests is set (test code routinely leaves stores
+// unpersisted on purpose, e.g. crash-injection harnesses).
+func (a *Analyzer) AddDir(dir string, includeTests bool) error {
+	files, err := ListGoFiles(dir, includeTests)
+	if err != nil {
+		return err
+	}
+	for _, path := range files {
+		if err := a.AddFile(path, nil); err != nil {
 			return err
 		}
 	}
@@ -473,6 +604,9 @@ func (a *Analyzer) Run() []Finding {
 	a.accesses = nil
 	a.scopeSites = map[token.Pos]bool{}
 	a.seqSites = map[token.Pos]bool{}
+	a.hotPublishes = map[string][]publishSite{}
+	a.loadSites = nil
+	a.seqFns = map[string]bool{}
 	for _, fi := range a.files {
 		a.collectThreadFields(fi)
 		a.collectStructInfo(fi)
@@ -481,6 +615,8 @@ func (a *Analyzer) Run() []Finding {
 		a.collectAtomicUses(fi)
 	}
 	a.buildTrackedFields()
+	a.resolveImports()
+	a.buildCallGraph()
 	a.computeSummaries()
 	var out []Finding
 	for _, fi := range a.files {
@@ -489,12 +625,18 @@ func (a *Analyzer) Run() []Finding {
 	a.inferGuards()
 	out = append(out, a.checkAtomicConsistency()...)
 	out = append(out, a.checkGuardedBy()...)
+	out = append(out, a.checkReadAfterPublish()...)
 	out = append(out, a.checkStaleDirectives()...)
 	a.stats.AtomicFields = len(a.atomicFields)
 	a.stats.FieldAccesses = len(a.accesses)
 	a.stats.GuardedFields = len(a.inferredGuards) + len(a.guardDecls)
 	a.stats.SeqlockReads = len(a.seqSites)
 	a.stats.ScopeSites = len(a.scopeSites)
+	a.stats.Findings = len(out)
+	a.stats.FindingsByCode = map[string]int{}
+	for _, f := range out {
+		a.stats.FindingsByCode[f.Code]++
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -630,6 +772,11 @@ func (a *Analyzer) checkFile(fi *fileInfo) []Finding {
 			continue
 		}
 		fa := newFuncAnalysis(a, fi, fd)
+		if a.cg != nil {
+			if n := a.cg.byDecl[fd]; n != nil && n.fa != nil {
+				fa = n.fa // reuse the environment built for the call graph
+			}
+		}
 		out = append(out, fa.run()...)
 	}
 	// Report malformed directives (missing reason) once per site.
@@ -655,6 +802,7 @@ type funcAnalysis struct {
 	an    *Analyzer
 	fi    *fileInfo
 	fn    *ast.FuncDecl  // enclosing declaration (doc-scope suppression)
+	node  *funcNode      // call-graph node of the declaration (nil pre-graph)
 	body  *ast.BlockStmt // the body under analysis (decl or literal)
 	fname string         // display name, e.g. "(*Worker).upsert.func1"
 
@@ -673,6 +821,9 @@ type funcAnalysis struct {
 // newFuncAnalysis builds the analysis state for one declared function.
 func newFuncAnalysis(a *Analyzer, fi *fileInfo, fd *ast.FuncDecl) *funcAnalysis {
 	fa := &funcAnalysis{an: a, fi: fi, fn: fd, body: fd.Body, threads: map[string]bool{}, handles: map[string]bool{}}
+	if a.cg != nil {
+		fa.node = a.cg.byDecl[fd]
+	}
 	if fd.Recv == nil || len(fd.Recv.List) == 0 {
 		fa.fname = fd.Name.Name
 	} else {
@@ -709,7 +860,7 @@ func isCtorName(fname string) bool {
 // this body: same environment, plus the literal's typed parameters.
 func (fa *funcAnalysis) forLit(lit *ast.FuncLit, idx int) *funcAnalysis {
 	sub := &funcAnalysis{
-		an: fa.an, fi: fa.fi, fn: fa.fn,
+		an: fa.an, fi: fa.fi, fn: fa.fn, node: fa.node,
 		body:     lit.Body,
 		fname:    fmt.Sprintf("%s.func%d", fa.fname, idx+1),
 		threads:  copyBoolMap(fa.threads),

@@ -131,11 +131,14 @@ func loadCorpus(t *testing.T, disable ...string) map[string]int {
 // findings without disturbing the others.
 func TestRuleToggles(t *testing.T) {
 	corpus := map[string]string{
-		CodeAtomicMix:     "atomicmix.go",
-		CodeGuardedBy:     "guardedby.go",
-		CodeSeqlock:       "seqlockread.go",
-		CodeWastedPersist: "wastedpersist.go",
-		CodeScopeBalance:  "scopebalance.go",
+		CodeAtomicMix:           "atomicmix.go",
+		CodeGuardedBy:           "guardedby.go",
+		CodeSeqlock:             "seqlockread.go",
+		CodeWastedPersist:       "wastedpersist.go",
+		CodeScopeBalance:        "scopebalance.go",
+		CodeEscapeBeforePersist: "escapepersist.go",
+		CodeLockOrderGraph:      "lockgraph.go",
+		CodeReadAfterPublish:    "readpublish.go",
 	}
 	baseline := loadCorpus(t)
 	for code, file := range corpus {

@@ -1,0 +1,204 @@
+package persist
+
+// readpub.go implements PL015, unfenced-read-after-publish. The hazard
+// is a cross-function race with crash semantics: one function publishes
+// a PM slot (a Store whose value is uint64(addr)) while the pointed-to
+// data still has open persist obligations, and another function —
+// reachable from a recovery routine, a declared entry point, or an
+// optimistic (seqlock) read session — loads that slot and chases the
+// pointer. After a crash between publish and fence, the reader follows
+// a durable pointer into bytes that never became durable.
+//
+// The two halves are collected during the per-function rule pass
+// (recordReadAfterPublish, driven by checkObligations' replay, which
+// already knows which obligations are open before each event) and
+// joined afterwards over the call graph: a Load is reportable when its
+// function is reachable from an entry point AND some writer publishes
+// the same slot hot. Slots are the last dot-segment of the rendered
+// address — the field name — because writer and reader name the same
+// field through different receivers ("n.next" vs "cur.next").
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// publishSite is one Store that published a slot while persist
+// obligations were open on its thread.
+type publishSite struct {
+	fa     *funcAnalysis
+	pos    token.Pos
+	slot   string
+	render string
+}
+
+// loadSite is one Thread.Load/ReadRange of a PM slot.
+type loadSite struct {
+	fa     *funcAnalysis
+	pos    token.Pos
+	slot   string
+	render string
+}
+
+// recordReadAfterPublish collects PL015 raw material from one event
+// against the obligation set open before it applies. Writer-side
+// PL005 suppression also excuses the readers: a reasoned directive on
+// the publish means the ordering is intentional (e.g. the slot is
+// re-validated on recovery), and flagging every downstream read would
+// punish the documented design.
+func (fa *funcAnalysis) recordReadAfterPublish(s oblSet, e event) {
+	switch e.kind {
+	case evLoad:
+		if e.addrKey == "" || fa.nodeKey() == "" {
+			return
+		}
+		fa.an.loadSites = append(fa.an.loadSites, loadSite{
+			fa: fa, pos: e.pos, slot: lastSegment(e.addrKey), render: e.addrKey,
+		})
+	case evStore:
+		if !e.publish || e.addrKey == "" {
+			return
+		}
+		hot := false
+		for o := range s {
+			if o.key == e.key && (o.kind == obStore || o.kind == obFlush) {
+				hot = true
+				break
+			}
+		}
+		if !hot || fa.suppressed(CodePublishBeforePersist, fa.an.fset.Position(e.pos).Line) {
+			return
+		}
+		slot := lastSegment(e.addrKey)
+		fa.an.hotPublishes[slot] = append(fa.an.hotPublishes[slot], publishSite{
+			fa: fa, pos: e.pos, slot: slot, render: e.addrKey,
+		})
+	}
+}
+
+// lastSegment returns the field name of a rendered address ("leaf.next"
+// → "next").
+func lastSegment(render string) string {
+	if i := strings.LastIndexByte(render, '.'); i >= 0 {
+		return render[i+1:]
+	}
+	return render
+}
+
+// checkReadAfterPublish joins the collected halves over the call
+// graph. Runs after every file has been checked (the collectors fill
+// during checkFile; seqlock entry points land in seqFns then too).
+func (a *Analyzer) checkReadAfterPublish() []Finding {
+	if a.cg == nil {
+		return nil
+	}
+
+	// Entry points: named/declared reasons from the graph build, plus
+	// the seqlock-session functions the rule pass discovered.
+	type entry struct {
+		n      *funcNode
+		reason string
+	}
+	var entries []entry
+	for _, n := range a.cg.nodes {
+		reason := n.entry
+		if reason == "" && a.seqFns[n.key] {
+			reason = "optimistic-read"
+		}
+		if reason != "" {
+			entries = append(entries, entry{n: n, reason: reason})
+		}
+	}
+	a.stats.EntryPoints = len(entries)
+	if len(entries) == 0 || len(a.loadSites) == 0 || len(a.hotPublishes) == 0 {
+		return nil
+	}
+
+	// BFS over call edges from every entry, keeping the first-found
+	// predecessor so findings can show one concrete path. Entries are
+	// visited in node order, so the witness path is deterministic.
+	pred := make([]int, len(a.cg.nodes))
+	from := make([]int, len(a.cg.nodes)) // entries index that reached the node
+	for i := range pred {
+		pred[i] = -1
+		from[i] = -1
+	}
+	var queue []int
+	for ei, e := range entries {
+		if from[e.n.id] == -1 {
+			from[e.n.id] = ei
+			pred[e.n.id] = e.n.id // self-root
+			queue = append(queue, e.n.id)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range a.cg.nodes[v].callees {
+			if from[w] == -1 {
+				from[w] = from[v]
+				pred[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	pathTo := func(id int) []string {
+		var rev []string
+		for v := id; ; v = pred[v] {
+			rev = append(rev, a.cg.nodes[v].display)
+			if pred[v] == v || len(rev) > 64 {
+				break
+			}
+		}
+		out := make([]string, 0, len(rev))
+		for i := len(rev) - 1; i >= 0; i-- {
+			out = append(out, rev[i])
+		}
+		return out
+	}
+
+	var out []Finding
+	for _, site := range a.loadSites {
+		node := site.fa.node
+		if node == nil || from[node.id] == -1 {
+			continue
+		}
+		writers := a.hotPublishes[site.slot]
+		if len(writers) == 0 {
+			continue
+		}
+		// Deterministic witness writer: earliest position.
+		w := writers[0]
+		for _, cand := range writers[1:] {
+			if cand.pos < w.pos {
+				w = cand
+			}
+		}
+		wp := a.fset.Position(w.pos)
+		path := pathTo(node.id)
+		via := ""
+		if len(path) > 1 {
+			via = " via " + strings.Join(path, " -> ")
+		}
+		f, ok := site.fa.finding(CodeReadAfterPublish, site.pos, fmt.Sprintf(
+			"read of %s is reachable from %s entry point %s%s, and %s publishes %s before fencing it (%s:%d): the reader can chase a durable pointer into unpersisted bytes; fence before the publish or re-validate after the read",
+			site.render, entries[from[node.id]].reason, entries[from[node.id]].n.display, via,
+			w.fa.name(), w.render, filepath.Base(wp.Filename), wp.Line))
+		if ok {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	return out
+}

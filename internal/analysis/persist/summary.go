@@ -1,6 +1,7 @@
 package persist
 
-// summary.go computes one-level interprocedural summaries.
+// summary.go computes whole-program interprocedural summaries over the
+// call graph (callgraph.go).
 //
 // Discharge summaries: a function that takes a *pmem.Thread parameter
 // and, on every path to a normal return, Flushes (coversStore) and
@@ -9,17 +10,31 @@ package persist
 // writeWholeLeaf are the motivating cases. The summary is computed by
 // seeding the obligation dataflow with a synthetic store and flush
 // obligation per thread parameter (negative origins, never reported)
-// and testing whether the seeds are dead at exit. Summaries are merged
-// by bare callee name — the analyzer is syntactic and cannot resolve
-// which Append a call site means — with AND semantics: every function
-// of that name must cover for call sites to be credited. Summaries are
-// strictly one level: while they are being computed the summary table
-// is empty, so a summary never credits another callee's discharge.
+// and testing whether the seeds are dead at exit.
 //
-// Lock summaries: the set of declared lock classes a function body
-// acquires directly (closures included — they may run synchronously).
-// At a call site, each summarized class is checked against the
-// caller's held set, extending PL006 one call level deep.
+// Summaries are keyed per declaration and computed in the call graph's
+// callee-first SCC order, so a helper two (or ten) hops above the
+// fence is credited: when persistRegion's summary is computed, the
+// summaries of everything it calls are already final. Within a
+// strongly connected component — self- or mutual recursion — members
+// start optimistically (covers everything) and iterate downward to a
+// fixpoint: coverage bits only ever flip true→false, so the iteration
+// terminates, and a mutually-recursive pair whose base cases persist
+// is credited while a pair that can return without fencing is not.
+//
+// At a call site the candidate summaries (resolved by the call graph,
+// exact where the receiver type resolves, the bare-name set otherwise)
+// merge with AND semantics: every candidate must cover for the site to
+// be credited — the same conservative rule the old one-level engine
+// applied, minus its blindness to multi-hop discharge.
+//
+// Lock summaries: lockDirect is the set of declared lock classes a
+// function body acquires itself (closures included — they may run
+// synchronously); lockTrans closes that over the call graph, with
+// lockVia recording one witness callee per (function, class) so PL014
+// findings can print the acquisition chain. PL006 keeps its one-level
+// semantics over lockDirect; PL014 reports the classes only lockTrans
+// can see.
 
 import (
 	"go/ast"
@@ -27,52 +42,98 @@ import (
 	"sort"
 )
 
-// summary is the merged discharge behavior of all functions sharing a
-// bare name.
+// summary is the discharge behavior of one declared function.
 type summary struct {
 	coversStore bool // Flush or Persist on every thread param, all paths
 	coversFlush bool // Fence or Persist on every thread param, all paths
 }
 
-// computeSummaries fills an.summaries and an.lockSums from every
-// function declaration in the analyzed set. Must run after
-// collectThreadFields (thread/addr field resolution) and before the
-// rule pass.
+// computeSummaries fills an.summaries, an.lockDirect, an.lockTrans and
+// an.lockVia from the call graph. Must run after buildCallGraph and
+// before the rule pass.
 func (a *Analyzer) computeSummaries() {
-	sums := map[string]summary{}
-	locks := map[string][]string{}
-	for _, fi := range a.files {
-		for _, decl := range fi.f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			a.mergeLockSummary(locks, fi, fd)
-			a.mergeDischargeSummary(sums, fi, fd)
+	a.summaries = map[string]summary{}
+	a.lockDirect = map[string][]string{}
+	a.lockTrans = map[string][]string{}
+	a.lockVia = map[string]map[string]string{}
+
+	for _, n := range a.cg.nodes {
+		if classes := directLockClasses(n); len(classes) > 0 {
+			a.lockDirect[n.key] = classes
 		}
 	}
-	a.summaries = sums
-	a.lockSums = locks
-	a.stats.DischargeSummaries = len(sums)
-	a.stats.LockSummaries = len(locks)
+
+	if a.oneLevel {
+		// Regression-test mode: the pre-fixpoint engine. Every summary is
+		// computed against an empty table, so a helper is only credited
+		// for what its own body does — multi-hop discharge is invisible.
+		table := map[string]summary{}
+		for _, n := range a.cg.nodes {
+			if s, ok := a.dischargeSummary(n); ok {
+				table[n.key] = s
+			}
+		}
+		a.summaries = table
+	} else {
+		// Callee-first over the SCC condensation; optimistic within an
+		// SCC, iterated to a (greatest) fixpoint. a.summaries is the live
+		// table the dataflow reads, so a member's recomputation sees its
+		// siblings' current values.
+		for _, comp := range a.cg.sccs {
+			for _, n := range comp {
+				if hasThreadParams(n) {
+					a.summaries[n.key] = summary{coversStore: true, coversFlush: true}
+				}
+			}
+			for changed := true; changed; {
+				changed = false
+				for _, n := range comp {
+					if _, ok := a.summaries[n.key]; !ok {
+						continue
+					}
+					s, _ := a.dischargeSummary(n)
+					if s != a.summaries[n.key] {
+						a.summaries[n.key] = s
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	a.closeLockSummaries()
+	a.stats.DischargeSummaries = len(a.summaries)
+	a.stats.LockSummaries = len(a.lockTrans)
 }
 
-// mergeDischargeSummary computes and merges the discharge summary for
-// one function, if it takes thread parameters.
-func (a *Analyzer) mergeDischargeSummary(sums map[string]summary, fi *fileInfo, fd *ast.FuncDecl) {
+// hasThreadParams reports whether the declaration takes any
+// *pmem.Thread parameter — the precondition for a discharge summary.
+func hasThreadParams(n *funcNode) bool {
+	for _, fld := range n.fd.Type.Params.List {
+		if n.fi.isThreadType(fld.Type) && len(fld.Names) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// dischargeSummary computes the summary of one declaration against the
+// analyzer's current summary table. ok is false when the function has
+// no thread parameters (nothing to summarize).
+func (a *Analyzer) dischargeSummary(n *funcNode) (summary, bool) {
 	var params []string
-	for _, fld := range fd.Type.Params.List {
-		if fi.isThreadType(fld.Type) {
-			for _, n := range fld.Names {
-				params = append(params, n.Name)
+	for _, fld := range n.fd.Type.Params.List {
+		if n.fi.isThreadType(fld.Type) {
+			for _, p := range fld.Names {
+				params = append(params, p.Name)
 			}
 		}
 	}
 	if len(params) == 0 {
-		return
+		return summary{}, false
 	}
-	fa := newFuncAnalysis(a, fi, fd)
-	g, _ := fa.buildCFG(fd.Body)
+	fa := n.fa
+	g, _ := fa.buildCFG(n.fd.Body)
 
 	seeds := oblSet{}
 	for i, p := range params {
@@ -94,40 +155,135 @@ func (a *Analyzer) mergeDischargeSummary(sums map[string]summary, fi *fileInfo, 
 			s.coversFlush = false
 		}
 	}
-	name := fd.Name.Name
-	if prev, ok := sums[name]; ok {
-		s.coversStore = s.coversStore && prev.coversStore
-		s.coversFlush = s.coversFlush && prev.coversFlush
-	}
-	sums[name] = s
+	return s, true
 }
 
-// mergeLockSummary records the lock classes fd acquires directly,
-// union-merged across functions sharing the bare name.
-func (a *Analyzer) mergeLockSummary(locks map[string][]string, fi *fileInfo, fd *ast.FuncDecl) {
-	fa := newFuncAnalysis(a, fi, fd)
+// callSummary AND-merges the candidates' summaries at a call site. ok
+// is false when no candidate has a summary — an unknown callee earns
+// no credit, exactly as before.
+func (a *Analyzer) callSummary(calleeKeys []string) (summary, bool) {
+	merged := summary{coversStore: true, coversFlush: true}
+	found := false
+	for _, k := range calleeKeys {
+		s, ok := a.summaries[k]
+		if !ok {
+			continue
+		}
+		found = true
+		merged.coversStore = merged.coversStore && s.coversStore
+		merged.coversFlush = merged.coversFlush && s.coversFlush
+	}
+	return merged, found
+}
+
+// directLockClasses collects the lock classes fd's body acquires
+// directly. Plain closures are included — they may run synchronously —
+// but go-statement subtrees are not: those acquires happen on another
+// goroutine's stack and cannot invert against the caller's held set.
+func directLockClasses(n *funcNode) []string {
 	classes := map[string]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
+	ast.Inspect(n.fd.Body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		if class, acquire, ok := fa.lockCall(call); ok && acquire {
+		if class, acquire, ok := n.fa.lockCall(call); ok && acquire {
 			classes[class] = true
 		}
 		return true
 	})
-	if len(classes) == 0 {
-		return
+	return sortedClassSet(classes)
+}
+
+// closeLockSummaries computes the transitive lock-acquire sets by
+// iterating union-over-callees to a fixpoint in callee-first SCC
+// order (one global loop handles the cycles). lockVia records, per
+// (function, class), the first callee that contributed the class —
+// the next hop of a witness chain for PL014 messages.
+func (a *Analyzer) closeLockSummaries() {
+	trans := map[string]map[string]bool{}
+	for k, classes := range a.lockDirect {
+		set := map[string]bool{}
+		for _, c := range classes {
+			set[c] = true
+		}
+		trans[k] = set
 	}
-	name := fd.Name.Name
-	for _, c := range locks[name] {
-		classes[c] = true
+	for changed := true; changed; {
+		changed = false
+		for _, comp := range a.cg.sccs {
+			for _, n := range comp {
+				for _, ci := range n.syncCallees {
+					callee := a.cg.nodes[ci]
+					for c := range trans[callee.key] {
+						set := trans[n.key]
+						if set == nil {
+							set = map[string]bool{}
+							trans[n.key] = set
+						}
+						if !set[c] {
+							set[c] = true
+							changed = true
+							if a.lockVia[n.key] == nil {
+								a.lockVia[n.key] = map[string]string{}
+							}
+							a.lockVia[n.key][c] = callee.key
+						}
+					}
+				}
+			}
+		}
 	}
-	merged := make([]string, 0, len(classes))
-	for c := range classes {
-		merged = append(merged, c)
+	for k, set := range trans {
+		a.lockTrans[k] = sortedClassSet(set)
 	}
-	sort.Strings(merged)
-	locks[name] = merged
+}
+
+// lockChain reconstructs a witness acquisition chain from a function
+// to a direct acquire of class, as display names ("core.gcCycle ->
+// core.(*Tree).collect"). The via map always bottoms out in a function
+// whose direct set holds the class.
+func (a *Analyzer) lockChain(fromKey, class string) []string {
+	var chain []string
+	cur := fromKey
+	for hops := 0; hops < 64; hops++ {
+		n := a.cg.byKey[cur]
+		if n == nil {
+			break
+		}
+		chain = append(chain, n.display)
+		if hasClass(a.lockDirect[cur], class) {
+			return chain
+		}
+		next := a.lockVia[cur][class]
+		if next == "" || next == cur {
+			break
+		}
+		cur = next
+	}
+	return chain
+}
+
+func hasClass(classes []string, c string) bool {
+	for _, x := range classes {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedClassSet(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -1,0 +1,88 @@
+// PL013 escape-before-persist: a pmem.Addr (or uint64(addr)) flowing
+// into a heap structure, over a channel, or across a goroutine while
+// the bytes it names still have an open persist obligation. Fencing
+// (Persist, or a helper whose summary covers the store) before the
+// escape clears the dirty fact; a Flush alone does not — the line can
+// still be in flight when the other side dereferences.
+package testdata
+
+import "cclbtree/internal/pmem"
+
+type leafCache struct {
+	slots map[string]pmem.Addr
+}
+
+type dramIndex struct {
+	hint uint64
+}
+
+func stashDirtyAddr(t *pmem.Thread, c *leafCache, a pmem.Addr) {
+	t.Store(a, 1)
+	c.slots["x"] = a // want "PL013"
+	t.Persist(a, 8)
+}
+
+func stashUint64Image(t *pmem.Thread, d *dramIndex, a pmem.Addr) {
+	t.Store(a, 7)
+	d.hint = uint64(a) // want "PL013"
+	t.Persist(a, 8)
+}
+
+func sendDirtyAddr(t *pmem.Thread, ch chan pmem.Addr, a pmem.Addr) {
+	t.Store(a, 1)
+	ch <- a // want "PL013"
+	t.Persist(a, 8)
+}
+
+func consumeAddr(a pmem.Addr) {}
+
+func handDirtyAddrToGoroutine(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	go consumeAddr(a) // want "PL013"
+	t.Persist(a, 8)
+}
+
+func captureDirtyAddrInClosure(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	go func() {
+		consumeAddr(a) // want "PL013"
+	}()
+	t.Persist(a, 8)
+}
+
+// A flush without the fence leaves the line in flight: still dirty.
+func flushIsNotEnough(t *pmem.Thread, c *leafCache, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Flush(a, 8)
+	c.slots["y"] = a // want "PL013"
+	t.Fence()
+}
+
+// Fenced before the escape: clean.
+func stashCleanAddr(t *pmem.Thread, c *leafCache, a pmem.Addr) {
+	t.Store(a, 1)
+	t.Persist(a, 8)
+	c.slots["x"] = a
+}
+
+// A helper whose summary covers the store clears the dirty fact too.
+func stashAfterHelper(t *pmem.Thread, c *leafCache, a pmem.Addr) {
+	t.Store(a, 1)
+	persistRegion(t, a)
+	c.slots["x"] = a
+}
+
+// Escaping an address that was never stored to is fine — sharing a
+// clean address is how readers are handed work.
+func stashUntouchedAddr(t *pmem.Thread, c *leafCache, a, b pmem.Addr) {
+	t.Store(a, 1)
+	c.slots["other"] = b
+	t.Persist(a, 8)
+}
+
+func stashDirtyAddrExcused(t *pmem.Thread, c *leafCache, a pmem.Addr) {
+	t.Store(a, 1)
+	//persistlint:ignore PL013 the cache is rebuilt from scratch on recovery, stale addrs are dropped
+	c.slots["x"] = a
+	t.Persist(a, 8)
+}

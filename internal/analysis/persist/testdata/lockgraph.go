@@ -1,0 +1,65 @@
+// PL014 whole-graph lock-order cycles: an acquire buried two or more
+// calls deep still inverts the declared order against what the caller
+// holds. One-hop callee acquires stay PL006 (locks.go); these need the
+// transitive closure, and the finding names the witness call chain.
+package testdata
+
+func deepAcquireWorkers(tr *lockTree) {
+	tr.workersMu.Lock()
+	tr.workersMu.Unlock()
+}
+
+func hopAcquireWorkers(tr *lockTree) {
+	deepAcquireWorkers(tr)
+}
+
+func holdGcThenDeepWorkers(tr *lockTree) {
+	tr.gcMu.Lock()
+	hopAcquireWorkers(tr) // want "PL014"
+	tr.gcMu.Unlock()
+}
+
+// Three hops: the chain in the message walks every link.
+func hopHopAcquireWorkers(tr *lockTree) {
+	hopAcquireWorkers(tr)
+}
+
+func holdInnerThenTripleHop(tr *lockTree) {
+	tr.inner.mu.Lock()
+	hopHopAcquireWorkers(tr) // want "PL014"
+	tr.inner.mu.Unlock()
+}
+
+// With nothing held the deep acquire respects the order.
+func callDeepWithNothingHeld(tr *lockTree) {
+	hopAcquireWorkers(tr)
+	tr.stw.Lock()
+	tr.stw.Unlock()
+}
+
+// Order respected transitively: stw outranks everything the chain
+// takes.
+func holdStwThenDeepWorkers(tr *lockTree) {
+	tr.stw.RLock()
+	hopAcquireWorkers(tr)
+	tr.stw.RUnlock()
+}
+
+// An acquire on the far side of a go statement runs on another
+// goroutine's stack: it cannot invert against what the spawner holds,
+// so neither PL006 nor PL014 fires.
+func holdGcThenSpawnWorkers(tr *lockTree) {
+	tr.gcMu.Lock()
+	go hopAcquireWorkers(tr)
+	go func() {
+		deepAcquireWorkers(tr)
+	}()
+	tr.gcMu.Unlock()
+}
+
+func holdGcThenDeepWorkersExcused(tr *lockTree) {
+	tr.gcMu.Lock()
+	//persistlint:ignore PL014 gc path runs single-threaded during the pause, ordering is moot
+	hopAcquireWorkers(tr)
+	tr.gcMu.Unlock()
+}

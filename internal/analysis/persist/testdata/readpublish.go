@@ -1,0 +1,85 @@
+// PL015 unfenced-read-after-publish: a writer publishes a PM slot
+// (Store of uint64(addr)) while persist obligations are still open on
+// its thread, and a reader reachable from a recovery routine, a
+// declared entry point, or an optimistic seqlock session loads the
+// same slot. After a crash between publish and fence the reader
+// follows a durable pointer into bytes that never became durable.
+// The writer side also reports PL005 at the publish itself.
+package testdata
+
+import (
+	"sync/atomic"
+
+	"cclbtree/internal/pmem"
+)
+
+type pnode struct {
+	next pmem.Addr
+	prev pmem.Addr
+}
+
+// The hot publish: child's bytes are stored but not fenced when the
+// pointer to them lands in n.next.
+func publishNextHot(t *pmem.Thread, n *pnode, child pmem.Addr) {
+	t.Store(child, 1)
+	t.Store(n.next, uint64(child)) // want "PL005"
+	t.Persist(child, 8)
+	t.Persist(n.next, 8)
+}
+
+// Reachable from a recovery entry point by naming convention.
+func recoverLeafChain(t *pmem.Thread, n *pnode) {
+	walkChain(t, n)
+}
+
+func walkChain(t *pmem.Thread, n *pnode) {
+	_ = t.Load(n.next) // want "PL015"
+}
+
+// Declared entry point: the directive stands in for the naming
+// convention on scan/iterate style roots.
+//
+//persistlint:entrypoint scan
+func scanFromDeclared(t *pmem.Thread, n *pnode) {
+	_ = t.Load(n.next) // want "PL015"
+}
+
+// An optimistic seqlock session is an entry point too: its reads race
+// the writer by design, so they may observe the published-not-fenced
+// window without any crash.
+type optIndex struct {
+	seq atomic.Uint64
+}
+
+func optimisticLookup(t *pmem.Thread, ix *optIndex, n *pnode) uint64 {
+	for {
+		v := ix.seq.Load()
+		if v&1 != 0 {
+			continue
+		}
+		x := chasePointer(t, n)
+		if ix.seq.Load() == v {
+			return x
+		}
+	}
+}
+
+func chasePointer(t *pmem.Thread, n *pnode) uint64 {
+	return t.Load(n.next) // want "PL015"
+}
+
+// Nobody publishes prev hot: reading it on recovery is fine.
+func recoverCleanSlot(t *pmem.Thread, n *pnode) {
+	_ = t.Load(n.prev)
+}
+
+// Not reachable from any entry point: mutation-path reads hold the
+// writer lock and see consistent state.
+func backgroundPeek(t *pmem.Thread, n *pnode) {
+	_ = t.Load(n.next)
+}
+
+func recoverExcusedRead(t *pmem.Thread, n *pnode) {
+	//persistlint:ignore PL015 recovery re-validates every chained leaf against the commit record
+	_ = t.Load(n.next)
+}

@@ -1,8 +1,9 @@
-// One-level interprocedural summaries: a helper taking a *pmem.Thread
-// that discharges on every path credits its call sites; a helper that
+// Interprocedural summaries: a helper taking a *pmem.Thread that
+// discharges on every path credits its call sites; a helper that
 // discharges only conditionally, or only fences, does not cover a
-// store. Summaries merge by bare name with AND across same-named
-// functions.
+// store. Call sites resolve through imports and receiver types when
+// the syntax allows; unresolvable calls fall back to merging every
+// same-named function with AND.
 package testdata
 
 import "cclbtree/internal/pmem"
@@ -65,11 +66,16 @@ func (w *logWorker) appendDischargesField(a pmem.Addr) {
 	w.log.Append(w.t, 2)
 }
 
-// Two functions share the bare name viaSink; one of them does not
-// discharge, so the merged summary must not credit call sites (the
-// syntactic analyzer cannot tell which one a call resolves to).
+// Two types share the method name viaSink; one of them does not
+// discharge. When the receiver's concrete type is visible the call
+// resolves exactly; when it is hidden behind an interface the summary
+// must AND-merge every candidate and withhold credit.
 type sinkA struct{}
 type sinkB struct{}
+
+type sink interface {
+	viaSink(t *pmem.Thread, a pmem.Addr)
+}
 
 func (sinkA) viaSink(t *pmem.Thread, a pmem.Addr) {
 	t.Persist(a, 8)
@@ -79,7 +85,21 @@ func (sinkB) viaSink(t *pmem.Thread, a pmem.Addr) {
 	_, _ = t, a // intentionally non-discharging twin for the summary-merge case
 }
 
-func callerAmbiguousSink(t *pmem.Thread, a pmem.Addr, s sinkA) {
+func callerAmbiguousSink(t *pmem.Thread, a pmem.Addr, s sink) {
+	t.Store(a, 1) // want "PL001"
+	s.viaSink(t, a)
+}
+
+// The concrete receiver type resolves the call to the discharging
+// method: no finding, where the bare-name merge used to report one.
+func callerResolvedSink(t *pmem.Thread, a pmem.Addr, s sinkA) {
+	t.Store(a, 1)
+	s.viaSink(t, a)
+}
+
+// Exact resolution cuts the other way too: the non-discharging twin
+// gets no credit from its sibling.
+func callerNonDischargingSink(t *pmem.Thread, a pmem.Addr, s sinkB) {
 	t.Store(a, 1) // want "PL001"
 	s.viaSink(t, a)
 }

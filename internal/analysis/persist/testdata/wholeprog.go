@@ -1,0 +1,62 @@
+// Whole-program discharge: multi-hop helper chains and mutually
+// recursive pairs credit their call sites. Both shapes need the
+// fixpoint over the call graph — a summary computed against an empty
+// table (the old one-level engine) sees hop1 and the recursive pair as
+// non-discharging and reports the callers.
+package testdata
+
+import "cclbtree/internal/pmem"
+
+// hop2 persists; hop1 only forwards. Crediting callerTwoHop requires
+// hop1's summary to read hop2's finished summary.
+func hop1(t *pmem.Thread, a pmem.Addr) { hop2(t, a) }
+func hop2(t *pmem.Thread, a pmem.Addr) { t.Persist(a, 8) }
+
+func callerTwoHop(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	hop1(t, a)
+}
+
+// evenPersist/oddPersist call each other; every path through the pair
+// bottoms out in a Persist. The SCC starts optimistic (assume the
+// partner covers) and iterates down — here nothing forces the bits
+// off, so the pair discharges.
+func evenPersist(t *pmem.Thread, a pmem.Addr, n int) {
+	if n <= 0 {
+		t.Persist(a, 8)
+		return
+	}
+	oddPersist(t, a, n-1)
+}
+
+func oddPersist(t *pmem.Thread, a pmem.Addr, n int) {
+	if n <= 0 {
+		t.Persist(a, 8)
+		return
+	}
+	evenPersist(t, a, n-1)
+}
+
+func callerMutualRecursion(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	evenPersist(t, a, 4)
+}
+
+// A mutually recursive pair with a bail-out path that skips the
+// persist must not be credited: the optimistic start is forced off at
+// the first recomputation.
+func pingLeak(t *pmem.Thread, a pmem.Addr, n int) {
+	if n <= 0 {
+		return // bails without persisting
+	}
+	pongLeak(t, a, n-1)
+}
+
+func pongLeak(t *pmem.Thread, a pmem.Addr, n int) {
+	pingLeak(t, a, n-1)
+}
+
+func callerMutualLeak(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1) // want "PL001"
+	pingLeak(t, a, 3)
+}
