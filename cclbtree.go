@@ -67,6 +67,12 @@ type Config struct {
 	// Metrics enables per-operation latency histograms, retrievable
 	// via Tree.Metrics. Off by default (zero overhead when off).
 	Metrics bool
+	// LockedReads makes Get/Scan take each buffer node's version lock
+	// instead of the default lock-free optimistic (seqlock) traversal,
+	// and charges the modeled cacheline-handoff cost a shared lock word
+	// incurs per peer session. It exists as the ablation baseline for
+	// the read-scaling experiments; leave it off in normal use.
+	LockedReads bool
 	// Tracer, when non-nil, receives ring-buffer events from the tree
 	// (inserts, flushes, splits, GC rounds, ...). Enable it with
 	// Tracer.Enable; a disabled tracer costs one atomic load per event
@@ -95,6 +101,7 @@ func (c Config) coreOptions() core.Options {
 		ChunkBytes:   c.ChunkBytes,
 		Metrics:      c.Metrics,
 		Tracer:       c.Tracer,
+		LockedReads:  c.LockedReads,
 	}
 }
 
@@ -205,7 +212,10 @@ func (s *Session) Thread() *pmem.Thread { return s.w.Thread() }
 // value nonzero (zero is the paper's tombstone sentinel).
 func (s *Session) Put(key, value uint64) error { return s.w.Upsert(key, value) }
 
-// Get returns the value for key.
+// Get returns the value for key. Reads are lock-free: the session
+// traverses version-stamped nodes optimistically and retries on a
+// concurrent writer's version change, never blocking it (seqlock
+// discipline; see Counters.ReadRetries).
 func (s *Session) Get(key uint64) (uint64, bool) { return s.w.Lookup(key) }
 
 // Delete removes key (tombstone insertion; space is reclaimed when the
@@ -216,7 +226,10 @@ func (s *Session) Delete(key uint64) error { return s.w.Delete(key) }
 type KV = core.KV
 
 // Scan fills out with up to len(out) live entries with key ≥ start in
-// ascending order and returns the count.
+// ascending order and returns the count. Like Get, Scan is lock-free:
+// each node is snapshotted optimistically and re-validated, and leaves
+// unlinked by a concurrent merge stay readable until every in-flight
+// read has finished (epoch-based reclamation).
 func (s *Session) Scan(start uint64, out []KV) int {
 	return s.w.Scan(start, len(out), out)
 }

@@ -40,6 +40,7 @@ func All() []Experiment {
 		{"fig19", "realistic SOSD-like datasets (§5.5)", Fig19},
 		{"table3", "vs log-structured stores (§5.5)", Table3Exp},
 		{"ycsbb", "extra: YCSB-B contention/heat/segment profile (CI perf gate)", YCSBB},
+		{"ycsbc", "extra: YCSB-C read-only scaling, lock-free vs locked reads (CI perf gate)", YCSBC},
 		{"batch", "extra: Session.Apply group commit vs per-op writes", BatchExp},
 		{"ablation-cache", "extra: buffer-node read caching by Nbatch", AblationCache},
 		{"ablation-gc", "extra: GC strategy media traffic", AblationGC},

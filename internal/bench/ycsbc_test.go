@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"cclbtree"
+	"cclbtree/internal/baselines/cclidx"
+	"cclbtree/internal/workload"
+)
+
+// runReadOnly measures one YCSB-C point: a pure-read Zipfian workload
+// at the given thread count with the given tree config.
+func runReadOnly(t *testing.T, threads int, cfg cclbtree.Config) *Result {
+	t.Helper()
+	pool := NewPool()
+	idx, err := cclidx.Factory("CCL", cfg)(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	const warm = 20_000
+	z := workload.NewZipf(warm, 0.99)
+	res, err := Run(pool, idx, Spec{
+		Threads: threads,
+		Warm:    warm,
+		Ops:     20_000,
+		Mix:     workload.Mix{Read: 1.0},
+		Access:  func(int) workload.Access { return z },
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestReadScaling gates the lock-free read path's acceptance target at
+// smoke scale: on read-only YCSB-C at 8 threads, the optimistic
+// seqlock path must deliver at least 3x the simulated throughput of
+// the LockedReads ablation. The ablation charges every read the
+// modeled lock-handoff cost (cacheline transfer between contending
+// workers), which is exactly the cost the seqlock protocol exists to
+// avoid; if the optimistic path starts taking locks — or retrying
+// pathologically — this ratio collapses.
+func TestReadScaling(t *testing.T) {
+	free := runReadOnly(t, 8, cclbtree.Config{ChunkBytes: 256 << 10})
+	locked := runReadOnly(t, 8, cclbtree.Config{ChunkBytes: 256 << 10, LockedReads: true})
+	if free.Mops() < 3*locked.Mops() {
+		t.Errorf("lock-free reads %.2f Mop/s, locked %.2f: want >= 3x at 8 threads",
+			free.Mops(), locked.Mops())
+	}
+	// Sanity: at 1 thread there is nobody to hand the lock to, so the
+	// two paths must be within noise of each other — the ablation
+	// models contention, not a flat tax.
+	free1 := runReadOnly(t, 1, cclbtree.Config{ChunkBytes: 256 << 10})
+	locked1 := runReadOnly(t, 1, cclbtree.Config{ChunkBytes: 256 << 10, LockedReads: true})
+	if r := free1.Mops() / locked1.Mops(); r < 0.7 || r > 1.5 {
+		t.Errorf("single-thread ratio %.2f outside [0.7, 1.5]: lock-free %.2f vs locked %.2f Mop/s",
+			r, free1.Mops(), locked1.Mops())
+	}
+}

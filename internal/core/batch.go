@@ -312,10 +312,10 @@ func (w *Worker) applyRunLocked(n *bufferNode, kvs []KV, gen uint64, e uint32, m
 			// Buffered insert. The WAL record is already durable from
 			// the group commit; only the slot publish remains. Purge
 			// stale cached copies at higher indices (see upsertLocked).
-			n.setSlot(pos, kv.Key, kv.Value)
+			n.setSlot(pos, kv.Key, kv.Value, tr.keyFingerprint(w.t, kv.Key))
 			for i := pos + 1; i < n.nbatch(); i++ {
 				if sk := n.slotKey(i); sk != 0 && tr.compare(w.t, sk, kv.Key) == 0 {
-					n.setSlot(i, 0, 0)
+					n.setSlot(i, 0, 0, 0)
 				}
 			}
 			eb = eb&^(1<<uint(pos)) | epoch<<uint(pos)

@@ -30,6 +30,12 @@ type bufferNode struct {
 	lowKey uint64
 	// slots interleaves key/value words: slot i at 2i, 2i+1.
 	slots []atomic.Uint64
+	// fps packs one fingerprint byte per slot (maxNbatch = 16 → two
+	// words), mirroring the leaf's fingerprint array so lookups touch
+	// one DRAM word instead of Nbatch key words. Written only under the
+	// version lock, like the slots; a torn fp/key pairing seen by an
+	// optimistic reader is caught by validateRead.
+	fps [2]atomic.Uint64
 	// next and prev maintain the DRAM chain mirroring leaf order;
 	// mutated only under the version locks involved.
 	next atomic.Pointer[bufferNode]
@@ -68,9 +74,22 @@ func (n *bufferNode) nbatch() int { return len(n.slots) / 2 }
 
 func (n *bufferNode) slotKey(i int) uint64 { return n.slots[2*i].Load() }
 func (n *bufferNode) slotVal(i int) uint64 { return n.slots[2*i+1].Load() }
-func (n *bufferNode) setSlot(i int, k, v uint64) {
+
+// slotFP returns slot i's fingerprint byte.
+func (n *bufferNode) slotFP(i int) byte {
+	return byte(n.fps[i/8].Load() >> (8 * uint(i%8)))
+}
+
+// setSlot publishes slot i. fp must be the key's fingerprint
+// (Tree.keyFingerprint) — a mismatch would make lookups skip the slot
+// and resurrect the leaf's stale copy; purges (k = 0) pass 0. Callers
+// hold the node's version lock.
+func (n *bufferNode) setSlot(i int, k, v uint64, fp byte) {
 	n.slots[2*i].Store(k)
 	n.slots[2*i+1].Store(v)
+	sh := 8 * uint(i%8)
+	word := &n.fps[i/8]
+	word.Store(word.Load()&^(uint64(0xff)<<sh) | uint64(fp)<<sh)
 }
 
 // tryLock attempts to take the version lock. On success it returns the

@@ -82,6 +82,10 @@ func (tr *Tree) ForceGC() {
 func (tr *Tree) Freeze() {
 	tr.closed.Store(true)
 	tr.WaitGC()
+	// Every reader epoch ends with its goroutine; retired leaves can be
+	// returned to the allocator so post-freeze accounting (and the next
+	// Tree on this pool) sees no leak.
+	tr.drainEpochs()
 }
 
 // WaitGC blocks until the in-flight GC round, if any, completes.
@@ -183,6 +187,10 @@ func (tr *Tree) runLocalityGC() {
 	}
 
 	tr.reclaimLogs(oldE, false)
+	// Piggyback epoch reclamation on the GC cadence: leaves retired by
+	// merges since the last round become freeable once every reader
+	// pinned at retire time has exited.
+	tr.advanceEpoch()
 }
 
 // runNaiveGC is the strawman (Fig 9a / Fig 14): stop the world, flush

@@ -1,8 +1,8 @@
 package core
 
 import (
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cclbtree/internal/obs"
 	"cclbtree/internal/pmem"
@@ -13,28 +13,43 @@ import (
 // inner nodes; here a comparator-based B+-tree so the same structure
 // routes fixed 8 B keys and variable-size indirection keys).
 //
-// Concurrency follows the paper's protocol shape: searches are shared,
-// structural modifications (separator insert on split, removal on
-// merge) are exclusive, and any conflict detected below this layer
-// retries from here.
+// Concurrency: searches are lock-free. Structural modifications
+// (separator insert on split, removal on merge) serialize on mu and
+// publish by path copying — every node on the root-to-leaf path of a
+// mutation is cloned, stamped with the publication generation, and the
+// new root is installed with one atomic store. Nodes are immutable
+// after publication, so a reader's descent always sees one consistent
+// snapshot of the whole directory; at worst the snapshot is momentarily
+// stale and routes to a buffer node that has since split or merged,
+// which the buffer-node seqlock (rangeOK + validateRead) catches and
+// retries — exactly the conflict path the paper's protocol prescribes.
 type innerTree struct {
-	mu   sync.RWMutex
+	mu   sync.Mutex
 	cmp  func(t *pmem.Thread, a, b uint64) int
-	root *innerNode
-	size int
+	root atomic.Pointer[innerNode]
+	// pubGen counts published mutations; each clone is stamped with the
+	// generation that created it (version-stamping for inspection and
+	// tests — readers never need it, immutability is the protocol).
+	pubGen atomic.Uint64
+	size   atomic.Int64
 	// prof is the owning tree's lock profiler (nil when metrics are
-	// off); every mu acquisition below is bracketed with it.
+	// off); the writer-side mu acquisitions below are bracketed with it.
+	// Reads take no lock and so record nothing here.
 	prof *obs.LockProfiler
 }
 
 const innerFanout = 32
 
+// innerNode is one immutable directory node. gen records the pubGen
+// that minted it. Leaf-level nodes carry vals; internal nodes carry
+// kids. No sibling links: the lock-free descent backtracks instead
+// (see findLE), because maintaining mutable prev pointers would break
+// immutability.
 type innerNode struct {
+	gen  uint64
 	keys []uint64
 	kids []*innerNode
 	vals []*bufferNode
-	next *innerNode
-	prev *innerNode
 }
 
 func (n *innerNode) leaf() bool { return n.kids == nil }
@@ -44,48 +59,61 @@ func newInnerTree(cmp func(t *pmem.Thread, a, b uint64) int) *innerTree {
 }
 
 // search returns the index of the first key ≥ k under the comparator.
+// Hand-rolled binary search: the sort.Search closure would be the only
+// allocation left on the zero-alloc read path.
 func (tr *innerTree) search(t *pmem.Thread, keys []uint64, k uint64) int {
-	return sort.Search(len(keys), func(i int) bool { return tr.cmp(t, keys[i], k) >= 0 })
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tr.cmp(t, keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
-// findLE returns the buffer node with the greatest routing key ≤ key.
-// Charges DRAM traversal cost to t.
+// findLE returns the buffer node with the greatest routing key ≤ key,
+// without taking any lock. Charges DRAM traversal cost to t.
 func (tr *innerTree) findLE(t *pmem.Thread, key uint64) *bufferNode {
-	tok := tr.prof.Pre(obs.LockInner)
-	tr.mu.RLock()
-	tok = tr.prof.Acquired(obs.LockInner, tok)
-	defer tr.prof.Released(obs.LockInner, tok)
-	defer tr.mu.RUnlock()
-	n := tr.root
-	if n == nil {
+	root := tr.root.Load()
+	if root == nil {
 		return nil
 	}
-	depth := int64(1)
-	for !n.leaf() {
-		i := tr.search(t, n.keys, key)
-		if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
-			i++
-		}
-		n = n.kids[i]
-		depth++
-	}
+	depth := int64(0)
+	v := tr.findLERec(t, root, key, &depth)
 	t.Advance(depth * 8 * t.CostDRAM())
+	return v
+}
+
+// findLERec descends toward key. Separator keys in ancestors can go
+// stale after merges remove routing entries, so the natural child may
+// own nothing ≤ key (including emptied leaf-level nodes); every child
+// to the left holds only keys < key, so backtracking one child at a
+// time finds the true predecessor without sibling links.
+func (tr *innerTree) findLERec(t *pmem.Thread, n *innerNode, key uint64, depth *int64) *bufferNode {
+	*depth++
 	i := tr.search(t, n.keys, key)
+	if n.leaf() {
+		if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
+			return n.vals[i]
+		}
+		if i > 0 {
+			return n.vals[i-1]
+		}
+		// Key sorts below this subtree; the caller backtracks (or, at
+		// the root, uses the head).
+		return nil
+	}
 	if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
-		return n.vals[i]
+		i++
 	}
-	if i > 0 {
-		return n.vals[i-1]
-	}
-	// Separator keys in ancestors can go stale after merges remove
-	// routing entries, so the descent may land one leaf too far right;
-	// the predecessor then lives in an earlier (possibly emptied) leaf.
-	for p := n.prev; p != nil; p = p.prev {
-		if len(p.keys) > 0 {
-			return p.vals[len(p.keys)-1]
+	for ; i >= 0; i-- {
+		if v := tr.findLERec(t, n.kids[i], key, depth); v != nil {
+			return v
 		}
 	}
-	// Key sorts below every routing key; the caller uses the head.
 	return nil
 }
 
@@ -96,79 +124,79 @@ func (tr *innerTree) put(t *pmem.Thread, key uint64, v *bufferNode) {
 	tok = tr.prof.Acquired(obs.LockInner, tok)
 	defer tr.prof.Released(obs.LockInner, tok)
 	defer tr.mu.Unlock()
-	if tr.root == nil {
-		tr.root = &innerNode{keys: []uint64{key}, vals: []*bufferNode{v}}
-		tr.size = 1
+	gen := tr.pubGen.Add(1)
+	root := tr.root.Load()
+	if root == nil {
+		tr.size.Add(1)
+		tr.root.Store(&innerNode{gen: gen, keys: []uint64{key}, vals: []*bufferNode{v}})
 		return
 	}
-	nk, nn := tr.insert(t, tr.root, key, v)
-	if nn != nil {
-		tr.root = &innerNode{keys: []uint64{nk}, kids: []*innerNode{tr.root, nn}}
+	repl, upKey, sib := tr.insertCopy(t, root, key, v, gen)
+	if sib != nil {
+		repl = &innerNode{gen: gen, keys: []uint64{upKey}, kids: []*innerNode{repl, sib}}
 	}
+	tr.root.Store(repl)
 }
 
-// insert descends recursively; every entry point (Insert, the root
-// split above) takes tr.mu before the first call.
-//
-//persistlint:ignore PL009 callers hold inner.mu for the whole descent; the analysis is intraprocedural
-func (tr *innerTree) insert(t *pmem.Thread, n *innerNode, key uint64, v *bufferNode) (uint64, *innerNode) {
-	if n.leaf() {
-		i := tr.search(t, n.keys, key)
-		if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
-			n.vals[i] = v
-			return 0, nil
-		}
-		n.keys = append(n.keys, 0)
-		copy(n.keys[i+1:], n.keys[i:])
-		n.keys[i] = key
-		n.vals = append(n.vals, nil)
-		copy(n.vals[i+1:], n.vals[i:])
-		n.vals[i] = v
-		tr.size++
-		if len(n.keys) <= innerFanout {
-			return 0, nil
-		}
-		mid := len(n.keys) / 2
-		right := &innerNode{
-			keys: append([]uint64(nil), n.keys[mid:]...),
-			vals: append([]*bufferNode(nil), n.vals[mid:]...),
-			next: n.next,
-			prev: n,
-		}
-		if right.next != nil {
-			right.next.prev = right
-		}
-		n.keys = n.keys[:mid]
-		n.vals = n.vals[:mid]
-		n.next = right
-		return right.keys[0], right
-	}
+// insertCopy returns a clone of n with (key, v) inserted, plus a new
+// right sibling and its separator when the clone overflowed. n itself
+// is never mutated: concurrent readers may be mid-descent through it.
+func (tr *innerTree) insertCopy(t *pmem.Thread, n *innerNode, key uint64, v *bufferNode, gen uint64) (*innerNode, uint64, *innerNode) {
 	i := tr.search(t, n.keys, key)
+	if n.leaf() {
+		if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
+			nn := &innerNode{gen: gen,
+				keys: n.keys,
+				vals: append([]*bufferNode(nil), n.vals...)}
+			nn.vals[i] = v
+			return nn, 0, nil
+		}
+		nn := &innerNode{gen: gen,
+			keys: make([]uint64, 0, len(n.keys)+1),
+			vals: make([]*bufferNode, 0, len(n.vals)+1)}
+		nn.keys = append(append(append(nn.keys, n.keys[:i]...), key), n.keys[i:]...)
+		nn.vals = append(append(append(nn.vals, n.vals[:i]...), v), n.vals[i:]...)
+		tr.size.Add(1)
+		if len(nn.keys) <= innerFanout {
+			return nn, 0, nil
+		}
+		mid := len(nn.keys) / 2
+		right := &innerNode{gen: gen,
+			keys: append([]uint64(nil), nn.keys[mid:]...),
+			vals: append([]*bufferNode(nil), nn.vals[mid:]...)}
+		nn.keys = nn.keys[:mid:mid]
+		nn.vals = nn.vals[:mid:mid]
+		return nn, right.keys[0], right
+	}
 	if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
 		i++
 	}
-	sk, sn := tr.insert(t, n.kids[i], key, v)
-	if sn == nil {
-		return 0, nil
+	kid, upKey, sib := tr.insertCopy(t, n.kids[i], key, v, gen)
+	if sib == nil {
+		nn := &innerNode{gen: gen,
+			keys: n.keys,
+			kids: append([]*innerNode(nil), n.kids...)}
+		nn.kids[i] = kid
+		return nn, 0, nil
 	}
-	n.keys = append(n.keys, 0)
-	copy(n.keys[i+1:], n.keys[i:])
-	n.keys[i] = sk
-	n.kids = append(n.kids, nil)
-	copy(n.kids[i+2:], n.kids[i+1:])
-	n.kids[i+1] = sn
-	if len(n.kids) <= innerFanout {
-		return 0, nil
+	nn := &innerNode{gen: gen,
+		keys: make([]uint64, 0, len(n.keys)+1),
+		kids: make([]*innerNode, 0, len(n.kids)+1)}
+	nn.keys = append(append(append(nn.keys, n.keys[:i]...), upKey), n.keys[i:]...)
+	nn.kids = append(nn.kids, n.kids[:i]...)
+	nn.kids = append(nn.kids, kid, sib)
+	nn.kids = append(nn.kids, n.kids[i+1:]...)
+	if len(nn.kids) <= innerFanout {
+		return nn, 0, nil
 	}
-	mid := len(n.keys) / 2
-	up := n.keys[mid]
-	right := &innerNode{
-		keys: append([]uint64(nil), n.keys[mid+1:]...),
-		kids: append([]*innerNode(nil), n.kids[mid+1:]...),
-	}
-	n.keys = n.keys[:mid]
-	n.kids = n.kids[:mid+1]
-	return up, right
+	mid := len(nn.keys) / 2
+	up := nn.keys[mid]
+	right := &innerNode{gen: gen,
+		keys: append([]uint64(nil), nn.keys[mid+1:]...),
+		kids: append([]*innerNode(nil), nn.kids[mid+1:]...)}
+	nn.keys = nn.keys[:mid:mid]
+	nn.kids = nn.kids[: mid+1 : mid+1]
+	return nn, up, right
 }
 
 // remove deletes a routing entry (merge publication).
@@ -178,33 +206,51 @@ func (tr *innerTree) remove(t *pmem.Thread, key uint64) bool {
 	tok = tr.prof.Acquired(obs.LockInner, tok)
 	defer tr.prof.Released(obs.LockInner, tok)
 	defer tr.mu.Unlock()
-	n := tr.root
-	if n == nil {
+	root := tr.root.Load()
+	if root == nil {
 		return false
 	}
-	for !n.leaf() {
-		i := tr.search(t, n.keys, key)
-		if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
-			i++
-		}
-		n = n.kids[i]
-	}
-	i := tr.search(t, n.keys, key)
-	if i >= len(n.keys) || tr.cmp(t, n.keys[i], key) != 0 {
+	repl, removed := tr.removeCopy(t, root, key, tr.pubGen.Add(1))
+	if !removed {
 		return false
 	}
-	n.keys = append(n.keys[:i], n.keys[i+1:]...)
-	n.vals = append(n.vals[:i], n.vals[i+1:]...)
-	tr.size--
+	tr.size.Add(-1)
+	tr.root.Store(repl)
 	return true
+}
+
+// removeCopy clones the path to key with the entry dropped. Leaf-level
+// nodes may end up empty; findLE's backtracking tolerates them, so no
+// rebalancing is needed (routing entries are sparse and re-splits of
+// the same region re-populate them).
+func (tr *innerTree) removeCopy(t *pmem.Thread, n *innerNode, key uint64, gen uint64) (*innerNode, bool) {
+	i := tr.search(t, n.keys, key)
+	if n.leaf() {
+		if i >= len(n.keys) || tr.cmp(t, n.keys[i], key) != 0 {
+			return n, false
+		}
+		nn := &innerNode{gen: gen,
+			keys: make([]uint64, 0, len(n.keys)-1),
+			vals: make([]*bufferNode, 0, len(n.vals)-1)}
+		nn.keys = append(append(nn.keys, n.keys[:i]...), n.keys[i+1:]...)
+		nn.vals = append(append(nn.vals, n.vals[:i]...), n.vals[i+1:]...)
+		return nn, true
+	}
+	if i < len(n.keys) && tr.cmp(t, n.keys[i], key) == 0 {
+		i++
+	}
+	kid, removed := tr.removeCopy(t, n.kids[i], key, gen)
+	if !removed {
+		return n, false
+	}
+	nn := &innerNode{gen: gen,
+		keys: n.keys,
+		kids: append([]*innerNode(nil), n.kids...)}
+	nn.kids[i] = kid
+	return nn, true
 }
 
 // entries reports the routing-entry count (for memory accounting).
 func (tr *innerTree) entries() int {
-	tok := tr.prof.Pre(obs.LockInner)
-	tr.mu.RLock()
-	tok = tr.prof.Acquired(obs.LockInner, tok)
-	defer tr.prof.Released(obs.LockInner, tok)
-	defer tr.mu.RUnlock()
-	return tr.size
+	return int(tr.size.Load())
 }

@@ -131,9 +131,16 @@ func TestBufferNodeSlots(t *testing.T) {
 	if n.nbatch() != 4 {
 		t.Fatal("nbatch")
 	}
-	n.setSlot(2, 77, 88)
+	n.setSlot(2, 77, 88, 0xab)
 	if n.slotKey(2) != 77 || n.slotVal(2) != 88 {
 		t.Fatal("slot accessors")
+	}
+	if n.slotFP(2) != 0xab {
+		t.Fatal("slot fingerprint")
+	}
+	n.setSlot(3, 5, 6, 0xcd)
+	if n.slotFP(2) != 0xab || n.slotFP(3) != 0xcd {
+		t.Fatal("fingerprint packing clobbered a neighbor")
 	}
 }
 

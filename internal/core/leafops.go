@@ -14,6 +14,12 @@ import (
 // the 32 B header (one cacheline), filter candidate slots by validity
 // bitmap and fingerprint, then read only matching slots.
 func (w *Worker) leafSearch(leaf pmem.Addr, key uint64) (uint64, bool) {
+	return w.leafSearchFP(leaf, key, w.tree.keyFingerprint(w.t, key))
+}
+
+// leafSearchFP is leafSearch with the key's fingerprint precomputed —
+// the lock-free lookup path already derived it for the buffer probe.
+func (w *Worker) leafSearchFP(leaf pmem.Addr, key uint64, target byte) (uint64, bool) {
 	tr := w.tree
 	prev := w.t.SetTag(pmem.TagLeaf)
 	defer w.t.SetTag(prev)
@@ -21,7 +27,6 @@ func (w *Worker) leafSearch(leaf pmem.Addr, key uint64) (uint64, bool) {
 	var hdr [leafHeaderLen]uint64
 	w.t.ReadRange(leaf, hdr[:])
 	bitmap, _ := unpackLeafMeta(hdr[leafMetaWord])
-	target := tr.keyFingerprint(w.t, key)
 	for i := 0; i < LeafSlots; i++ {
 		if bitmap&(1<<uint(i)) == 0 {
 			continue
@@ -388,7 +393,7 @@ func (w *Worker) splitLeaf(n *bufferNode, img *leafImage, batch []KV) (int, erro
 	// is lost — the caller resets pos.)
 	for i := 0; i < n.nbatch(); i++ {
 		if k := n.slotKey(i); k != 0 && tr.compare(w.t, k, splitKey) >= 0 {
-			n.setSlot(i, 0, 0)
+			n.setSlot(i, 0, 0, 0)
 		}
 	}
 
@@ -504,7 +509,10 @@ func (w *Worker) mergeLocked(left, n *bufferNode) bool {
 		nx.prev.Store(left)
 	}
 	tr.inner.remove(w.t, n.lowKey)
-	tr.alloc.Free(n.leaf, LeafBytes)
+	// Epoch-based reclamation instead of an immediate free: a lock-free
+	// reader that resolved n before the unlink may still probe n.leaf,
+	// so the PM block stays mapped until every pinned reader has exited.
+	tr.retireLeaf(n.leaf)
 	tr.leafCount.Add(-1)
 	return true
 }

@@ -89,8 +89,14 @@ func TestProfileSegmentsPartitionOpLatency(t *testing.T) {
 	for _, ls := range p.Locks {
 		locks[ls.Class] = ls
 	}
-	if got := locks["inner.mu"].Acquisitions; got < n {
-		t.Fatalf("inner.mu acquisitions = %d, want ≥ %d (one per op at minimum)", got, n)
+	// inner.mu is now a writer-only lock (reads traverse the RCU root
+	// pointer without it), so acquisitions come only from structural
+	// updates — splits registering new routing entries.
+	if got := locks["inner.mu"].Acquisitions; got == 0 {
+		t.Fatal("inner.mu never acquired despite splits registering routes")
+	}
+	if got := locks["inner.mu"].Acquisitions; got > n {
+		t.Fatalf("inner.mu acquisitions = %d for %d ops — reads are taking the writer lock", got, n)
 	}
 	if locks["chunkdir.mu"].Acquisitions == 0 {
 		t.Fatal("chunkdir.mu never acquired despite WAL chunk registration")

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cclbtree/internal/memtree"
+)
+
+// TestConcurrentReadLinearizability is the lock-free read path's
+// property test: randomized concurrent readers race writers that force
+// splits, merges and GC rounds, and every read must be attributable to
+// a state that was current at some point during the read's window.
+//
+// Discipline that makes the check exact without locking an oracle:
+// each key has ONE writer, and that writer drives the key through a
+// monotone sequence of states (seq 1, 2, 3, ...; every third state is
+// a delete). Two shadow atomics per key — issued (stored before the
+// write is submitted) and completed (stored after it returns) — bound
+// which states can be visible. A read that began after state c0
+// completed and returned before state i1 was issued may only observe a
+// state with seq in [c0, i1]; anything older is a stale read the
+// seqlock protocol failed to retry, anything newer is impossible.
+//
+// The test runs entirely on Go-visible atomics (no logical data races),
+// so `-race` checks the implementation's memory discipline while the
+// assertions check its linearizability.
+func TestConcurrentReadLinearizability(t *testing.T) {
+	tr, _ := newTestTree(t, Options{ChunkBytes: 8 << 10, THlog: 0.05}, nil)
+	const (
+		space   = 900
+		writers = 3
+		readers = 3
+		rounds  = 40
+	)
+	issued := make([]atomic.Uint64, space+1)
+	completed := make([]atomic.Uint64, space+1)
+	encode := func(k, seq uint64) uint64 { return k*1_000_000 + seq }
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := tr.NewWorker(g % tr.Pool().Sockets())
+			rng := rand.New(rand.NewSource(int64(g)))
+			for r := 0; r < rounds; r++ {
+				// Visit the writer's residue class in random order so
+				// leaf-level contention patterns vary.
+				for _, off := range rng.Perm(space / writers) {
+					k := uint64(g + 1 + off*writers)
+					seq := issued[k].Load() + 1
+					issued[k].Store(seq)
+					if seq%3 == 0 {
+						if err := w.Delete(k); err != nil {
+							t.Error(err)
+							return
+						}
+					} else if err := w.Upsert(k, encode(k, seq)); err != nil {
+						t.Error(err)
+						return
+					}
+					completed[k].Store(seq)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := tr.NewWorker(g % tr.Pool().Sockets())
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < 25000; i++ {
+				k := uint64(rng.Intn(space) + 1)
+				c0 := completed[k].Load()
+				v, ok := w.Lookup(k)
+				i1 := issued[k].Load()
+				if ok {
+					seq := v - k*1_000_000
+					if v/1_000_000 != k || seq == 0 || seq%3 == 0 {
+						t.Errorf("key %d: impossible value %d", k, v)
+						return
+					}
+					if seq < c0 || seq > i1 {
+						t.Errorf("key %d: stale/future read seq %d outside window [%d, %d]", k, seq, c0, i1)
+						return
+					}
+				} else {
+					// Absent is legal only if a deleted-or-initial state
+					// falls inside the window.
+					legal := c0 == 0 // initial absence still visible
+					for s := c0; s <= i1 && !legal; s++ {
+						legal = s%3 == 0
+					}
+					if !legal {
+						t.Errorf("key %d: absent but no deleted state in window [%d, %d]", k, c0, i1)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent cross-check against the memtree oracle: the final tree
+	// content must equal the final shadow state, and a full Scan must
+	// agree with the oracle's ordered walk.
+	oracle := &memtree.Tree[uint64]{}
+	for k := uint64(1); k <= space; k++ {
+		if seq := completed[k].Load(); seq != 0 && seq%3 != 0 {
+			oracle.Put(k, encode(k, seq))
+		}
+	}
+	w := tr.NewWorker(0)
+	out := make([]KV, space+10)
+	got := w.Scan(1, len(out), out)
+	if got != oracle.Len() {
+		t.Fatalf("final scan found %d keys, oracle holds %d", got, oracle.Len())
+	}
+	i := 0
+	oracle.Ascend(1, func(k, v uint64) bool {
+		if out[i].Key != k || out[i].Value != v {
+			t.Errorf("scan[%d] = %d→%d, oracle %d→%d", i, out[i].Key, out[i].Value, k, v)
+			return false
+		}
+		i++
+		return true
+	})
+	if tr.Counters().Splits == 0 || tr.Counters().Merges == 0 || tr.Counters().GCRuns == 0 {
+		t.Fatalf("workload too tame: %+v", tr.Counters())
+	}
+}

@@ -102,6 +102,7 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 		gcDone: make(chan struct{}),
 	}
 	close(tr.gcDone)
+	tr.reclaim.init()
 	tr.inner = newInnerTree(tr.compare)
 	tr.walman = wal.NewManager(tr.alloc, opts.ChunkBytes)
 	tr.initObs()

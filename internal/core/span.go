@@ -48,6 +48,20 @@ func (w *Worker) segEnd(seg obs.Segment, m segMark) {
 	}
 }
 
+// segEndExcl closes a marked interval into seg like segEnd, but also
+// excludes excl — virtual time already attributed to another segment
+// inside the interval (the lock-free lookup path records its epoch
+// pin/recheck costs as SegValidate while the traversal mark is open).
+func (w *Worker) segEndExcl(seg obs.Segment, m segMark, excl int64) {
+	if !w.spans {
+		return
+	}
+	d := w.t.Now() - m.vt - (w.t.FlushNS() - m.flush) - (w.t.FenceNS() - m.fence) - excl
+	if d > 0 {
+		w.segAcc[seg] += d
+	}
+}
+
 // segCloseBuffer closes a locked buffer-node section into SegBuffer:
 // the section's interval minus flush/fence and minus the WAL/trigger
 // segments recorded within it (wal0/trig0 are those accumulators at

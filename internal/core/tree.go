@@ -57,6 +57,13 @@ type Tree struct {
 
 	workersMu sync.Mutex
 	workers   []*Worker
+	// workerCount mirrors len(workers) without the lock: the LockedReads
+	// ablation charges each read a modeled cacheline handoff per peer.
+	workerCount atomic.Int64
+
+	// reclaim is the epoch-based reclamation state keeping merged
+	// leaves mapped while lock-free readers may still probe them.
+	reclaim epochManager
 
 	closed    atomic.Bool
 	gcRunning atomic.Bool
@@ -108,6 +115,9 @@ type counters struct {
 	gcCopied       atomic.Uint64
 	gcSkippedFresh atomic.Uint64
 	retries        atomic.Uint64
+	readRetries    atomic.Uint64
+	epochRetires   atomic.Uint64
+	epochReclaims  atomic.Uint64
 	batchApplies   atomic.Uint64
 	batchedOps     atomic.Uint64
 	batchRelogs    atomic.Uint64
@@ -122,7 +132,10 @@ type Counters struct {
 	SkippedLogs                        uint64 // log operations avoided by write-conservative logging
 	Splits, Merges                     uint64
 	GCRuns, GCCopiedEntries, GCSkipped uint64
-	Retries                            uint64 // optimistic/concurrency retries
+	Retries                            uint64 // optimistic/concurrency retries (reads + writes)
+	ReadRetries                        uint64 // lock-free Get/Scan passes retried on a version change
+	EpochRetires                       uint64 // merged leaves parked in reclamation limbo
+	EpochReclaims                      uint64 // limbo leaves freed once no reader could route to them
 	BatchApplies                       uint64 // ApplyBatch group commits
 	BatchedOps                         uint64 // writes that went through ApplyBatch
 	BatchRelogs                        uint64 // batch records re-logged after a GC epoch flip
@@ -145,6 +158,9 @@ func (tr *Tree) Counters() Counters {
 		GCCopiedEntries: tr.ctr.gcCopied.Load(),
 		GCSkipped:       tr.ctr.gcSkippedFresh.Load(),
 		Retries:         tr.ctr.retries.Load(),
+		ReadRetries:     tr.ctr.readRetries.Load(),
+		EpochRetires:    tr.ctr.epochRetires.Load(),
+		EpochReclaims:   tr.ctr.epochReclaims.Load(),
 		BatchApplies:    tr.ctr.batchApplies.Load(),
 		BatchedOps:      tr.ctr.batchedOps.Load(),
 		BatchRelogs:     tr.ctr.batchRelogs.Load(),
@@ -165,6 +181,7 @@ func New(pool *pmem.Pool, opts Options) (*Tree, error) {
 		gcDone: make(chan struct{}),
 	}
 	close(tr.gcDone)
+	tr.reclaim.init()
 	tr.inner = newInnerTree(tr.compare)
 	tr.walman = wal.NewManager(tr.alloc, opts.ChunkBytes)
 	tr.initObs()

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"sync/atomic"
 
 	"cclbtree/internal/obs"
 	"cclbtree/internal/pmem"
@@ -43,6 +43,17 @@ type Worker struct {
 	scratch  []KV   // reused per-op buffer
 	probeKey []byte // current VarKV lookup/scan probe (see probeTag)
 	seenGen  uint64 // last naive-GC stall generation absorbed
+
+	// epochSlot is the worker's reclamation pin (see epoch.go): the
+	// epoch a lock-free Get/Scan entered at, 0 between reads. Written
+	// by the owning goroutine, scanned by reclaimers.
+	epochSlot atomic.Uint64
+
+	// scanCands/scanEnts are collectNode's reusable buffers (≤
+	// LeafSlots+Nbatch entries each); worker-owned so the scan path
+	// stays allocation-free in steady state.
+	scanCands []scanCand
+	scanEnts  []KV
 
 	// Span-attribution state (see span.go); worker-local, valid between
 	// one beginSpan and its finishSpan. spans mirrors mh != nil so the
@@ -105,7 +116,79 @@ func (tr *Tree) NewWorker(socket int) *Worker {
 	tr.workers = append(tr.workers, w)
 	tr.workersMu.Unlock()
 	tr.prof.Released(obs.LockWorkers, tok)
+	tr.workerCount.Add(1)
 	return w
+}
+
+// readEnter pins the worker into the current reclamation epoch (see
+// epoch.go) and charges the modeled cost of the pin/unpin pair: two
+// uncontended DRAM stores.
+func (w *Worker) readEnter() {
+	w.tree.epochEnter(w)
+	c := 2 * w.t.CostDRAM()
+	w.t.Advance(c)
+	if w.spans {
+		w.segAcc[obs.SegValidate] += c
+	}
+}
+
+// readExit unpins the worker.
+func (w *Worker) readExit() {
+	w.tree.epochExit(w)
+}
+
+// readRecheck re-validates an optimistic read section against the
+// version snapshotted at beginRead, charging the modeled load. Under
+// Options.UnsafeSkipReadRecheck (oracle self-tests only) the check
+// still executes but its verdict is discarded — the planted
+// read-linearizability bug the torture oracle must catch.
+func (w *Worker) readRecheck(n *bufferNode, ver uint64) bool {
+	ok := n.validateRead(ver)
+	c := w.t.CostDRAM()
+	w.t.Advance(c)
+	if w.spans {
+		w.segAcc[obs.SegValidate] += c
+	}
+	if w.tree.opts.UnsafeSkipReadRecheck {
+		return true
+	}
+	return ok
+}
+
+// unsafeReadTear widens the torn-read window when the planted
+// UnsafeSkipReadRecheck bug is armed: a seqlock reader can be preempted
+// between any two of its unsynchronized loads, and the recheck being
+// skipped is precisely what would have caught the resulting tear.
+// Yielding at the vulnerable point makes the torture oracle's self-test
+// catch deterministic instead of scheduler luck (required on single-CPU
+// runners, where natural preemption inside a two-instruction window is
+// vanishingly rare). Compiled down to one flag check in normal runs.
+func (w *Worker) unsafeReadTear() {
+	if w.tree.opts.UnsafeSkipReadRecheck {
+		runtime.Gosched()
+	}
+}
+
+// lockHandoffNS models one cross-core cacheline transfer of a shared
+// lock word. The LockedReads ablation charges it per peer worker and
+// per RMW: on silicon every other active thread is a potential owner
+// the line bounces from, which is exactly the scaling collapse the
+// lock-free path exists to avoid — and which the deterministic virtual
+// clock would otherwise never see.
+const lockHandoffNS = 60
+
+// chargeLockHandoff charges rmws lock-word RMWs against the peer count
+// and attributes them to lock wait.
+func (w *Worker) chargeLockHandoff(rmws int) {
+	sharers := w.tree.workerCount.Load() - 1
+	if sharers <= 0 {
+		return
+	}
+	d := int64(rmws) * lockHandoffNS * sharers
+	w.t.Advance(d)
+	if w.spans {
+		w.segAcc[obs.SegLockWait] += d
+	}
 }
 
 // Thread exposes the worker's PM thread (virtual clock, tagging).
@@ -311,14 +394,14 @@ func (w *Worker) upsertLocked(n *bufferNode, key, value uint64) (underfull bool,
 	if err := w.appendLog(key, value); err != nil {
 		return false, err
 	}
-	n.setSlot(pos, key, value)
+	n.setSlot(pos, key, value, tr.keyFingerprint(w.t, key))
 	// Purge stale cached copies from earlier flush rounds: slots beyond
 	// pos may hold an older version (even a tombstone) of this key at a
 	// HIGHER index, which a later round's overwrites could leave
 	// shadowing the leaf's newer value.
 	for i := pos + 1; i < n.nbatch(); i++ {
 		if sk := n.slotKey(i); sk != 0 && tr.compare(w.t, sk, key) == 0 {
-			n.setSlot(i, 0, 0)
+			n.setSlot(i, 0, 0, 0)
 		}
 	}
 	eb = eb&^(1<<uint(pos)) | epoch<<uint(pos)
@@ -376,21 +459,67 @@ func (w *Worker) lookupWord(key uint64) (uint64, bool) {
 		defer tr.stw.RUnlock()
 		w.syncStall()
 	}
+	if tr.opts.LockedReads {
+		return w.lookupWordLocked(key)
+	}
+	w.readEnter()
+	defer w.readExit()
 	for {
 		attemptVT := w.t.Now()
 		m := w.segBegin()
+		val0 := w.segAcc[obs.SegValidate]
 		if val, found, ok := w.lookupAttempt(key); ok {
 			// The whole successful pass — routing, buffer scan, leaf
-			// search — is traversal for a read.
-			w.segEnd(obs.SegTraverse, m)
+			// search — is traversal for a read, minus the validation
+			// charges attributed to their own segment inside it.
+			w.segEndExcl(obs.SegTraverse, m, w.segAcc[obs.SegValidate]-val0)
 			return val, found
 		}
 		tr.crashAbort()
 		tr.ctr.retries.Add(1)
+		tr.ctr.readRetries.Add(1)
 		w.t.Rewind(attemptVT)
 		w.t.Advance(conflictPenaltyNS)
 		w.segRetry()
 		runtime.Gosched()
+	}
+}
+
+// lookupWordLocked is the Options.LockedReads ablation: the pre-
+// optimistic read path that holds the node's version lock across the
+// buffer probe and leaf search. Correct but unscalable — each read
+// pays the modeled lock-word handoffs (two RMWs here plus two for the
+// shared routing lock this path stands in for), growing with the
+// worker count.
+func (w *Worker) lookupWordLocked(key uint64) (uint64, bool) {
+	tr := w.tree
+	for {
+		attemptVT := w.t.Now()
+		m := w.segBegin()
+		n := tr.findBuffer(w.t, key)
+		v, ok := n.tryLock()
+		if !ok {
+			tr.crashAbort()
+			tr.ctr.retries.Add(1)
+			w.t.Rewind(attemptVT)
+			w.t.Advance(conflictPenaltyNS)
+			w.segRetry()
+			runtime.Gosched()
+			continue
+		}
+		if !w.rangeOK(n, key) {
+			n.unlock(v)
+			tr.ctr.retries.Add(1)
+			w.t.Rewind(attemptVT)
+			w.t.Advance(conflictPenaltyNS)
+			w.segRetry()
+			continue
+		}
+		w.chargeLockHandoff(4)
+		val, found := w.lookupInNode(n, key)
+		n.unlock(v)
+		w.segEnd(obs.SegTraverse, m)
+		return val, found
 	}
 }
 
@@ -406,16 +535,26 @@ func (w *Worker) lookupAttempt(key uint64) (val uint64, found, ok bool) {
 	if !w.rangeOK(n, key) {
 		return 0, false, false
 	}
-	// Buffer scan, left to right: the leftmost match is the newest
-	// version (§4.3).
-	w.t.Advance(int64(n.nbatch()) * w.t.CostDRAM())
+	// Buffer probe: the packed per-slot fingerprints short-circuit the
+	// key comparisons — one DRAM word covers eight slots, so most
+	// probes touch no slot at all (§4.1's fingerprint filter, applied
+	// to the DRAM cache).
+	target := tr.keyFingerprint(w.t, key)
+	w.t.Advance(int64(1+(n.nbatch()+7)/8) * w.t.CostDRAM())
 	for i := 0; i < n.nbatch(); i++ {
+		if n.slotFP(i) != target {
+			continue
+		}
 		sk := n.slotKey(i)
 		if sk == 0 || tr.compare(w.t, sk, key) != 0 {
 			continue
 		}
+		// Leftmost match is the newest version (§4.3). The key and
+		// value words are read without synchronization — only the
+		// recheck below makes the pair trustworthy.
+		w.unsafeReadTear()
 		v := n.slotVal(i)
-		if !n.validateRead(ver) {
+		if !w.readRecheck(n, ver) {
 			return 0, false, false
 		}
 		tr.ctr.bufferHits.Add(1)
@@ -424,12 +563,36 @@ func (w *Worker) lookupAttempt(key uint64) (val uint64, found, ok bool) {
 	}
 	// Leaf search: bitmap + fingerprints in the header cacheline
 	// filter the PM reads (§4.1).
-	v, f := w.leafSearch(n.leaf, key)
-	if !n.validateRead(ver) {
+	v, f := w.leafSearchFP(n.leaf, key, target)
+	if !w.readRecheck(n, ver) {
 		return 0, false, false
 	}
 	tr.heat.Touch(uint64(n.leaf), false)
 	return v, f, true
+}
+
+// lookupInNode probes the buffer slots then the leaf with the node
+// lock held (LockedReads ablation and other locked contexts); no
+// validation needed.
+func (w *Worker) lookupInNode(n *bufferNode, key uint64) (uint64, bool) {
+	tr := w.tree
+	target := tr.keyFingerprint(w.t, key)
+	w.t.Advance(int64(1+(n.nbatch()+7)/8) * w.t.CostDRAM())
+	for i := 0; i < n.nbatch(); i++ {
+		if n.slotFP(i) != target {
+			continue
+		}
+		sk := n.slotKey(i)
+		if sk == 0 || tr.compare(w.t, sk, key) != 0 {
+			continue
+		}
+		tr.ctr.bufferHits.Add(1)
+		tr.heat.Touch(uint64(n.leaf), false)
+		return n.slotVal(i), true
+	}
+	v, f := w.leafSearchFP(n.leaf, key, target)
+	tr.heat.Touch(uint64(n.leaf), false)
+	return v, f
 }
 
 // ScanEntry is one range-query result in word form.
@@ -459,42 +622,42 @@ func (w *Worker) Scan(start uint64, max int, out []KV) int {
 	if max > len(out) {
 		max = len(out)
 	}
+	if !tr.opts.LockedReads {
+		w.readEnter()
+		defer w.readExit()
+	}
 	count := 0
 	var lastKey uint64
 	haveLast := false
 	n := tr.findBuffer(w.t, start)
 	for n != nil && count < max {
 		attemptVT := w.t.Now()
-		ver, ok := n.beginRead()
-		if !ok {
+		ents, nx, st := w.scanNode(n)
+		switch st {
+		case scanDead:
+			// Merged away: re-route from the last progress point. A
+			// simulated crash can leave routing transiently stale, so
+			// the re-route loop needs the same unhang check as the
+			// retry loops below.
 			tr.crashAbort()
-			tr.ctr.retries.Add(1)
-			w.t.Rewind(attemptVT)
-			w.t.Advance(conflictPenaltyNS)
-			runtime.Gosched()
-			continue
-		}
-		if n.dead() {
-			// Merged away: re-route from the last progress point.
 			from := start
 			if haveLast {
 				from = lastKey
 			}
 			n = tr.findBuffer(w.t, from)
 			continue
-		}
-		ents, ok := w.collectNode(n, ver)
-		if !ok {
+		case scanRetry:
+			// Every retry branch — locked, torn collect, or failed
+			// final validation — must re-raise a sticky power failure:
+			// an optimistic reader spinning on a version that will
+			// never settle (its writer died mid-section) would
+			// otherwise hang here forever.
+			tr.crashAbort()
 			tr.ctr.retries.Add(1)
+			tr.ctr.readRetries.Add(1)
 			w.t.Rewind(attemptVT)
 			w.t.Advance(conflictPenaltyNS)
-			continue
-		}
-		nx := n.next.Load()
-		if !n.validateRead(ver) {
-			tr.ctr.retries.Add(1)
-			w.t.Rewind(attemptVT)
-			w.t.Advance(conflictPenaltyNS)
+			runtime.Gosched()
 			continue
 		}
 		for _, e := range ents {
@@ -517,10 +680,63 @@ func (w *Worker) Scan(start uint64, max int, out []KV) int {
 	return count
 }
 
+// scanNode outcome codes.
+const (
+	scanOK = iota
+	scanDead
+	scanRetry
+)
+
+// scanNode snapshots one node for Scan: lock-free with seqlock
+// validation by default, under the node lock in the LockedReads
+// ablation. Returns the node's sorted live entries and the next node.
+func (w *Worker) scanNode(n *bufferNode) ([]KV, *bufferNode, int) {
+	tr := w.tree
+	if tr.opts.LockedReads {
+		v, ok := n.tryLock()
+		if !ok {
+			return nil, nil, scanRetry
+		}
+		if n.dead() {
+			n.unlock(v)
+			return nil, nil, scanDead
+		}
+		w.chargeLockHandoff(4)
+		ents, _ := w.collectNode(n, 0, true)
+		nx := n.next.Load()
+		n.unlock(v)
+		return ents, nx, scanOK
+	}
+	ver, ok := n.beginRead()
+	if !ok {
+		return nil, nil, scanRetry
+	}
+	if n.dead() {
+		return nil, nil, scanDead
+	}
+	ents, ok := w.collectNode(n, ver, false)
+	if !ok {
+		return nil, nil, scanRetry
+	}
+	nx := n.next.Load()
+	if !w.readRecheck(n, ver) {
+		return nil, nil, scanRetry
+	}
+	return ents, nx, scanOK
+}
+
+// scanCand is one candidate entry while collecting a node.
+type scanCand struct {
+	kv      KV
+	fromBuf bool
+}
+
 // collectNode snapshots one node's live entries (leaf ∪ buffer, buffer
-// wins, tombstones drop), sorted ascending. ok is false if the version
-// changed mid-read.
-func (w *Worker) collectNode(n *bufferNode, ver uint64) ([]KV, bool) {
+// wins, tombstones drop), sorted ascending into the worker's reusable
+// buffer — valid until the next collectNode call. ok is false if the
+// version changed mid-read (never when locked: the caller holds the
+// node's version lock).
+func (w *Worker) collectNode(n *bufferNode, ver uint64, locked bool) ([]KV, bool) {
 	tr := w.tree
 	tr.heat.Touch(uint64(n.leaf), false)
 	var img leafImage
@@ -528,27 +744,27 @@ func (w *Worker) collectNode(n *bufferNode, ver uint64) ([]KV, bool) {
 	readLeaf(w.t, n.leaf, &img)
 	w.t.SetTag(prev)
 
-	type cand struct {
-		kv       KV
-		fromBuf  bool
-		bufIndex int
-	}
-	cands := make([]cand, 0, LeafSlots+n.nbatch())
+	cands := w.scanCands[:0]
 	for i := 0; i < n.nbatch(); i++ {
 		if k := n.slotKey(i); k != 0 {
-			cands = append(cands, cand{KV{k, n.slotVal(i)}, true, i})
+			w.unsafeReadTear()
+			cands = append(cands, scanCand{KV{k, n.slotVal(i)}, true})
 		}
 	}
 	for i := 0; i < LeafSlots; i++ {
 		if img.slotValid(i) {
-			cands = append(cands, cand{KV{img.key(i), img.val(i)}, false, 0})
+			cands = append(cands, scanCand{KV{img.key(i), img.val(i)}, false})
 		}
 	}
-	if !n.validateRead(ver) {
+	w.scanCands = cands
+	if !locked && !w.readRecheck(n, ver) {
 		return nil, false
 	}
-	// Dedup: leftmost buffer entry wins, then leaf.
-	ents := make([]KV, 0, len(cands))
+	// Dedup: leftmost buffer entry wins, then leaf. Sorted insertion on
+	// append — the node holds at most LeafSlots+Nbatch entries, and the
+	// in-place shift replaces sort.Slice's closure allocation on the
+	// zero-alloc read path.
+	ents := w.scanEnts[:0]
 	for i, c := range cands {
 		dup := false
 		for j := 0; j < i; j++ {
@@ -570,9 +786,15 @@ func (w *Worker) collectNode(n *bufferNode, ver uint64) ([]KV, bool) {
 				continue
 			}
 		}
+		j := len(ents)
 		ents = append(ents, c.kv)
+		for j > 0 && tr.compare(w.t, ents[j-1].Key, c.kv.Key) > 0 {
+			ents[j] = ents[j-1]
+			j--
+		}
+		ents[j] = c.kv
 	}
-	sort.Slice(ents, func(i, j int) bool { return tr.compare(w.t, ents[i].Key, ents[j].Key) < 0 })
+	w.scanEnts = ents
 	w.t.Advance(int64(len(ents)) * w.t.CostDRAM() * 2) // DRAM sort cost
 	return ents, true
 }

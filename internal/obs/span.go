@@ -15,6 +15,7 @@ type Segment uint8
 const (
 	SegLockWait Segment = iota // optimistic-retry backoff + stop-the-world waits
 	SegTraverse                // inner-tree routing + buffer/leaf search
+	SegValidate                // lock-free read overhead: epoch pin/unpin + seqlock rechecks
 	SegWAL                     // WAL record append (excluding its flush/fence)
 	SegBuffer                  // buffer-node slot maintenance under the version lock
 	SegTrigger                 // trigger write: batch flush into the PM leaf
@@ -25,8 +26,8 @@ const (
 )
 
 var segmentNames = [NumSegments]string{
-	"lockwait", "traverse", "wal", "buffer", "trigger", "flush",
-	"fence", "other",
+	"lockwait", "traverse", "validate", "wal", "buffer", "trigger",
+	"flush", "fence", "other",
 }
 
 func (s Segment) String() string {

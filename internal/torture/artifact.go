@@ -35,6 +35,9 @@ func NewArtifact(res *Result) *Artifact {
 	if c.UnsafeSkipWALFence {
 		cmd += " -unsafe-skip-wal-fence"
 	}
+	if c.UnsafeSkipReadRecheck {
+		cmd += " -unsafe-skip-read-recheck"
+	}
 	return &Artifact{
 		Config:     c,
 		Rounds:     res.Rounds,

@@ -37,9 +37,13 @@ type Op struct {
 	// tombstone, recorded as 0) and the observed value for lookups.
 	Value uint64 `json:"value"`
 	// Found is the lookup outcome (meaningless for writes).
-	Found  bool   `json:"found,omitempty"`
-	Invoke uint64 `json:"invoke"`
-	Return uint64 `json:"return,omitempty"`
+	Found bool `json:"found,omitempty"`
+	// Observed records a scan's returned key/value pairs, so the read
+	// oracle can attribute each one to a write whose real-time window
+	// is consistent with the scan's.
+	Observed [][2]uint64 `json:"observed,omitempty"`
+	Invoke   uint64      `json:"invoke"`
+	Return   uint64      `json:"return,omitempty"`
 	// Done marks operations whose call returned normally; an undone op
 	// was in flight when the power failed and may land atomically or
 	// not at all.
@@ -65,6 +69,7 @@ type history struct {
 	ops     []Op
 	writes  map[uint64][]*Op // key -> writes, any order
 	lookups []*Op
+	scans   []*Op
 }
 
 func newHistory(perWorker [][]Op) *history {
@@ -79,6 +84,8 @@ func newHistory(perWorker [][]Op) *history {
 			h.writes[op.Key] = append(h.writes[op.Key], op)
 		case op.Kind == OpLookup && op.Done:
 			h.lookups = append(h.lookups, op)
+		case op.Kind == OpScan && op.Done:
+			h.scans = append(h.scans, op)
 		}
 	}
 	return h

@@ -151,6 +151,85 @@ func checkReads(h *history, everWritten map[uint64]map[uint64]bool, round int) [
 	return out
 }
 
+// checkReadLinearizability validates every completed optimistic read
+// (lookup or scan observation) against real-time order: the value a
+// read r observed for key k must be attributable to a write w whose
+// invoke/return window is consistent with r's ORDO window —
+//
+//   - w was not invoked definitely after r returned (a read cannot see
+//     the future), and
+//   - w was not definitely overwritten before r began: no completed
+//     write w′ was invoked definitely after w returned AND returned
+//     definitely before r was invoked.
+//
+// The round's starting state acts as a virtual write that returned
+// before everything (return tick 0). In-flight writes have no return
+// point, so nothing definitely follows them and they stay candidates.
+// Both "definitely" relations use the ORDO uncertainty boundary, so
+// the check is conservative: an overlap is never flagged, only reads
+// that returned a value provably stale (the seqlock recheck failed to
+// retry a torn section) or provably fabricated. Reads are validated
+// per-round only — the round's history plus its recovered baseline is
+// a complete candidate set, because earlier rounds' superseded values
+// are absent from the recovered image.
+func checkReadLinearizability(clock *ordo.Clock, baseline map[uint64]uint64, h *history, round int) []Violation {
+	legal := func(r *Op, key, got uint64) bool {
+		writes := h.writes[key]
+		// overwrittenBeforeRead: a completed write was invoked
+		// definitely after ret and returned definitely before r began.
+		overwrittenBeforeRead := func(ret uint64) bool {
+			for _, w2 := range writes {
+				if w2.Done && clock.After(w2.Invoke, ret) && clock.After(r.Invoke, w2.Return) {
+					return true
+				}
+			}
+			return false
+		}
+		// Virtual baseline write (value 0 = key absent at round start).
+		if baseline[key] == got && !overwrittenBeforeRead(0) {
+			return true
+		}
+		for _, w := range writes {
+			if w.writtenValue() != got {
+				continue
+			}
+			if clock.After(w.Invoke, r.Return) {
+				continue // invoked definitely after the read ended
+			}
+			if w.Done && overwrittenBeforeRead(w.Return) {
+				continue
+			}
+			return true
+		}
+		return false
+	}
+
+	var out []Violation
+	for _, r := range h.lookups {
+		got := uint64(0) // absent reads observe the tombstone register
+		if r.Found {
+			got = r.Value
+		}
+		if !legal(r, r.Key, got) {
+			out = append(out, Violation{
+				Round: round, Key: r.Key, Got: got,
+				Reason: fmt.Sprintf("worker %d lookup observed a value outside its read window (stale or torn optimistic read)", r.Worker),
+			})
+		}
+	}
+	for _, r := range h.scans {
+		for _, kv := range r.Observed {
+			if !legal(r, kv[0], kv[1]) {
+				out = append(out, Violation{
+					Round: round, Key: kv[0], Got: kv[1],
+					Reason: fmt.Sprintf("worker %d scan observed a value outside its read window (stale or torn optimistic read)", r.Worker),
+				})
+			}
+		}
+	}
+	return out
+}
+
 // checkScanAgreement cross-checks the post-recovery scan snapshot
 // against per-key lookups: both read paths must agree on the live key
 // set and values. Divergence means the leaf metadata (bitmap vs

@@ -53,6 +53,12 @@ type Config struct {
 	// appends flushed but never fenced) used to prove the oracle
 	// catches real violations. Never set outside oracle self-tests.
 	UnsafeSkipWALFence bool `json:"unsafe_skip_wal_fence,omitempty"`
+	// UnsafeSkipReadRecheck plants the deliberate read-linearizability
+	// bug (optimistic readers ignore their seqlock re-validation, so
+	// torn reads racing writers are returned as consistent), used to
+	// prove the read oracle catches real violations. Never set outside
+	// oracle self-tests.
+	UnsafeSkipReadRecheck bool `json:"unsafe_skip_read_recheck,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -142,9 +148,10 @@ func Run(cfg Config) (*Result, error) {
 		StrictPersist:  true,
 	})
 	opts := core.Options{
-		GC:                 gc,
-		ChunkBytes:         cfg.ChunkBytes,
-		UnsafeSkipWALFence: cfg.UnsafeSkipWALFence,
+		GC:                    gc,
+		ChunkBytes:            cfg.ChunkBytes,
+		UnsafeSkipWALFence:    cfg.UnsafeSkipWALFence,
+		UnsafeSkipReadRecheck: cfg.UnsafeSkipReadRecheck,
 	}
 	tr, err := core.New(pool, opts)
 	if err != nil {
@@ -245,6 +252,7 @@ func Run(cfg Config) (*Result, error) {
 		byLookup, byScan := snapshot(rec, cfg.KeySpace)
 		vs := checkDurablePrefix(rec.Clock(), baseline, h, byLookup, round)
 		vs = append(vs, checkReads(h, everWritten, round)...)
+		vs = append(vs, checkReadLinearizability(rec.Clock(), baseline, h, round)...)
 		vs = append(vs, checkScanAgreement(byLookup, byScan, round)...)
 
 		res.Rounds = append(res.Rounds, RoundReport{
@@ -373,7 +381,13 @@ func runWorker(tr *core.Tree, w *core.Worker, wid, round int, seed int64, cfg Co
 			case OpLookup:
 				op.Value, op.Found = w.Lookup(op.Key)
 			case OpScan:
-				w.Scan(op.Key, len(scanBuf), scanBuf[:])
+				n := w.Scan(op.Key, len(scanBuf), scanBuf[:])
+				// Record the observed pairs (copied out of the reused
+				// buffer) so the read oracle can attribute each one.
+				op.Observed = make([][2]uint64, n)
+				for i, kv := range scanBuf[:n] {
+					op.Observed[i] = [2]uint64{kv.Key, kv.Value}
+				}
 			}
 			return
 		}()

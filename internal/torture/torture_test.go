@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 )
@@ -75,6 +76,46 @@ func TestTortureCatchesSkippedFence(t *testing.T) {
 	}
 	t.Logf("planted bug caught in %v after %d round(s): %v",
 		time.Since(start), len(res.Rounds), res.Violations[0])
+}
+
+// TestTortureCatchesSkippedReadRecheck proves the read-linearizability
+// oracle catches a real seqlock bug: with UnsafeSkipReadRecheck every
+// optimistic reader ignores its re-validation, so a read torn by a
+// concurrent writer — key word from one version of a buffer slot,
+// value word from another — is returned as if consistent. The oracle
+// must attribute every observed value to a write on that key whose
+// real-time window fits the read's; a torn pair fails that
+// attribution. Budget for the catch is 60 seconds, mirroring the
+// skip-fence self-test; in practice the first seeds expose it.
+func TestTortureCatchesSkippedReadRecheck(t *testing.T) {
+	start := time.Now()
+	deadline := start.Add(55 * time.Second)
+	for seed := int64(4200); time.Now().Before(deadline); seed++ {
+		res, err := Run(Config{
+			Seed: seed, Threads: 4, Rounds: 2, OpsPerThread: 3000,
+			KeySpace: 48, GC: "off", UnsafeSkipReadRecheck: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Failed() {
+			continue
+		}
+		// The planted bug corrupts only reads — recovery state is
+		// untouched — so the violations must be read attributions.
+		for _, v := range res.Violations {
+			if !strings.Contains(v.Reason, "observed") {
+				t.Fatalf("skip-recheck produced a non-read violation: %v", v)
+			}
+		}
+		if d := time.Since(start); d > 60*time.Second {
+			t.Fatalf("bug took %v to catch; budget is 60s", d)
+		}
+		t.Logf("planted read bug caught in %v at seed %d: %v",
+			time.Since(start), seed, res.Violations[0])
+		return
+	}
+	t.Fatal("oracle missed the planted skip-recheck read bug within the 60s budget")
 }
 
 // TestTortureArtifactRoundTrip checks the failure artifact pipeline:

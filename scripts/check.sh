@@ -24,6 +24,10 @@ go vet ./...
 # also emits the SARIF artifact CI can upload to code scanning.
 lintdir=$(mktemp -d)
 go build -o "$lintdir/persistlint" ./cmd/persistlint
+# PL010 pre-gate: the seqlock read path lives in internal/core, and a
+# missed re-validation there is exactly the torn-read bug the torture
+# oracle hunts — fail fast on it before the expensive suites run.
+"$lintdir/persistlint" -tests -only PL010 ./internal/core/...
 "$lintdir/persistlint" -tests -stats -budget 10s \
     -cache "$lintdir/repocache" -sarif "$lintdir/persistlint.sarif" ./...
 grep -q '"version": "2.1.0"' "$lintdir/persistlint.sarif"
@@ -89,7 +93,19 @@ planted=$?
 set -e
 test "$planted" -eq 3
 "$perfdir/cclbench" -compare scripts/perf_baseline.json -against "$perfdir/BENCH_ycsbb.json"
+
+# Read-scaling gate: the lock-free read path must hold its YCSB-C
+# numbers (both series — a locked-ablation speedup would also hide a
+# lock-free regression if only one side were gated).
+"$perfdir/cclbench" -exp ycsbc -warm 20000 -ops 20000 -out "$perfdir" >/dev/null
+"$perfdir/cclbench" -compare scripts/perf_baseline_ycsbc.json -against "$perfdir/BENCH_ycsbc.json"
 rm -rf "$perfdir"
+
+# Read-path acceptance: lock-free reads >= 3x the LockedReads ablation
+# at 8 threads, and the torture oracle proves it still has teeth by
+# catching a planted skipped-recheck (torn optimistic read) bug.
+go test -run TestReadScaling ./internal/bench
+go test -run TestTortureCatchesSkippedReadRecheck ./internal/torture
 
 # Short fuzz smokes: each target gets 10s of coverage-guided input
 # generation on top of its checked-in corpus.
