@@ -14,6 +14,14 @@
 // workloads — can be measured for CLI-/XBI-amplification and simulated
 // throughput.
 //
+// A DB owns one or more CCL-BTrees. With the default Config.Shards of
+// 1 it is exactly the paper's single tree; with N > 1 it carves the
+// pool into N per-socket PM arenas and runs one independent tree per
+// arena, each pinned to a NUMA socket round-robin, routing every
+// operation by key hash. Range and RangeVar merge the shard streams
+// back into one ordered iterator. The sharded form is the storage
+// layer of the serving tier (internal/server, cmd/cclserve).
+//
 // Quick start:
 //
 //	db, _ := cclbtree.New(cclbtree.Config{})
@@ -27,6 +35,7 @@ package cclbtree
 
 import (
 	"fmt"
+	"sync"
 
 	"cclbtree/internal/core"
 	"cclbtree/internal/obs"
@@ -44,10 +53,20 @@ const (
 	GCOff           = core.GCOff
 )
 
-// Config configures a tree and, optionally, the PM platform under it.
-// The zero value reproduces the paper's defaults (Nbatch 2, THlog 20%,
-// locality-aware GC, 4 MB log chunks, two-socket ADR platform).
+// Config configures a DB and, optionally, the PM platform under it.
+// The zero value reproduces the paper's defaults (one shard, Nbatch 2,
+// THlog 20%, locality-aware GC, 4 MB log chunks, two-socket ADR
+// platform).
 type Config struct {
+	// Shards is the number of independent shard trees the DB runs
+	// (0 and 1 both mean one tree covering the whole device, today's
+	// behaviour). With N > 1 the pool is carved into N equal per-socket
+	// PM arenas; shard i lives in arena i, NUMA-pinned to socket
+	// i mod Sockets (superblock, WAL chunks, leaves, GC and recovery
+	// all stay on that socket), and keys route to shards by hash.
+	// The shard count is recorded persistently: Open with Shards 0
+	// auto-detects it, Open with a mismatched count fails.
+	Shards int
 	// Nbatch is the buffer-node capacity; 0 means the default (2),
 	// -1 disables buffering (the paper's "Base" ablation).
 	Nbatch int
@@ -65,7 +84,7 @@ type Config struct {
 	// ChunkBytes overrides the WAL chunk size (default 4 MB).
 	ChunkBytes int
 	// Metrics enables per-operation latency histograms, retrievable
-	// via Tree.Metrics. Off by default (zero overhead when off).
+	// via DB.Metrics. Off by default (zero overhead when off).
 	Metrics bool
 	// LockedReads makes Get/Scan take each buffer node's version lock
 	// instead of the default lock-free optimistic (seqlock) traversal,
@@ -84,14 +103,22 @@ type Config struct {
 	Platform pmem.Config
 }
 
-// Tree is a CCL-BTree instance. Operations are issued through
-// per-goroutine Sessions.
-type Tree struct {
-	inner *core.Tree
-	pool  *pmem.Pool
+// DB is a CCL-BTree store: a set of Config.Shards independent shard
+// trees on one PM pool, each NUMA-pinned to a socket. Operations are
+// issued through per-goroutine Sessions, which route by key hash.
+type DB struct {
+	pool   *pmem.Pool
+	shards []*core.Tree
 }
 
-func (c Config) coreOptions() core.Options {
+// Tree is the pre-sharding name of DB.
+//
+// Deprecated: use DB. The single-tree Tree API is exactly a DB with
+// Config.Shards = 1; the alias exists so existing callers keep
+// compiling and will be removed in a future release.
+type Tree = DB
+
+func (c Config) coreOptions(shard, shards, sockets int) core.Options {
 	return core.Options{
 		Nbatch:       c.Nbatch,
 		THlog:        c.THlog,
@@ -102,30 +129,52 @@ func (c Config) coreOptions() core.Options {
 		Metrics:      c.Metrics,
 		Tracer:       c.Tracer,
 		LockedReads:  c.LockedReads,
+		HomeSocket:   shard % sockets,
+		ArenaIndex:   shard,
+		ArenaCount:   shards,
 	}
 }
 
-// New creates a fresh tree on a new PM pool built from cfg.Platform.
-func New(cfg Config) (*Tree, error) {
+func (c Config) shardCount() (int, error) {
+	switch {
+	case c.Shards < 0:
+		return 0, fmt.Errorf("cclbtree: %d shards impossible", c.Shards)
+	case c.Shards == 0:
+		return 1, nil
+	}
+	return c.Shards, nil
+}
+
+// New creates a fresh DB on a new PM pool built from cfg.Platform.
+func New(cfg Config) (*DB, error) {
 	pool := pmem.NewPool(cfg.Platform)
 	return NewOnPool(pool, cfg)
 }
 
-// NewOnPool creates a fresh tree on an existing pool (e.g. one shared
+// NewOnPool creates a fresh DB on an existing pool (e.g. one shared
 // with a benchmark harness).
-func NewOnPool(pool *pmem.Pool, cfg Config) (*Tree, error) {
-	tr, err := core.New(pool, cfg.coreOptions())
+func NewOnPool(pool *pmem.Pool, cfg Config) (*DB, error) {
+	n, err := cfg.shardCount()
 	if err != nil {
-		return nil, fmt.Errorf("cclbtree: %w", err)
+		return nil, err
 	}
-	return &Tree{inner: tr, pool: pool}, nil
+	db := &DB{pool: pool, shards: make([]*core.Tree, n)}
+	for i := range db.shards {
+		tr, err := core.New(pool, cfg.coreOptions(i, n, pool.Sockets()))
+		if err != nil {
+			return nil, fmt.Errorf("cclbtree: shard %d: %w", i, err)
+		}
+		db.shards[i] = tr
+	}
+	return db, nil
 }
 
-// Open recovers a tree previously created on pool, after a crash
-// (Pool.Crash) or a restart (Pool.LoadPersistent). It walks the
-// persistent leaf list, replays the write-ahead logs, and resets leaf
-// timestamps, per §3.3 of the paper.
-func Open(pool *pmem.Pool, cfg Config) (*Tree, error) {
+// Open recovers a DB previously created on pool, after a crash
+// (Pool.Crash) or a restart (Pool.LoadPersistent). Each shard walks
+// its persistent leaf list and replays its write-ahead logs, per §3.3
+// of the paper. cfg.Shards 0 auto-detects the persisted shard count; a
+// non-zero count must match the one the DB was created with.
+func Open(pool *pmem.Pool, cfg Config) (*DB, error) {
 	t, _, err := OpenWithStats(pool, cfg, 1)
 	return t, err
 }
@@ -134,138 +183,188 @@ func Open(pool *pmem.Pool, cfg Config) (*Tree, error) {
 type RecoveryStats = core.RecoveryStats
 
 // OpenWithStats is Open with parallel recovery and statistics (Fig 17).
-func OpenWithStats(pool *pmem.Pool, cfg Config, threads int) (*Tree, *RecoveryStats, error) {
-	tr, st, err := core.Open(pool, cfg.coreOptions(), threads)
-	if err != nil {
-		return nil, nil, fmt.Errorf("cclbtree: %w", err)
+// Shards recover concurrently; the returned stats sum the per-shard
+// counters, and VirtualNS is the slowest shard (they run in parallel
+// on independent arenas).
+func OpenWithStats(pool *pmem.Pool, cfg Config, threads int) (*DB, *RecoveryStats, error) {
+	n := cfg.Shards
+	if n < 0 {
+		return nil, nil, fmt.Errorf("cclbtree: %d shards impossible", n)
 	}
-	return &Tree{inner: tr, pool: pool}, st, nil
+	if n == 0 {
+		probed, err := core.ProbeArenaCount(pool)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cclbtree: %w", err)
+		}
+		n = probed
+	}
+	db := &DB{pool: pool, shards: make([]*core.Tree, n)}
+	agg := &RecoveryStats{}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := range db.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, st, err := core.Open(pool, cfg.coreOptions(i, n, pool.Sockets()), threads)
+			if err != nil {
+				errs[i] = fmt.Errorf("cclbtree: shard %d: %w", i, err)
+				return
+			}
+			db.shards[i] = tr
+			mu.Lock()
+			agg.Leaves += st.Leaves
+			agg.ChunksScanned += st.ChunksScanned
+			agg.EntriesSeen += st.EntriesSeen
+			agg.EntriesReplayed += st.EntriesReplayed
+			agg.EntriesStale += st.EntriesStale
+			agg.EntriesDropped += st.EntriesDropped
+			agg.EmptyLeavesReclaimed += st.EmptyLeavesReclaimed
+			if st.VirtualNS > agg.VirtualNS {
+				agg.VirtualNS = st.VirtualNS
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return db, agg, nil
 }
 
 // Pool returns the underlying PM pool (stats, crash injection,
 // persistence to disk).
-func (t *Tree) Pool() *pmem.Pool { return t.pool }
+func (db *DB) Pool() *pmem.Pool { return db.pool }
 
-// Core exposes the internal tree.
+// Shards reports the number of shard trees.
+func (db *DB) Shards() int { return len(db.shards) }
+
+// ShardFor reports which shard a fixed 8 B key routes to. The hash is
+// a stable bit-mix (identical across processes and restarts), so the
+// serving tier can route before touching the DB.
+func (db *DB) ShardFor(key uint64) int { return db.shardFor(key) }
+
+// ShardForVar reports which shard a variable-size key routes to.
+func (db *DB) ShardForVar(key []byte) int { return db.shardForBytes(key) }
+
+// ShardHomeSocket reports the NUMA socket shard i is pinned to. The
+// serving tier uses it to place each shard's commit lane on the
+// shard's socket.
+func (db *DB) ShardHomeSocket(i int) int { return db.shards[i].Options().HomeSocket }
+
+// StartGCAsync launches one log-reclamation round per shard in the
+// background (Fig 14's explicit trigger) and returns immediately.
+func (db *DB) StartGCAsync() {
+	for _, tr := range db.shards {
+		tr.StartGCAsync()
+	}
+}
+
+// WaitGC blocks until every shard's in-flight GC round, if any,
+// completes.
+func (db *DB) WaitGC() {
+	for _, tr := range db.shards {
+		tr.WaitGC()
+	}
+}
+
+// ForceGC runs a log-reclamation round on every shard synchronously.
+func (db *DB) ForceGC() {
+	for _, tr := range db.shards {
+		tr.ForceGC()
+	}
+}
+
+// PeakLogBytes reports the largest live WAL volume observed, summed
+// across shards (Table 2's "peak log size").
+func (db *DB) PeakLogBytes() int64 {
+	var total int64
+	for _, tr := range db.shards {
+		total += tr.PeakLogBytes()
+	}
+	return total
+}
+
+// Counters returns behavioral statistics summed across shards.
 //
-// Deprecated: every capability the harnesses needed is now on the
-// public surface (Counters, ForceGC, StartGCAsync, WaitGC,
-// PeakLogBytes, Session.PutIndirect, ...). Core remains only for
-// out-of-tree experiments that poke internals directly and will be
-// removed once none are left.
-func (t *Tree) Core() *core.Tree { return t.inner }
+// Deprecated: use Metrics().Counters for the aggregate or
+// ShardCounters for per-shard attribution; Counters remains as a
+// convenience for single-shard callers.
+func (db *DB) Counters() core.Counters {
+	var c core.Counters
+	for _, tr := range db.shards {
+		c = c.Add(tr.Counters())
+	}
+	return c
+}
 
-// StartGCAsync launches one log-reclamation round in the background
-// (Fig 14's explicit trigger) and returns immediately.
-func (t *Tree) StartGCAsync() { t.inner.StartGCAsync() }
+// ShardCounters returns one shard's behavioral statistics.
+func (db *DB) ShardCounters(i int) core.Counters { return db.shards[i].Counters() }
 
-// WaitGC blocks until the in-flight GC round, if any, completes.
-func (t *Tree) WaitGC() { t.inner.WaitGC() }
+// Metrics returns the DB-wide observability snapshot: behavioral
+// counters summed across shards plus, when Config.Metrics is on,
+// latency histograms merged across shards (bucket-exact).
+func (db *DB) Metrics() core.TreeMetrics {
+	if len(db.shards) == 1 {
+		return db.shards[0].Metrics()
+	}
+	var agg core.TreeMetrics
+	for _, tr := range db.shards {
+		m := tr.Metrics()
+		agg.Counters = agg.Counters.Add(m.Counters)
+		if m.Latency != nil {
+			if agg.Latency == nil {
+				agg.Latency = &obs.Snapshot{}
+			}
+			agg.Latency.Merge(m.Latency)
+		}
+	}
+	return agg
+}
 
-// PeakLogBytes reports the largest live WAL volume observed (Table 2's
-// "peak log size").
-func (t *Tree) PeakLogBytes() int64 { return t.inner.PeakLogBytes() }
-
-// Counters returns the tree's behavioral statistics.
-func (t *Tree) Counters() core.Counters { return t.inner.Counters() }
-
-// Metrics returns the tree's behavioral counters plus, when
-// Config.Metrics is on, aggregated per-operation latency histograms.
-func (t *Tree) Metrics() core.TreeMetrics { return t.inner.Metrics() }
+// ShardMetrics returns one shard's counters and latency histograms —
+// the per-shard attribution the serving tier and the shards benchmark
+// report.
+func (db *DB) ShardMetrics(i int) core.TreeMetrics { return db.shards[i].Metrics() }
 
 // Observe snapshots the pool's device counters flattened for display or
-// JSON export, including the per-scope media-byte attribution.
-func (t *Tree) Observe() obs.Observation { return obs.Observe(t.pool) }
+// JSON export, including the per-scope media-byte attribution. Device
+// counters are pool-wide; for per-shard attribution use ShardMetrics
+// and ShardProfile.
+func (db *DB) Observe() obs.Observation { return obs.Observe(db.pool) }
 
-// Profile snapshots the contention/heat tier: per-class lock statistics,
-// per-segment critical-path latency attribution, and the hottest leaves.
-// All slices are empty unless Config.Metrics is on.
-func (t *Tree) Profile() obs.Profile { return t.inner.Profile() }
+// Profile snapshots the contention/heat tier of shard 0: per-class
+// lock statistics, per-segment critical-path latency attribution, and
+// the hottest leaves. All slices are empty unless Config.Metrics is
+// on. Shards contend independently, so a sharded DB has no meaningful
+// merged profile — use ShardProfile per shard.
+func (db *DB) Profile() obs.Profile { return db.shards[0].Profile() }
 
-// MemoryUsage returns modeled DRAM bytes and PM bytes in use.
-func (t *Tree) MemoryUsage() (dramBytes, pmBytes int64) { return t.inner.MemoryUsage() }
+// ShardProfile snapshots one shard's contention/heat tier.
+func (db *DB) ShardProfile(i int) obs.Profile { return db.shards[i].Profile() }
 
-// ForceGC runs a log-reclamation round synchronously.
-func (t *Tree) ForceGC() { t.inner.ForceGC() }
-
-// Close stops the tree's background garbage collection. Call it before
-// Pool.Crash (a real power failure halts every thread at once) or when
-// abandoning the tree; the tree must not be used afterwards.
-func (t *Tree) Close() { t.inner.Freeze() }
-
-// Session is a per-goroutine handle. Create one per worker goroutine
-// with Tree.Session; it owns the thread's write-ahead log and NUMA
-// binding and must not be shared.
-type Session struct {
-	w *core.Worker
+// MemoryUsage returns modeled DRAM bytes and PM bytes in use, summed
+// across shards.
+func (db *DB) MemoryUsage() (dramBytes, pmBytes int64) {
+	for _, tr := range db.shards {
+		d, p := tr.MemoryUsage()
+		dramBytes += d
+		pmBytes += p
+	}
+	return dramBytes, pmBytes
 }
 
-// Session creates an operation handle bound to a NUMA socket.
-func (t *Tree) Session(socket int) *Session {
-	return &Session{w: t.inner.NewWorker(socket)}
-}
-
-// Thread exposes the session's PM thread (virtual clock and tag).
-func (s *Session) Thread() *pmem.Thread { return s.w.Thread() }
-
-// Put inserts or updates a fixed 8 B pair. Key must be nonzero and
-// value nonzero (zero is the paper's tombstone sentinel).
-func (s *Session) Put(key, value uint64) error { return s.w.Upsert(key, value) }
-
-// Get returns the value for key. Reads are lock-free: the session
-// traverses version-stamped nodes optimistically and retries on a
-// concurrent writer's version change, never blocking it (seqlock
-// discipline; see Counters.ReadRetries).
-func (s *Session) Get(key uint64) (uint64, bool) { return s.w.Lookup(key) }
-
-// Delete removes key (tombstone insertion; space is reclaimed when the
-// tombstone reaches the leaf).
-func (s *Session) Delete(key uint64) error { return s.w.Delete(key) }
-
-// KV is a fixed-size scan result.
-type KV = core.KV
-
-// Scan fills out with up to len(out) live entries with key ≥ start in
-// ascending order and returns the count. Like Get, Scan is lock-free:
-// each node is snapshotted optimistically and re-validated, and leaves
-// unlinked by a concurrent merge stay readable until every in-flight
-// read has finished (epoch-based reclamation).
-func (s *Session) Scan(start uint64, out []KV) int {
-	return s.w.Scan(start, len(out), out)
-}
-
-// PutVar inserts or updates a variable-size pair (requires VarKV).
-func (s *Session) PutVar(key, value []byte) error { return s.w.UpsertVar(key, value) }
-
-// GetVar returns the value for a variable-size key.
-func (s *Session) GetVar(key []byte) ([]byte, bool) { return s.w.LookupVar(key) }
-
-// DeleteVar removes a variable-size key.
-func (s *Session) DeleteVar(key []byte) error { return s.w.DeleteVar(key) }
-
-// KVBytes is a variable-size scan result.
-type KVBytes = core.KVBytes
-
-// ScanVar returns up to max live entries with key ≥ start in ascending
-// byte order.
-func (s *Session) ScanVar(start []byte, max int) []KVBytes { return s.w.ScanVar(start, max) }
-
-// PutLargeValue stores an 8 B key with an out-of-band value blob
-// through an indirection pointer (§4.4), for values larger than 8 B.
-func (s *Session) PutLargeValue(key uint64, value []byte) error {
-	return s.w.UpsertLargeValue(key, value)
-}
-
-// GetLargeValue fetches a value stored with PutLargeValue (or Put).
-func (s *Session) GetLargeValue(key uint64) ([]byte, bool) {
-	return s.w.LookupLargeValue(key)
-}
-
-// PutIndirect stores a fixed 8 B key with a pre-built indirection
-// pointer word (IsIndirect must hold). Harnesses that manage their own
-// value blobs use this to drive every index through one code path.
-func (s *Session) PutIndirect(key, pointerWord uint64) error {
-	return s.w.UpsertIndirect(key, pointerWord)
+// Close stops every shard's background garbage collection. Call it
+// before Pool.Crash (a real power failure halts every thread at once)
+// or when abandoning the DB; the DB must not be used afterwards.
+func (db *DB) Close() {
+	for _, tr := range db.shards {
+		tr.Freeze()
+	}
 }
 
 // IsIndirect reports whether a value word is an indirection pointer to

@@ -1,6 +1,10 @@
 package cclbtree
 
-import "cclbtree/internal/core"
+import (
+	"errors"
+
+	"cclbtree/internal/core"
+)
 
 // Sentinel errors returned (wrapped) by the write paths. Check with
 // errors.Is; the wrapped messages carry the operation name.
@@ -21,4 +25,18 @@ var (
 
 	// ErrClosed reports a write issued after Close.
 	ErrClosed = core.ErrClosed
+)
+
+// Sentinel errors of the serving tier (internal/server, cmd/cclserve).
+// They live here rather than in the server package so clients checking
+// errors.Is need only the public API.
+var (
+	// ErrShardClosed reports an operation routed to a shard whose
+	// commit lane has shut down (server draining or already stopped).
+	ErrShardClosed = errors.New("cclbtree: shard closed")
+
+	// ErrBackpressure reports an operation rejected because the target
+	// shard's coalescing queue is full. The client should back off and
+	// retry; open-loop load generators count these as shed load.
+	ErrBackpressure = errors.New("cclbtree: backpressure: shard queue full")
 )

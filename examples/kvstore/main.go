@@ -40,7 +40,7 @@ func main() {
 	pool := pmem.NewPool(platform())
 	cfg := cclbtree.Config{VarKV: true, ChunkBytes: 64 << 10}
 
-	var db *cclbtree.Tree
+	var db *cclbtree.DB
 	if f, err := os.Open(imageFile); err == nil {
 		// Restart path: load the persistent image and recover.
 		for s := 0; s < pool.Sockets(); s++ {

@@ -11,9 +11,9 @@ import (
 	"cclbtree/internal/pmem"
 )
 
-// Tree wraps a public cclbtree.Tree as an index.Index.
+// Tree wraps a public cclbtree.DB as an index.Index.
 type Tree struct {
-	db   *cclbtree.Tree
+	db   *cclbtree.DB
 	name string
 }
 
@@ -34,7 +34,7 @@ func Default() index.Factory { return Factory("CCL-BTree", cclbtree.Config{}) }
 
 // DB exposes the wrapped public tree (counters, GC control, recovery
 // experiments).
-func (t *Tree) DB() *cclbtree.Tree { return t.db }
+func (t *Tree) DB() *cclbtree.DB { return t.db }
 
 // Name implements index.Index.
 func (t *Tree) Name() string { return t.name }

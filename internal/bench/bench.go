@@ -186,6 +186,10 @@ type Result struct {
 	// Config.Metrics on); nil otherwise. Cumulative since index
 	// creation, so it includes the load phase.
 	Profile *obs.Profile
+	// ShardBreakdown is the per-shard commit-lane attribution when the
+	// phase ran through the serving tier (shards experiment); nil for
+	// single-tree phases.
+	ShardBreakdown []obs.ShardPhase
 }
 
 // profiled is the optional index capability the harness probes for: an

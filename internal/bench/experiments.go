@@ -42,6 +42,7 @@ func All() []Experiment {
 		{"ycsbb", "extra: YCSB-B contention/heat/segment profile (CI perf gate)", YCSBB},
 		{"ycsbc", "extra: YCSB-C read-only scaling, lock-free vs locked reads (CI perf gate)", YCSBC},
 		{"batch", "extra: Session.Apply group commit vs per-op writes", BatchExp},
+		{"shards", "extra: serving-tier shard scaling, 1..8 commit lanes", ShardsExp},
 		{"ablation-cache", "extra: buffer-node read caching by Nbatch", AblationCache},
 		{"ablation-gc", "extra: GC strategy media traffic", AblationGC},
 		{"extension-hash", "extra: §6 techniques applied to a hash table", ExtensionHash},

@@ -84,6 +84,7 @@ func recordPhase(idxName string, spec Spec, res *Result) {
 		ScopeMediaBytes: s.ScopeMediaBytes(),
 		TagMediaBytes:   s.TagMediaBytes(),
 
-		Profile: res.Profile,
+		Profile:        res.Profile,
+		ShardBreakdown: res.ShardBreakdown,
 	})
 }

@@ -1,0 +1,47 @@
+package bench
+
+import "testing"
+
+// TestShardScaling is the acceptance gate for the sharded serving
+// tier: on a clustered-insert load through the server's commit lanes,
+// 8 shards must deliver at least 3× the aggregate throughput of 1
+// shard (ops over the slowest lane's virtual busy time), and every
+// shard must show up in the per-shard attribution.
+func TestShardScaling(t *testing.T) {
+	s := Scale{Warm: 1, Ops: 24_000, MainThreads: 16, Seed: 1}
+
+	one, _, err := runShardedInsert(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, _, err := runShardedInsert(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.ElapsedNS <= 0 || eight.ElapsedNS <= 0 {
+		t.Fatalf("lane virtual time not accounted: 1-shard %d ns, 8-shard %d ns",
+			one.ElapsedNS, eight.ElapsedNS)
+	}
+	speedup := eight.Mops() / one.Mops()
+	if speedup < 3 {
+		t.Fatalf("8 shards gave %.2fx over 1 shard (%.2f vs %.2f Mop/s), want >= 3x",
+			speedup, eight.Mops(), one.Mops())
+	}
+
+	if len(eight.ShardBreakdown) != 8 {
+		t.Fatalf("shard breakdown has %d entries, want 8", len(eight.ShardBreakdown))
+	}
+	var ops uint64
+	for _, sp := range eight.ShardBreakdown {
+		if sp.Ops == 0 || sp.VirtualNS == 0 {
+			t.Fatalf("shard %d missing attribution: %+v", sp.Shard, sp)
+		}
+		if sp.Upserts == 0 {
+			t.Fatalf("shard %d tree counters not attributed: %+v", sp.Shard, sp)
+		}
+		ops += sp.Ops
+	}
+	if ops != uint64(eight.Ops) {
+		t.Fatalf("lane ops sum to %d, measured %d", ops, eight.Ops)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"cclbtree/internal/pmem"
+)
+
+// arenaOpts places shard i of count on socket i%2 with a small chunk
+// size (the test pools are 32 MB).
+func arenaOpts(i, count int) Options {
+	return Options{
+		ChunkBytes: 16 << 10,
+		HomeSocket: i % 2,
+		ArenaIndex: i,
+		ArenaCount: count,
+	}
+}
+
+func TestArenaTreesIndependent(t *testing.T) {
+	// Several arena-pinned trees on one pool behave like independent
+	// stores: keys written to one never appear in another, and their
+	// allocations never collide.
+	pool := newTestPool(nil)
+	const shards = 4
+	trees := make([]*Tree, shards)
+	workers := make([]*Worker, shards)
+	for i := range trees {
+		tr, err := New(pool, arenaOpts(i, shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees[i] = tr
+		workers[i] = tr.NewWorker(tr.Options().HomeSocket)
+	}
+	const n = 2000
+	for i, w := range workers {
+		for k := uint64(1); k <= n; k++ {
+			if err := w.Upsert(k, k*10+uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, w := range workers {
+		for k := uint64(1); k <= n; k++ {
+			v, ok := w.Lookup(k)
+			if !ok || v != k*10+uint64(i) {
+				t.Fatalf("shard %d: Lookup(%d) = %d,%v", i, k, v, ok)
+			}
+		}
+	}
+}
+
+func TestArenaTreesCrashRecoverIndependently(t *testing.T) {
+	// A whole-pool crash must be recoverable per arena: each shard's
+	// recovery walks only its own superblock, leaf list and chunks, and
+	// replays only its own WAL entries.
+	pool := newTestPool(nil)
+	const shards = 4
+	trees := make([]*Tree, shards)
+	for i := range trees {
+		tr, err := New(pool, arenaOpts(i, shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees[i] = tr
+	}
+	// Odd count: with the default Nbatch=2 the final op stays buffered
+	// (logged, unflushed), so every shard's recovery must replay at
+	// least one WAL entry.
+	const n = 3001
+	for i, tr := range trees {
+		w := tr.NewWorker(tr.Options().HomeSocket)
+		for k := uint64(1); k <= n; k++ {
+			if err := w.Upsert(k, k*7+uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, tr := range trees {
+		tr.Freeze()
+	}
+	pool.Crash()
+
+	if cnt, err := ProbeArenaCount(pool); err != nil || cnt != shards {
+		t.Fatalf("ProbeArenaCount = %d, %v; want %d", cnt, err, shards)
+	}
+	for i := 0; i < shards; i++ {
+		tr, st, err := Open(pool, arenaOpts(i, shards), 2)
+		if err != nil {
+			t.Fatalf("shard %d recovery: %v", i, err)
+		}
+		if st.EntriesReplayed == 0 {
+			t.Fatalf("shard %d: no WAL entries replayed; buffering was not exercised", i)
+		}
+		w := tr.NewWorker(tr.Options().HomeSocket)
+		for k := uint64(1); k <= n; k++ {
+			v, ok := w.Lookup(k)
+			if !ok || v != k*7+uint64(i) {
+				t.Fatalf("shard %d lost key %d after crash: %d,%v", i, k, v, ok)
+			}
+		}
+		trees[i] = tr
+	}
+	// Recovered shards keep working — and stay disjoint.
+	for i, tr := range trees {
+		w := tr.NewWorker(tr.Options().HomeSocket)
+		if err := w.Upsert(n+1, uint64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, tr := range trees {
+		w := tr.NewWorker(tr.Options().HomeSocket)
+		if v, ok := w.Lookup(n + 1); !ok || v != uint64(i)+1 {
+			t.Fatalf("shard %d: post-recovery write lost: %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestArenaPlacementMismatchRejected(t *testing.T) {
+	// A pool carved into N arenas opened with the wrong placement must
+	// fail loudly, not silently recover a slice of the data. Arena 0 of
+	// any count starts at offset 0, so without the superblock placement
+	// check an 8-shard pool opened as a single tree would "succeed" with
+	// one eighth of the keys.
+	pool := newTestPool(nil)
+	tr, err := New(pool, arenaOpts(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tr.NewWorker(0)
+	for k := uint64(1); k <= 100; k++ {
+		if err := w.Upsert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Freeze()
+	pool.Crash()
+	if _, _, err := Open(pool, Options{ChunkBytes: 16 << 10}, 1); err == nil {
+		t.Fatal("whole-device Open of a 4-arena pool succeeded")
+	}
+	if _, _, err := Open(pool, arenaOpts(0, 2), 1); err == nil {
+		t.Fatal("arena 0/2 Open of a 4-arena pool succeeded")
+	}
+	if _, _, err := Open(pool, arenaOpts(0, 4), 1); err != nil {
+		t.Fatalf("correct placement rejected: %v", err)
+	}
+}
+
+func TestArenaOptionsValidated(t *testing.T) {
+	pool := newTestPool(nil)
+	if _, err := New(pool, Options{ArenaIndex: 3, ArenaCount: 2}); err == nil {
+		t.Fatal("arena 3 of 2 accepted")
+	}
+	if _, err := New(pool, Options{ArenaIndex: -1, ArenaCount: 2}); err == nil {
+		t.Fatal("negative arena index accepted")
+	}
+	if _, err := New(pool, Options{HomeSocket: 99}); err == nil {
+		t.Fatal("home socket beyond the pool accepted")
+	}
+	if _, err := New(pool, Options{HomeSocket: -1}); err == nil {
+		t.Fatal("negative home socket accepted")
+	}
+}
+
+func TestProbeArenaCountEmptyPool(t *testing.T) {
+	pool := pmem.NewPool(pmem.Config{Sockets: 1, DeviceBytes: 1 << 20, StrictPersist: true})
+	if _, err := ProbeArenaCount(pool); err == nil {
+		t.Fatal("probe of an empty pool succeeded")
+	}
+}
+
+func TestArenaHomeSocketPlacement(t *testing.T) {
+	// The pinning contract: a shard homed on socket 1 puts its head
+	// leaf (and everything else) there.
+	pool := newTestPool(nil)
+	tr, err := New(pool, arenaOpts(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.head.leaf.Socket(); got != 1 {
+		t.Fatalf("head leaf on socket %d, want 1", got)
+	}
+}

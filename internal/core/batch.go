@@ -137,6 +137,20 @@ func (w *Worker) ApplyBatch(ops []BatchOp) error {
 	return nil
 }
 
+// ValidateBatch runs ApplyBatch's pre-flight validation without any
+// side effect. The sharded DB frontend uses it to reject a malformed
+// multi-shard batch atomically: every shard's slice is validated before
+// any shard's group commit starts, preserving the single-tree contract
+// that a rejected batch leaves the store untouched.
+func (w *Worker) ValidateBatch(ops []BatchOp) error {
+	for i := range ops {
+		if err := w.validateBatchOp(&ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // validateBatchOp rejects malformed ops before ApplyBatch has any side
 // effect.
 func (w *Worker) validateBatchOp(op *BatchOp) error {

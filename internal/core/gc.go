@@ -103,7 +103,7 @@ func (tr *Tree) WaitGC() {
 // registers like any worker so its I-logs are reclaimed in later
 // rounds).
 func (tr *Tree) gcWorker() *Worker {
-	tr.gcOnce.Do(func() { tr.gcW = tr.NewWorker(0) })
+	tr.gcOnce.Do(func() { tr.gcW = tr.NewWorker(tr.opts.HomeSocket) })
 	return tr.gcW
 }
 

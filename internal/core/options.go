@@ -107,6 +107,21 @@ type Options struct {
 	// oracle's read checks catch real violations. Never set it outside
 	// oracle self-tests.
 	UnsafeSkipReadRecheck bool
+	// HomeSocket is the NUMA socket the tree is pinned to: its
+	// superblock, chunk directory, head leaf, GC worker and recovery
+	// threads all live there (default 0, today's layout). The sharded DB
+	// frontend assigns shard trees round-robin across sockets so each
+	// shard's metadata and background traffic stay NUMA-local.
+	HomeSocket int
+	// ArenaIndex/ArenaCount place the tree in one of ArenaCount equal
+	// per-socket PM arenas (see pmalloc.NewArena), so several trees —
+	// the shards of one DB — can share a pool and still recover
+	// independently after a whole-pool crash. The zero value (arena 0 of
+	// 1) is the classic whole-device layout. The superblock records the
+	// placement; Open rejects a mismatch rather than silently reading
+	// another arena's (or the whole device's) superblock.
+	ArenaIndex int
+	ArenaCount int
 }
 
 const (
@@ -138,8 +153,24 @@ func (o Options) withDefaults() (Options, error) {
 	if o.DirSlots == 0 {
 		o.DirSlots = defaultDirSlots
 	}
+	if o.ArenaCount == 0 {
+		o.ArenaCount = 1
+	}
+	if o.ArenaCount < 1 || o.ArenaIndex < 0 || o.ArenaIndex >= o.ArenaCount {
+		return o, fmt.Errorf("core: arena %d of %d impossible", o.ArenaIndex, o.ArenaCount)
+	}
+	if o.ArenaCount > maxArenaFlag || o.ArenaIndex > maxArenaFlag {
+		return o, fmt.Errorf("core: arena %d of %d exceeds the superblock's 16-bit placement fields", o.ArenaIndex, o.ArenaCount)
+	}
+	if o.HomeSocket < 0 {
+		return o, fmt.Errorf("core: home socket %d negative", o.HomeSocket)
+	}
 	return o, nil
 }
+
+// maxArenaFlag bounds the arena placement encoded in the superblock's
+// flags word (16 bits each for index and count).
+const maxArenaFlag = 0xffff
 
 // maxNbatch bounds the buffer node's slot count so the packed header
 // (position counter + per-slot epoch bits) fits comfortably; the paper

@@ -50,22 +50,43 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	if threads < 1 {
 		threads = 1
 	}
-	t0 := pool.NewThread(0)
+	// Defaulting resolves the arena placement before the superblock is
+	// located: the superblock lives at the arena's base on the home
+	// socket, so a wrong placement finds no magic rather than another
+	// tree's state.
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.HomeSocket >= pool.Sockets() {
+		return nil, nil, fmt.Errorf("core: home socket %d out of range (pool has %d)", opts.HomeSocket, pool.Sockets())
+	}
+	home := opts.HomeSocket
+	alloc, err := pmalloc.NewArena(pool, opts.ArenaIndex, opts.ArenaCount)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	t0 := pool.NewThread(home)
 	//persistlint:ignore PL012 t0 is recovery-dedicated; the scope holds until the thread is dropped at the end of Open
 	t0.PushScope(pmem.ScopeRecovery)
 
 	// Superblock.
-	sb := pmem.MakeAddr(0, sbOffset)
+	sb := pmem.MakeAddr(home, alloc.BaseOffset()+sbOffset)
 	var sbw [sbWords]uint64
 	t0.ReadRange(sb, sbw[:])
 	if sbw[0] != sbMagic {
-		return nil, nil, fmt.Errorf("core: no tree found in pool (bad superblock magic %#x)", sbw[0])
+		return nil, nil, fmt.Errorf("core: no tree found in pool (bad superblock magic %#x at arena %d/%d, socket %d)",
+			sbw[0], opts.ArenaIndex, opts.ArenaCount, home)
 	}
 	headLeaf := pmem.Addr(sbw[1])
 	dirAddr := pmem.Addr(sbw[2])
 	dirSlots := int(sbw[3])
 	chunkBytes := int(sbw[4])
 	varKV := sbw[5]&1 != 0
+	if idx, cnt := sbArena(sbw[5]); idx != opts.ArenaIndex || cnt != opts.ArenaCount {
+		return nil, nil, fmt.Errorf("core: tree was created as arena %d of %d, opened as %d of %d",
+			idx, cnt, opts.ArenaIndex, opts.ArenaCount)
+	}
 
 	// Everything below the magic word is untrusted until validated: a
 	// torn or corrupted image must surface as *CorruptError, never as an
@@ -89,14 +110,10 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	opts.ChunkBytes = chunkBytes
 	opts.VarKV = varKV
 	opts.DirSlots = dirSlots
-	opts, err := opts.withDefaults()
-	if err != nil {
-		return nil, nil, err
-	}
 
 	tr := &Tree{
 		pool:   pool,
-		alloc:  pmalloc.New(pool),
+		alloc:  alloc,
 		clock:  ordo.New(pool.Sockets(), opts.OrdoBoundary),
 		opts:   opts,
 		gcDone: make(chan struct{}),
@@ -274,9 +291,18 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	// vs stale by comparing with the pre-crash leaf timestamps
 	// (parallel over entries). No writes happen here, so the timestamp
 	// comparisons are stable even though later replay may split leaves.
+	// A pinned shard keeps even its recovery threads on the home socket
+	// (the whole point of the placement); a whole-device tree spreads
+	// them across sockets as before.
+	recoverySocket := func(i int) int {
+		if opts.ArenaCount > 1 {
+			return home
+		}
+		return i % pool.Sockets()
+	}
 	scanThreads := make([]*pmem.Thread, threads)
 	for i := range scanThreads {
-		scanThreads[i] = pool.NewThread(i % pool.Sockets())
+		scanThreads[i] = pool.NewThread(recoverySocket(i))
 		scanThreads[i].PushScope(pmem.ScopeRecovery)
 	}
 	entryLists := make([][]wal.Entry, threads)
@@ -388,7 +414,7 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	// splits during replay stay correct).
 	workers := make([]*Worker, threads)
 	for i := range workers {
-		workers[i] = tr.NewWorker(i % pool.Sockets())
+		workers[i] = tr.NewWorker(recoverySocket(i))
 		// Replay traffic (leaf flushes, splits, log re-appends) is
 		// recovery-caused; wal.Append still claims its own bytes.
 		//persistlint:ignore PL012 replay workers live only for phase 3; their threads die scoped
@@ -417,7 +443,7 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 
 	// Logs are now redundant: every surviving entry is durable in a
 	// leaf. Rebuild the directory empty and recycle the chunk space.
-	tr.dir = newChunkDir(pool.NewThread(0), dirAddr, dirSlots)
+	tr.dir = newChunkDir(pool.NewThread(home), dirAddr, dirSlots)
 	tr.dir.prof = tr.prof
 	tr.dir.clearAll()
 	tr.walman.OnAcquire = tr.dir.register
@@ -443,6 +469,26 @@ func Open(pool *pmem.Pool, opts Options, threads int) (*Tree, *RecoveryStats, er
 	tr.tracer.Emit(obs.EvRecovery, 0, st.VirtualNS,
 		uint64(st.EntriesReplayed), uint64(st.EntriesStale))
 	return tr, st, nil
+}
+
+// ProbeArenaCount reports how many arenas the pool was carved into when
+// its trees were created, by reading the placement recorded in the
+// shard-0 superblock (arena 0 starts at offset 0 for every count, and
+// shard 0 is always homed on socket 0, so that superblock is at a fixed
+// location regardless of the carving). It lets the DB frontend
+// auto-detect the shard count on Open instead of requiring the caller
+// to remember it. Returns an error if the pool holds no tree at all.
+func ProbeArenaCount(pool *pmem.Pool) (int, error) {
+	t := pool.NewThread(0)
+	//persistlint:ignore PL012 probe thread is dropped at return; nothing to pop for
+	t.PushScope(pmem.ScopeRecovery)
+	var sbw [sbWords]uint64
+	t.ReadRange(pmem.MakeAddr(0, sbOffset), sbw[:])
+	if sbw[0] != sbMagic {
+		return 0, fmt.Errorf("core: no tree found in pool (bad superblock magic %#x)", sbw[0])
+	}
+	_, count := sbArena(sbw[5])
+	return count, nil
 }
 
 // replayApply routes one recovered KV to its leaf and applies it with

@@ -12,20 +12,50 @@ import (
 	"cclbtree/internal/wal"
 )
 
-// superblock layout, at a fixed PM location so recovery can bootstrap
-// without any volatile state:
+// superblock layout, at a fixed PM location — arena base + 256 on the
+// tree's home socket — so recovery can bootstrap without any volatile
+// state:
 //
 //	word 0  magic
 //	word 1  head leaf address
 //	word 2  chunk directory address
 //	word 3  chunk directory slot count
 //	word 4  WAL chunk bytes
-//	word 5  flags (bit 0: VarKV)
+//	word 5  flags (bit 0: VarKV; bits 8-23: arena count, 0 meaning 1;
+//	        bits 24-39: arena index)
+//
+// The arena placement is part of the superblock because arena 0 of any
+// count starts at offset 0: without it, opening an 8-shard pool as a
+// single tree would find shard 0's magic and silently recover one
+// eighth of the data.
 const (
 	sbOffset = 256
 	sbMagic  = 0xcc1b7ee0_2024_0001
 	sbWords  = 6
 )
+
+// sbFlags packs the VarKV bit and the arena placement into the
+// superblock flags word.
+func sbFlags(o Options) uint64 {
+	var flags uint64
+	if o.VarKV {
+		flags |= 1
+	}
+	flags |= uint64(o.ArenaCount) << 8
+	flags |= uint64(o.ArenaIndex) << 24
+	return flags
+}
+
+// sbArena unpacks the placement (count 0 from pre-arena images reads
+// as 1).
+func sbArena(flags uint64) (index, count int) {
+	index = int(flags >> 24 & maxArenaFlag)
+	count = int(flags >> 8 & maxArenaFlag)
+	if count == 0 {
+		count = 1
+	}
+	return index, count
+}
 
 // Tree is a CCL-BTree over a PM pool. Operations go through per-
 // goroutine Workers (NewWorker), mirroring the paper's per-thread WAL
@@ -167,15 +197,52 @@ func (tr *Tree) Counters() Counters {
 	}
 }
 
-// New creates an empty CCL-BTree on the pool.
+// Add returns the field-wise sum of two snapshots. The sharded DB
+// frontend aggregates per-shard counters with it; Retries-style gauges
+// sum like everything else (they are monotone event counts).
+func (c Counters) Add(o Counters) Counters {
+	c.Upserts += o.Upserts
+	c.Deletes += o.Deletes
+	c.Lookups += o.Lookups
+	c.Scans += o.Scans
+	c.BufferHits += o.BufferHits
+	c.TriggerWrites += o.TriggerWrites
+	c.LoggedWrites += o.LoggedWrites
+	c.SkippedLogs += o.SkippedLogs
+	c.Splits += o.Splits
+	c.Merges += o.Merges
+	c.GCRuns += o.GCRuns
+	c.GCCopiedEntries += o.GCCopiedEntries
+	c.GCSkipped += o.GCSkipped
+	c.Retries += o.Retries
+	c.ReadRetries += o.ReadRetries
+	c.EpochRetires += o.EpochRetires
+	c.EpochReclaims += o.EpochReclaims
+	c.BatchApplies += o.BatchApplies
+	c.BatchedOps += o.BatchedOps
+	c.BatchRelogs += o.BatchRelogs
+	return c
+}
+
+// New creates an empty CCL-BTree on the pool, homed on
+// Options.HomeSocket and placed in its PM arena (whole device by
+// default).
 func New(pool *pmem.Pool, opts Options) (*Tree, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	if opts.HomeSocket >= pool.Sockets() {
+		return nil, fmt.Errorf("core: home socket %d out of range (pool has %d)", opts.HomeSocket, pool.Sockets())
+	}
+	home := opts.HomeSocket
+	alloc, err := pmalloc.NewArena(pool, opts.ArenaIndex, opts.ArenaCount)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	tr := &Tree{
 		pool:   pool,
-		alloc:  pmalloc.New(pool),
+		alloc:  alloc,
 		clock:  ordo.New(pool.Sockets(), opts.OrdoBoundary),
 		opts:   opts,
 		gcDone: make(chan struct{}),
@@ -187,7 +254,7 @@ func New(pool *pmem.Pool, opts Options) (*Tree, error) {
 	tr.initObs()
 	tr.inner.prof = tr.prof
 
-	t := pool.NewThread(0)
+	t := pool.NewThread(home)
 	prev := t.SetTag(pmem.TagMeta)
 	defer t.SetTag(prev)
 	prevScope := t.PushScope(pmem.ScopeMeta)
@@ -197,11 +264,11 @@ func New(pool *pmem.Pool, opts Options) (*Tree, error) {
 	// for life: register/unregister fire from whatever operation
 	// acquires or releases a chunk, and directory writes are metadata
 	// regardless of the trigger.
-	dirAddr, err := tr.alloc.Alloc(0, opts.DirSlots*pmem.WordSize)
+	dirAddr, err := tr.alloc.Alloc(home, opts.DirSlots*pmem.WordSize)
 	if err != nil {
 		return nil, fmt.Errorf("core: allocate chunk directory: %w", err)
 	}
-	dirThread := pool.NewThread(0)
+	dirThread := pool.NewThread(home)
 	//persistlint:ignore PL012 dirThread serves the chunk directory for the tree's lifetime; all its work is ScopeMeta
 	dirThread.PushScope(pmem.ScopeMeta)
 	tr.dir = newChunkDir(dirThread, dirAddr, opts.DirSlots)
@@ -211,7 +278,7 @@ func New(pool *pmem.Pool, opts Options) (*Tree, error) {
 	tr.walman.OnRelease = tr.dir.unregister
 
 	// Head leaf: an empty 256 B leaf anchoring the linked list.
-	headLeaf, err := tr.newLeaf(t, 0)
+	headLeaf, err := tr.newLeaf(t, home)
 	if err != nil {
 		return nil, err
 	}
@@ -221,16 +288,18 @@ func New(pool *pmem.Pool, opts Options) (*Tree, error) {
 	tr.inner.put(t, 0, tr.head)
 
 	// Superblock.
-	sb := pmem.MakeAddr(0, sbOffset)
-	var flags uint64
-	if opts.VarKV {
-		flags |= 1
-	}
-	for i, w := range []uint64{sbMagic, uint64(headLeaf), uint64(dirAddr), uint64(opts.DirSlots), uint64(opts.ChunkBytes), flags} {
+	sb := tr.sbAddr()
+	for i, w := range []uint64{sbMagic, uint64(headLeaf), uint64(dirAddr), uint64(opts.DirSlots), uint64(opts.ChunkBytes), sbFlags(opts)} {
 		t.Store(sb.Add(int64(8*i)), w)
 	}
 	t.Persist(sb, sbWords*pmem.WordSize)
 	return tr, nil
+}
+
+// sbAddr is the tree's superblock location: arena base + sbOffset on
+// the home socket.
+func (tr *Tree) sbAddr() pmem.Addr {
+	return pmem.MakeAddr(tr.opts.HomeSocket, tr.alloc.BaseOffset()+sbOffset)
 }
 
 // Pool returns the PM pool the tree lives on.

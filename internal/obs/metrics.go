@@ -261,6 +261,32 @@ func (m *Metrics) Snapshot() *Snapshot {
 	return s
 }
 
+// Merge folds o into s: counters sum, histograms merge bucket-wise
+// (exact, same layout). The sharded DB frontend uses it to aggregate
+// per-shard latency snapshots into one DB-wide view.
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]uint64{}
+	}
+	if s.Hists == nil {
+		s.Hists = map[string]*HistSnapshot{}
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, h := range o.Hists {
+		if mine := s.Hists[name]; mine != nil {
+			mine.Merge(h)
+			continue
+		}
+		cp := *h
+		s.Hists[name] = &cp
+	}
+}
+
 // CounterNames returns the registered counter names, sorted.
 func (m *Metrics) CounterNames() []string {
 	m.mu.Lock()

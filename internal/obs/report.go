@@ -36,6 +36,26 @@ type PhaseRecord struct {
 	// the index under test exposes one (cumulative since the index was
 	// created, not a per-phase delta — phases share one tree).
 	Profile *Profile `json:"profile,omitempty"`
+
+	// ShardBreakdown attributes a sharded phase to its shards: one
+	// entry per commit lane when the phase ran through the serving
+	// tier, absent for single-tree phases.
+	ShardBreakdown []ShardPhase `json:"shards,omitempty"`
+}
+
+// ShardPhase is one shard's slice of a sharded phase: the commit-lane
+// attribution the serving tier reports per shard.
+type ShardPhase struct {
+	Shard      int     `json:"shard"`
+	HomeSocket int     `json:"home_socket"`
+	Ops        uint64  `json:"ops"`
+	Batches    uint64  `json:"batches"`
+	AvgBatch   float64 `json:"avg_batch"`
+	// VirtualNS is the shard's commit lane busy time in the device
+	// model during the phase.
+	VirtualNS int64 `json:"virtual_ns"`
+	// Upserts is the shard tree's write count for the phase.
+	Upserts uint64 `json:"upserts"`
 }
 
 // BenchReport is the machine-readable record one experiment emits:

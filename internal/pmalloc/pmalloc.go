@@ -19,23 +19,30 @@ import (
 	"cclbtree/internal/pmem"
 )
 
-// reserveBytes keeps the low addresses of every device unallocated so
-// offset 0 can serve as the nil pointer and small offsets can hold
-// superblock-style metadata in examples.
+// reserveBytes keeps the low addresses of every arena unallocated so
+// offset 0 can serve as the nil pointer and the first offsets of each
+// arena can hold superblock-style metadata (core's superblock lives at
+// arena base + 256).
 const reserveBytes = 4096
 
 // carveBytes is how much a size class grabs from the bump region at a
 // time, amortizing the lock.
 const carveBytes = 64 << 10
 
-// Allocator hands out PM blocks from per-socket arenas.
+// Allocator hands out PM blocks from per-socket arenas. An Allocator
+// covers either the whole device (New) or one of count equal slices of
+// it (NewArena); allocators over disjoint arenas never hand out
+// overlapping regions, which is what lets several independently
+// recovered trees — the sharded DB frontend — share one pool.
 type Allocator struct {
 	pool    *pmem.Pool
+	base    uint64 // arena start offset, identical on every socket
 	sockets []socketArena
 }
 
 type socketArena struct {
 	mu     sync.Mutex
+	base   uint64 // arena start offset on this socket
 	next   uint64 // bump pointer
 	limit  uint64
 	free   map[int][]pmem.Addr // size class -> free addresses
@@ -43,26 +50,66 @@ type socketArena struct {
 	wasted int64 // rounding loss
 }
 
-// New returns the pool's allocator, creating it on first use. Every
-// caller allocating on the same pool shares one allocator (bump
-// pointers and free lists), so independently constructed components —
-// an index, its WAL manager, a benchmark's blob arena — can never hand
-// out overlapping PM regions.
+// New returns the pool's whole-device allocator, creating it on first
+// use. Every caller allocating on the same pool shares one allocator
+// (bump pointers and free lists), so independently constructed
+// components — an index, its WAL manager, a benchmark's blob arena —
+// can never hand out overlapping PM regions.
 func New(pool *pmem.Pool) *Allocator {
-	return pool.Aux("pmalloc", func() any { return newAllocator(pool) }).(*Allocator)
+	a, err := NewArena(pool, 0, 1)
+	if err != nil {
+		// Unreachable: arena 0 of 1 spans the device and the device is
+		// never smaller than one arena's reserve.
+		panic(err)
+	}
+	return a
 }
 
-func newAllocator(pool *pmem.Pool) *Allocator {
-	a := &Allocator{pool: pool, sockets: make([]socketArena, pool.Sockets())}
+// NewArena returns the allocator for slice index of count equal
+// per-socket slices of the pool, creating it on first use. Like New,
+// the allocator for a given (index, count) is a pool-scoped singleton.
+// Each arena reserves its own low reserveBytes for superblock-style
+// metadata, so components placed in different arenas recover
+// independently: one arena's bump-pointer rebuild can never allocate
+// over another arena's still-unscanned live data.
+//
+// Arenas of different counts overlap (slice 0 of 2 covers slices 0 and
+// 1 of 4); a pool must be carved with one count for its lifetime.
+func NewArena(pool *pmem.Pool, index, count int) (*Allocator, error) {
+	if count < 1 || index < 0 || index >= count {
+		return nil, fmt.Errorf("pmalloc: arena %d of %d impossible", index, count)
+	}
+	span := (uint64(pool.DeviceBytes()) / uint64(count)) &^ (pmem.XPLineSize - 1)
+	if span < 4*reserveBytes {
+		return nil, fmt.Errorf("pmalloc: %d arenas of a %d-byte device leave only %d bytes each",
+			count, pool.DeviceBytes(), span)
+	}
+	key := "pmalloc"
+	if count > 1 {
+		key = fmt.Sprintf("pmalloc@%d/%d", index, count)
+	}
+	return pool.Aux(key, func() any {
+		return newAllocator(pool, uint64(index)*span, uint64(index)*span+span)
+	}).(*Allocator), nil
+}
+
+func newAllocator(pool *pmem.Pool, base, limit uint64) *Allocator {
+	a := &Allocator{pool: pool, base: base, sockets: make([]socketArena, pool.Sockets())}
 	for i := range a.sockets {
 		a.sockets[i] = socketArena{
-			next:  reserveBytes,
-			limit: uint64(pool.DeviceBytes()),
+			base:  base,
+			next:  base + reserveBytes,
+			limit: limit,
 			free:  map[int][]pmem.Addr{},
 		}
 	}
 	return a
 }
+
+// BaseOffset returns the arena's start offset (identical on every
+// socket): 0 for the whole-device allocator, index*span for an arena.
+// The first reserveBytes past it are never allocated.
+func (a *Allocator) BaseOffset() uint64 { return a.base }
 
 // roundSize aligns a request to the XPLine-friendly granularity: small
 // objects to 64 B multiples, anything ≥256 B to 256 B multiples so
@@ -182,8 +229,8 @@ func (a *Allocator) SetBump(socket int, off uint64) {
 	s := &a.sockets[socket]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if off < reserveBytes {
-		off = reserveBytes
+	if off < s.base+reserveBytes {
+		off = s.base + reserveBytes
 	}
 	if off > s.next {
 		s.inUse += int64(off - s.next)
@@ -197,5 +244,5 @@ func (a *Allocator) HighWaterBytes(socket int) int64 {
 	s := &a.sockets[socket]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return int64(s.next - reserveBytes)
+	return int64(s.next - s.base - reserveBytes)
 }

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cclbtree"
+)
+
+// Workload shapes one load-generator run against a Server.
+type Workload struct {
+	// Clients is the number of concurrent client goroutines
+	// (default 8). Clients model very high concurrency cheaply: each
+	// one is a goroutine issuing blocking (closed-loop) or shedding
+	// (open-loop) requests.
+	Clients int
+	// Ops is the total operation budget across clients (default
+	// 10000).
+	Ops int
+	// ReadFrac is the fraction of ops issued as Gets (default 0,
+	// pure insert). Reads target keys the client already wrote and
+	// verify the value round-trips.
+	ReadFrac float64
+	// Clustered selects per-client contiguous key blocks (the
+	// locality-friendly bulk-ingest shape the paper's batching
+	// rewards); false scrambles keys uniformly.
+	Clustered bool
+	// OpenLoop switches writes to TryPut: a full shard queue sheds
+	// the op (counted, not retried) instead of blocking the client.
+	OpenLoop bool
+	// KeyBase offsets the key space so successive runs don't collide.
+	KeyBase uint64
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.Clients == 0 {
+		w.Clients = 8
+	}
+	if w.Ops == 0 {
+		w.Ops = 10000
+	}
+	if w.KeyBase == 0 {
+		w.KeyBase = 1 << 32
+	}
+	return w
+}
+
+// LoadResult summarizes one load-generator run.
+type LoadResult struct {
+	Writes  uint64 `json:"writes"`
+	Reads   uint64 `json:"reads"`
+	Shed    uint64 `json:"shed"`    // open-loop ops dropped on backpressure
+	Misread uint64 `json:"misread"` // self-verification failures (must be 0)
+	// WriteVirtualNS is the slowest commit lane's busy-time advance
+	// during the run: the virtual elapsed time of the write load.
+	WriteVirtualNS int64 `json:"write_virtual_ns"`
+	// WriteMops is committed write throughput over WriteVirtualNS.
+	WriteMops float64 `json:"write_mops"`
+	// AvgBatch is the mean ops per group commit across lanes.
+	AvgBatch float64 `json:"avg_batch"`
+}
+
+// scramble is the key mix for the non-clustered shape; any fixed
+// bijection works, reuse the DB routing mix's structure.
+func scramble(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// valueFor makes runs self-verifying: every written value is derived
+// from its key, so any read can check the pair without shared state.
+func valueFor(key uint64) uint64 { return key ^ 0x5bd1e995 }
+
+// RunLoad drives a Server with w and reports what happened. The run
+// is bounded (exactly w.Ops issued, minus shed) and self-verifying:
+// each client rereads its own writes per ReadFrac and counts
+// mismatches in Misread.
+func RunLoad(s *Server, w Workload) (*LoadResult, error) {
+	w = w.withDefaults()
+	before := s.Stats()
+	res := &LoadResult{}
+	perClient := w.Ops / w.Clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	var writes, reads, shed, misread atomic.Uint64
+	errs := make([]error, w.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < w.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := w.KeyBase + uint64(c)*uint64(perClient)
+			written := make([]uint64, 0, perClient)
+			// Every ~1/ReadFrac ops, reread a key this client wrote.
+			readEvery := 0
+			if w.ReadFrac > 0 {
+				readEvery = int(1 / w.ReadFrac)
+			}
+			for i := 0; i < perClient; i++ {
+				if readEvery > 0 && len(written) > 0 && i%readEvery == 0 {
+					key := written[i%len(written)]
+					v, ok, err := s.Get(key)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					if !ok || v != valueFor(key) {
+						misread.Add(1)
+					}
+					reads.Add(1)
+					continue
+				}
+				key := base + uint64(i)
+				if !w.Clustered {
+					key = w.KeyBase | scramble(base+uint64(i))>>16
+				}
+				var err error
+				if w.OpenLoop {
+					err = s.TryPut(key, valueFor(key))
+					if errors.Is(err, cclbtree.ErrBackpressure) {
+						shed.Add(1)
+						continue
+					}
+				} else {
+					err = s.Put(key, valueFor(key))
+				}
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				writes.Add(1)
+				written = append(written, key)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("server: loadgen: %w", err)
+		}
+	}
+	after := s.Stats()
+	res.Writes = writes.Load()
+	res.Reads = reads.Load()
+	res.Shed = shed.Load()
+	res.Misread = misread.Load()
+	var ops, batches uint64
+	for i := range after.Lanes {
+		d := after.Lanes[i].VirtualNS - before.Lanes[i].VirtualNS
+		if d > res.WriteVirtualNS {
+			res.WriteVirtualNS = d
+		}
+		ops += after.Lanes[i].Ops - before.Lanes[i].Ops
+		batches += after.Lanes[i].Batches - before.Lanes[i].Batches
+	}
+	if batches > 0 {
+		res.AvgBatch = float64(ops) / float64(batches)
+	}
+	if res.WriteVirtualNS > 0 {
+		res.WriteMops = float64(res.Writes) / float64(res.WriteVirtualNS) * 1e3
+	}
+	return res, nil
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"errors"
+
+	"sync"
+	"testing"
+
+	"cclbtree"
+	"cclbtree/internal/pmem"
+)
+
+func newTestServer(t *testing.T, shards int, mut func(*Config)) (*Server, *cclbtree.DB) {
+	t.Helper()
+	db, err := cclbtree.New(cclbtree.Config{
+		Shards:     shards,
+		ChunkBytes: 16 << 10,
+		Platform:   pmem.Config{Sockets: 2, DIMMsPerSocket: 2, DeviceBytes: 64 << 20, StrictPersist: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{DB: db}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); db.Close() })
+	return srv, db
+}
+
+func TestServerPutGetRoundtrip(t *testing.T) {
+	srv, _ := newTestServer(t, 4, nil)
+	const n = 2000
+	for k := uint64(1); k <= n; k++ {
+		if err := srv.Put(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(1); k <= n; k++ {
+		v, ok, err := srv.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || v != k*3 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if err := srv.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := srv.Get(5); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestServerCoalescesConcurrentClients(t *testing.T) {
+	srv, _ := newTestServer(t, 2, nil)
+	const clients, perClient = 32, 200
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := uint64(1+c) << 20
+			for i := uint64(0); i < perClient; i++ {
+				if err := srv.Put(base+i, base+i); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	var ops, batches uint64
+	for _, l := range st.Lanes {
+		ops += l.Ops
+		batches += l.Batches
+		if l.Ops == 0 {
+			t.Fatalf("lane %d served no ops; routing broken: %+v", l.Shard, st.Lanes)
+		}
+	}
+	if ops != clients*perClient {
+		t.Fatalf("lanes committed %d ops, want %d", ops, clients*perClient)
+	}
+	if avg := float64(ops) / float64(batches); avg < 1.5 {
+		t.Fatalf("no coalescing under 32 concurrent clients: avg batch %.2f", avg)
+	}
+	if st.MaxLaneVirtualNS == 0 {
+		t.Fatal("lane virtual time not accounted")
+	}
+}
+
+func TestServerBackpressure(t *testing.T) {
+	// A tiny queue with a server whose committers are saturated must
+	// shed TryPut with the sentinel. Stall the lanes by filling the
+	// queue faster than one committer can drain 1-deep batches.
+	srv, _ := newTestServer(t, 1, func(c *Config) {
+		c.QueueDepth = 1
+		c.MaxBatch = 1
+	})
+	sawBackpressure := false
+	for i := uint64(1); i <= 5000 && !sawBackpressure; i++ {
+		if err := srv.TryPut(i, i); err != nil {
+			if !errors.Is(err, cclbtree.ErrBackpressure) {
+				t.Fatalf("TryPut = %v, want ErrBackpressure", err)
+			}
+			sawBackpressure = true
+		}
+	}
+	// A 1-deep queue against a blocking enqueue storm is effectively
+	// impossible to never fill; but if the committer outran us, that
+	// is not a failure of the sentinel path.
+	if sawBackpressure && srv.Stats().Rejected == 0 {
+		t.Fatal("rejected counter not bumped")
+	}
+}
+
+func TestServerClosedSentinel(t *testing.T) {
+	srv, _ := newTestServer(t, 2, nil)
+	if err := srv.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if err := srv.Put(2, 2); !errors.Is(err, cclbtree.ErrShardClosed) {
+		t.Fatalf("Put after Close = %v, want ErrShardClosed", err)
+	}
+	if err := srv.TryPut(2, 2); !errors.Is(err, cclbtree.ErrShardClosed) {
+		t.Fatalf("TryPut after Close = %v, want ErrShardClosed", err)
+	}
+	if _, _, err := srv.Get(1); !errors.Is(err, cclbtree.ErrShardClosed) {
+		t.Fatalf("Get after Close = %v, want ErrShardClosed", err)
+	}
+	srv.Close() // idempotent
+}
+
+func TestServerCloseDrainsQueuedWrites(t *testing.T) {
+	srv, db := newTestServer(t, 2, func(c *Config) { c.QueueDepth = 4096 })
+	const n = 1000
+	var wg sync.WaitGroup
+	errsCh := make(chan error, n)
+	for k := uint64(1); k <= n; k++ {
+		wg.Add(1)
+		go func(k uint64) {
+			defer wg.Done()
+			errsCh <- srv.Put(k, k)
+		}(k)
+	}
+	wg.Wait()
+	srv.Close()
+	close(errsCh)
+	for err := range errsCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every acknowledged write is in the store.
+	s := db.Session(0)
+	for k := uint64(1); k <= n; k++ {
+		if v, ok := s.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d) = %d,%v after drain", k, v, ok)
+		}
+	}
+}
+
+func TestLoadgenClosedLoop(t *testing.T) {
+	srv, _ := newTestServer(t, 4, nil)
+	res, err := RunLoad(srv, Workload{Clients: 16, Ops: 4000, ReadFrac: 0.25, Clustered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misread != 0 {
+		t.Fatalf("%d self-verification failures", res.Misread)
+	}
+	if res.Writes == 0 || res.Reads == 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+	if res.Shed != 0 {
+		t.Fatalf("closed loop shed %d ops", res.Shed)
+	}
+	if res.WriteVirtualNS <= 0 || res.WriteMops <= 0 {
+		t.Fatalf("virtual-time accounting missing: %+v", res)
+	}
+}
+
+func TestLoadgenOpenLoop(t *testing.T) {
+	srv, _ := newTestServer(t, 2, func(c *Config) { c.QueueDepth = 2 })
+	res, err := RunLoad(srv, Workload{Clients: 16, Ops: 4000, OpenLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misread != 0 {
+		t.Fatalf("%d self-verification failures", res.Misread)
+	}
+	// Writes either committed or were shed; nothing vanished.
+	committed := srv.Stats()
+	var ops uint64
+	for _, l := range committed.Lanes {
+		ops += l.Ops
+	}
+	if ops != res.Writes {
+		t.Fatalf("lanes committed %d, loadgen counted %d", ops, res.Writes)
+	}
+}
+
+func TestServerScramblesAcrossShards(t *testing.T) {
+	srv, db := newTestServer(t, 8, nil)
+	if _, err := RunLoad(srv, Workload{Clients: 8, Ops: 8000, Clustered: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < db.Shards(); i++ {
+		if db.ShardCounters(i).Upserts == 0 {
+			t.Fatalf("shard %d got no traffic from clustered load", i)
+		}
+	}
+}
+
+func TestServerRequiresDB(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without DB succeeded")
+	}
+}

@@ -117,6 +117,18 @@ func checkDurablePrefix(clock *ordo.Clock, baseline map[uint64]uint64, h *histor
 	return out
 }
 
+// CheckDurablePrefix runs the durable-prefix oracle over an externally
+// recorded history: perWorker holds each worker's op log (Invoke and
+// Return in clock's tick domain), baseline the durable state the round
+// began from, and recovered the post-recovery snapshot (absent keys
+// omitted, value 0 meaning absent). Exported for crash harnesses
+// outside this package — the sharded-DB crash test partitions one
+// multi-shard history by routing shard and checks each shard's tree
+// against its own clock independently.
+func CheckDurablePrefix(clock *ordo.Clock, baseline map[uint64]uint64, perWorker [][]Op, recovered map[uint64]uint64, round int) []Violation {
+	return checkDurablePrefix(clock, baseline, newHistory(perWorker), recovered, round)
+}
+
 // wasEverWritten distinguishes "stale but real" from "fabricated".
 func wasEverWritten(writes []*Op, baseline map[uint64]uint64, k, v uint64) bool {
 	if v == 0 || baseline[k] == v {

@@ -1,27 +1,115 @@
 package cclbtree
 
 import (
+	"bytes"
 	"iter"
 	"math"
+
+	"cclbtree/internal/core"
 )
 
 // rangeChunk is how many entries each iterator page pulls per Scan.
 const rangeChunk = 128
+
+// shardCursor pages one shard's ascending fixed-key stream. The merge
+// below peeks cursors and pops the global minimum; the subtle part is
+// the paging boundary: a cursor whose page came back full may have
+// more keys — possibly SMALLER than another cursor's current key — so
+// an exhausted full page must refill before the merge compares
+// anything against this shard again. Concluding "done" (or yielding a
+// rival's key) at a full-page edge is exactly the interleaving bug the
+// cross-shard regression test pins.
+type shardCursor struct {
+	w    *core.Worker
+	buf  []KV
+	n    int // entries in buf
+	pos  int // next entry to yield
+	next uint64
+	done bool
+}
+
+func (c *shardCursor) refill() {
+	c.n = c.w.Scan(c.next, len(c.buf), c.buf)
+	c.pos = 0
+	if c.n < len(c.buf) {
+		c.done = true // short page: the shard has nothing past buf[n-1]
+		return
+	}
+	last := c.buf[c.n-1].Key
+	if last == math.MaxUint64 {
+		c.done = true
+		return
+	}
+	c.next = last + 1
+}
+
+// peek returns the cursor's current entry, refilling across page
+// boundaries; ok is false only when the shard is exhausted.
+func (c *shardCursor) peek() (KV, bool) {
+	for c.pos == c.n {
+		if c.done {
+			return KV{}, false
+		}
+		c.refill()
+	}
+	return c.buf[c.pos], true
+}
 
 // Range returns an iterator over the live entries with key ≥ start in
 // ascending order, for use with a range-over-func loop:
 //
 //	for k, v := range s.Range(1) { ... }
 //
-// The iterator pages through the tree with Scan, so it sees a
-// per-page-consistent snapshot: entries written after iteration passes
-// their key are not revisited. Breaking out of the loop early is
-// cheap; nothing is held between pages.
+// The iterator pages through each shard with Scan and merges the
+// streams in key order (every key lives on exactly one shard, so the
+// merge never sees duplicates). It sees a per-page-consistent
+// snapshot: entries written after iteration passes their key are not
+// revisited. Breaking out of the loop early is cheap; nothing is held
+// between pages.
 func (s *Session) Range(start uint64) iter.Seq2[uint64, uint64] {
+	if len(s.ws) == 1 {
+		return s.rangeSingle(start)
+	}
+	return func(yield func(uint64, uint64) bool) {
+		// All shards participate: sync every worker up to the serial
+		// clock once, and settle the slowest at the end.
+		cursors := make([]*shardCursor, len(s.ws))
+		for i := range cursors {
+			cursors[i] = &shardCursor{w: s.worker(i), buf: make([]KV, rangeChunk), next: start}
+		}
+		defer func() {
+			for _, c := range cursors {
+				s.settle(c.w)
+			}
+		}()
+		for {
+			best := -1
+			var bestKV KV
+			for i, c := range cursors {
+				kv, ok := c.peek()
+				if !ok {
+					continue
+				}
+				if best < 0 || kv.Key < bestKV.Key {
+					best, bestKV = i, kv
+				}
+			}
+			if best < 0 {
+				return
+			}
+			cursors[best].pos++
+			if !yield(bestKV.Key, bestKV.Value) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Session) rangeSingle(start uint64) iter.Seq2[uint64, uint64] {
 	return func(yield func(uint64, uint64) bool) {
 		buf := make([]KV, rangeChunk)
 		for {
-			n := s.Scan(start, buf)
+			n := s.ws[0].Scan(start, len(buf), buf)
 			for _, kv := range buf[:n] {
 				if !yield(kv.Key, kv.Value) {
 					return
@@ -39,14 +127,82 @@ func (s *Session) Range(start uint64) iter.Seq2[uint64, uint64] {
 	}
 }
 
+// varCursor is shardCursor for variable-size keys: pages resume at the
+// last key's byte-order successor (the key with a zero byte appended).
+type varCursor struct {
+	w    *core.Worker
+	page []KVBytes
+	pos  int
+	next []byte
+	done bool
+}
+
+func (c *varCursor) refill() {
+	c.page = c.w.ScanVar(c.next, rangeChunk)
+	c.pos = 0
+	if len(c.page) < rangeChunk {
+		c.done = true
+		return
+	}
+	last := c.page[len(c.page)-1].Key
+	c.next = append(append(make([]byte, 0, len(last)+1), last...), 0)
+}
+
+func (c *varCursor) peek() (KVBytes, bool) {
+	for c.pos == len(c.page) {
+		if c.done {
+			return KVBytes{}, false
+		}
+		c.refill()
+	}
+	return c.page[c.pos], true
+}
+
 // RangeVar returns an iterator over the live variable-size entries
-// with key ≥ start in ascending byte order (requires Config.VarKV).
-// A nil start begins at the smallest key. Yielded slices are fresh
-// copies owned by the caller.
+// with key ≥ start in ascending byte order, merged across shards
+// (requires Config.VarKV). A nil start begins at the smallest key.
+// Yielded slices are fresh copies owned by the caller.
 func (s *Session) RangeVar(start []byte) iter.Seq2[[]byte, []byte] {
+	if len(s.ws) == 1 {
+		return s.rangeVarSingle(start)
+	}
+	return func(yield func([]byte, []byte) bool) {
+		cursors := make([]*varCursor, len(s.ws))
+		for i := range cursors {
+			cursors[i] = &varCursor{w: s.worker(i), next: start}
+		}
+		defer func() {
+			for _, c := range cursors {
+				s.settle(c.w)
+			}
+		}()
+		for {
+			best := -1
+			var bestKV KVBytes
+			for i, c := range cursors {
+				kv, ok := c.peek()
+				if !ok {
+					continue
+				}
+				if best < 0 || bytes.Compare(kv.Key, bestKV.Key) < 0 {
+					best, bestKV = i, kv
+				}
+			}
+			if best < 0 {
+				return
+			}
+			cursors[best].pos++
+			if !yield(bestKV.Key, bestKV.Value) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Session) rangeVarSingle(start []byte) iter.Seq2[[]byte, []byte] {
 	return func(yield func([]byte, []byte) bool) {
 		for {
-			page := s.ScanVar(start, rangeChunk)
+			page := s.ws[0].ScanVar(start, rangeChunk)
 			for _, kv := range page {
 				if !yield(kv.Key, kv.Value) {
 					return

@@ -61,6 +61,7 @@ cmp "$lintdir/cold.json" "$lintdir/warm.json"
 rm -rf "$lintdir"
 go test ./...
 go test -race -short ./internal/core/... ./internal/pmem/... ./internal/obs/...
+go test -race -short ./internal/server
 go test -race -run TestTortureShort ./internal/torture
 
 # Batch-path acceptance smoke (group commit must beat per-op writes on
@@ -100,6 +101,20 @@ test "$planted" -eq 3
 "$perfdir/cclbench" -exp ycsbc -warm 20000 -ops 20000 -out "$perfdir" >/dev/null
 "$perfdir/cclbench" -compare scripts/perf_baseline_ycsbc.json -against "$perfdir/BENCH_ycsbc.json"
 rm -rf "$perfdir"
+
+# Serving-tier gates. The cclserve smoke starts the server, drives the
+# load generator for a bounded self-verifying run, and shuts down
+# gracefully — any load error, misread, or post-Close acceptance makes
+# the binary exit non-zero (set -e fails the script). Then the shard
+# scaling acceptance: 8 shards >= 3x 1 shard on clustered insert, with
+# per-shard lane attribution present.
+servedir=$(mktemp -d)
+go build -o "$servedir/cclserve" ./cmd/cclserve
+"$servedir/cclserve" -bench -shards 4 -clients 16 -ops 20000 > "$servedir/serve.json"
+grep -q '"misread": 0' "$servedir/serve.json"
+rm -rf "$servedir"
+go test -run TestShardScaling ./internal/bench
+go test -race -run TestShardedCrashDurablePrefix .
 
 # Read-path acceptance: lock-free reads >= 3x the LockedReads ablation
 # at 8 threads, and the torture oracle proves it still has teeth by
